@@ -1,0 +1,49 @@
+// Command bench regenerates the evaluation tables of EXPERIMENTS.md:
+// one experiment per table or figure the reproduction tracks (see
+// DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	bench [-e all|e1|e2|e3|e4|e5|e6|e7] [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maybms/internal/experiments"
+)
+
+func main() {
+	which := flag.String("e", "all", "experiment to run: all, e1..e8")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
+	seed := flag.Int64("seed", 2009, "random seed")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	w := os.Stdout
+	switch *which {
+	case "all":
+		experiments.All(w, opts)
+	case "e1":
+		experiments.E1(w, opts)
+	case "e2":
+		experiments.E2(w, opts)
+	case "e3":
+		experiments.E3(w, opts)
+	case "e4":
+		experiments.E4(w, opts)
+	case "e5":
+		experiments.E5(w, opts)
+	case "e6":
+		experiments.E6(w, opts)
+	case "e7":
+		experiments.E7(w, opts)
+	case "e8":
+		experiments.E8(w, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,177 @@
+// Command maybms is an interactive SQL shell for the MayBMS
+// probabilistic database.
+//
+// Usage:
+//
+//	maybms [-db snapshot.mdb] [-f script.sql]
+//
+// With -db, the snapshot is loaded on start (if it exists) and saved
+// on \q. With -f, the script runs before the prompt appears (or the
+// shell exits if stdin is not wanted; combine with -batch).
+//
+// Shell commands:
+//
+//	\d          list tables
+//	\d NAME     describe a table
+//	\save PATH  snapshot the database
+//	\load PATH  restore a snapshot
+//	\q          quit (saving if -db was given)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"maybms"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "snapshot file to load on start and save on exit")
+	script := flag.String("f", "", "SQL script to execute before the prompt")
+	batch := flag.Bool("batch", false, "exit after -f script (no prompt)")
+	flag.Parse()
+
+	db := maybms.Open()
+	if *dbPath != "" {
+		if _, err := os.Stat(*dbPath); err == nil {
+			loaded, err := maybms.OpenFile(*dbPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "maybms: %v\n", err)
+				os.Exit(1)
+			}
+			db = loaded
+			fmt.Printf("loaded %s\n", *dbPath)
+		}
+	}
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "maybms: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runInput(db, string(data)); err != nil {
+			fmt.Fprintf(os.Stderr, "maybms: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *batch {
+		saveIfNeeded(db, *dbPath)
+		return
+	}
+
+	fmt.Println("MayBMS shell — probabilistic SQL. Statements end with ';'. \\q quits, \\d lists tables.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "maybms> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if done := metaCommand(db, trimmed, *dbPath); done {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			if err := runInput(db, buf.String()); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+			buf.Reset()
+			prompt = "maybms> "
+		} else if buf.Len() > 0 {
+			prompt = "   ...> "
+		}
+	}
+	saveIfNeeded(db, *dbPath)
+}
+
+func saveIfNeeded(db *maybms.DB, path string) {
+	if path == "" {
+		return
+	}
+	if err := db.SaveFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "maybms: save: %v\n", err)
+		return
+	}
+	fmt.Printf("saved %s\n", path)
+}
+
+// runInput executes a statement or script, printing rows when the
+// last statement returns any.
+func runInput(db *maybms.DB, src string) error {
+	if strings.TrimSpace(src) == "" {
+		return nil
+	}
+	rows, res, err := db.RunScript(src)
+	if err != nil {
+		return err
+	}
+	if rows != nil {
+		fmt.Print(rows.String())
+		fmt.Printf("(%d rows)\n", rows.Len())
+		return nil
+	}
+	if res.Msg != "" {
+		fmt.Println(res.Msg)
+	} else {
+		fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+	}
+	return nil
+}
+
+func metaCommand(db *maybms.DB, cmd, dbPath string) (quit bool) {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		saveIfNeeded(db, dbPath)
+		return true
+	case "\\d":
+		if len(fields) == 1 {
+			for _, t := range db.Tables() {
+				fmt.Println(t)
+			}
+			return false
+		}
+		rows, err := db.Query("select * from " + fields[1] + " limit 0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return false
+		}
+		fmt.Printf("table %s: %s\n", fields[1], strings.Join(rows.Columns, ", "))
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\save PATH")
+			return false
+		}
+		if err := db.SaveFile(fields[1]); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Printf("saved %s\n", fields[1])
+		}
+	case "\\load":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\load PATH")
+			return false
+		}
+		loaded, err := maybms.OpenFile(fields[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return false
+		}
+		*db = *loaded
+		fmt.Printf("loaded %s\n", fields[1])
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s\n", fields[0])
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+// Diagnosis by conditioning: the paper's introduction motivates
+// probabilistic databases with "decision support and diagnosis systems
+// employ hypothetical (what-if) queries". This example models a small
+// machine-fault diagnosis problem and updates beliefs as evidence
+// arrives, using database conditioning (Koch & Olteanu, VLDB 2008 —
+// the paper's reference [3]) through maybms.DB.ConditionOn.
+package main
+
+import (
+	"fmt"
+
+	"maybms"
+)
+
+func main() {
+	db := maybms.Open()
+
+	// Prior fault model: each component fails independently.
+	db.MustExec(`
+		create table components (name text, fail_p float);
+		insert into components values
+			('pump',   0.10),
+			('valve',  0.05),
+			('sensor', 0.20),
+			('wiring', 0.15);
+		create table faults as
+			select name from
+			(pick tuples from components independently with probability fail_p) f;
+	`)
+
+	fmt.Println("-- prior fault probabilities --")
+	fmt.Print(db.MustQuery(`select name, conf() p from faults group by name order by p desc`))
+
+	// Symptom model: which faults can produce which observable
+	// symptoms. A symptom fires iff one of its causes is faulty (we
+	// treat causes as sufficient for this demo).
+	db.MustExec(`
+		create table causes (symptom text, cause text);
+		insert into causes values
+			('no_flow',    'pump'),
+			('no_flow',    'valve'),
+			('bad_reading','sensor'),
+			('bad_reading','wiring'),
+			('alarm',      'pump'),
+			('alarm',      'wiring');
+	`)
+
+	prior, _ := db.QueryFloat(`
+		select conf() from faults f, causes c
+		where f.name = c.cause and c.symptom = 'no_flow'`)
+	fmt.Printf("\nP(no_flow symptom) prior = %.4f\n", prior)
+
+	// Evidence arrives: the operator observes no_flow.
+	post, err := db.ConditionOn(`
+		select f.name from faults f, causes c
+		where f.name = c.cause and c.symptom = 'no_flow'`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("evidence probability (prior of the observation): %.4f\n\n", post.EvidenceProb())
+
+	fmt.Println("-- posterior fault probabilities given no_flow --")
+	for _, comp := range []string{"pump", "valve", "sensor", "wiring"} {
+		p, err := post.Prob(fmt.Sprintf(`select name from faults where name = '%s'`, comp))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s %.4f\n", comp, p)
+	}
+
+	// What-if: given no_flow, how likely is the alarm symptom too?
+	p, err := post.Prob(`
+		select f.name from faults f, causes c
+		where f.name = c.cause and c.symptom = 'alarm'`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nP(alarm | no_flow) = %.4f  (prior: ", p)
+	pa, _ := db.QueryFloat(`
+		select conf() from faults f, causes c
+		where f.name = c.cause and c.symptom = 'alarm'`)
+	fmt.Printf("%.4f)\n", pa)
+	fmt.Println("\nthe shared 'pump' cause makes the alarm more likely once no_flow is observed")
+}

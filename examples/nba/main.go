@@ -1,0 +1,129 @@
+// NBA what-if analysis: the paper's Section 3 human-resource
+// management demo on synthetic nba.com-shaped data. It runs the three
+// scenarios the demo describes — team skill management, performance
+// prediction, and fitness prediction via random walks on stochastic
+// matrices — including the paper's exact FT2 / 3-step-walk queries.
+package main
+
+import (
+	"fmt"
+
+	"maybms"
+	"maybms/internal/nbagen"
+)
+
+func main() {
+	db := maybms.Open()
+	cfg := nbagen.DefaultConfig()
+	db.MustExec(nbagen.Script(cfg))
+	fmt.Printf("loaded %d teams x %d players\n\n", cfg.Teams, cfg.PlayersPerTeam)
+
+	teamManagement(db)
+	performancePrediction(db)
+	fitnessPrediction(db)
+	layoffScenario(db)
+}
+
+// teamManagement: for each skill, the probability that someone with
+// that skill will be playing, given each player's current fitness.
+// A player is available tomorrow if their 1-step fitness walk lands on
+// 'F'; skill availability is the disjunction over skilled players.
+func teamManagement(db *maybms.DB) {
+	fmt.Println("== team management: P(skill available tomorrow) per team ==")
+	db.MustExec(`
+		create table walk1 as
+		select r.player, r.final
+		from (repair key player, init in ft weight by p) r, states s
+		where r.player = s.player and r.init = s.state;
+	`)
+	fmt.Print(db.MustQuery(`
+		select p.team, k.skill, conf() availability
+		from walk1 w, skills k, players p
+		where w.player = k.player and w.player = p.player and w.final = 'F'
+		group by p.team, k.skill
+		order by p.team, k.skill`))
+	fmt.Println()
+}
+
+// performancePrediction: predicted next-game points as a recency-
+// weighted average of the game log (higher weight to recent games).
+func performancePrediction(db *maybms.DB) {
+	fmt.Println("== performance prediction: top 5 predicted scorers ==")
+	fmt.Print(db.MustQuery(`
+		select player, sum(points * game) / sum(game) predicted
+		from gamelog
+		group by player
+		order by predicted desc, player
+		limit 5`))
+	fmt.Println()
+}
+
+// fitnessPrediction: the paper's random-walk queries. A must-win match
+// is three days away; compute each player's 3-day fitness distribution
+// by composing a 2-step walk (materialised as FT2, the matrix square)
+// with one more step.
+func fitnessPrediction(db *maybms.DB) {
+	fmt.Println("== fitness prediction: 3-day outlook (paper's FT2 query) ==")
+	db.MustExec(`
+		create table ft2 as
+		select r1.player, r1.init, r2.final, conf() as p from
+			(repair key player, init in ft weight by p) r1,
+			(repair key player, init in ft weight by p) r2, states s
+		where r1.player = s.player and r1.init = s.state
+			and r1.final = r2.init and r1.player = r2.player
+		group by r1.player, r1.init, r2.final;
+
+		create table ft3 as
+		select r1.player, r2.final as state, conf() as p from
+			(repair key player, init in ft2 weight by p) r1,
+			(repair key player, init in ft weight by p) r2
+		where r1.final = r2.init and r1.player = r2.player
+		group by r1.player, r2.final;
+	`)
+	fmt.Println("-- five players least likely to be fit in three days --")
+	fmt.Print(db.MustQuery(`
+		select player, p as p_fit
+		from ft3
+		where state = 'F'
+		order by p, player
+		limit 5`))
+	fmt.Println()
+}
+
+// layoffScenario: the financial-crisis question — who are the
+// highest-paid players whose team would still keep shooting available
+// with probability at least 0.9 without them?
+func layoffScenario(db *maybms.DB) {
+	fmt.Println("== layoff scenario: shooting availability excluding each top earner ==")
+	// Candidate layoffs: the three highest salaries.
+	db.MustExec(`
+		create table candidates as
+		select player, team, salary from players
+		order by salary desc
+		limit 3;
+	`)
+	rows := db.MustQuery(`select player, team from candidates order by player`)
+	for _, r := range rows.Data {
+		player := r[0].(string)
+		team := r[1].(string)
+		q := fmt.Sprintf(`
+			select conf() p
+			from walk1 w, skills k, players p
+			where w.player = k.player and w.player = p.player
+				and w.final = 'F' and k.skill = 'shooting'
+				and p.team = '%s' and p.player <> '%s'`, team, player)
+		res := db.MustQuery(q)
+		p := 0.0
+		if res.Len() == 1 {
+			if f, ok := res.Data[0][0].(float64); ok {
+				p = f
+			}
+		}
+		verdict := "cannot lay off"
+		if p >= 0.9 {
+			verdict = "can lay off"
+		}
+		fmt.Printf("%-20s (%s): shooting availability without them = %.4f -> %s\n",
+			player, team, p, verdict)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: create a probabilistic database, introduce uncertainty
+// with repair-key and pick-tuples, and query confidences — the
+// smallest end-to-end tour of the MayBMS query language.
+package main
+
+import (
+	"fmt"
+
+	"maybms"
+)
+
+func main() {
+	db := maybms.Open()
+
+	// A plain (t-certain) table of weighted alternatives.
+	db.MustExec(`
+		create table weather (outlook text, w float);
+		insert into weather values ('sun', 6), ('rain', 3), ('snow', 1);
+	`)
+
+	// repair-key turns it into an uncertain table: exactly one outlook
+	// holds, with probability proportional to the weight.
+	fmt.Println("-- marginal probability of each outlook (tconf) --")
+	fmt.Print(db.MustQuery(`
+		select outlook, tconf() p
+		from (repair key in weather weight by w) r
+		order by p desc`))
+
+	// conf() groups duplicates and computes exact event probabilities.
+	fmt.Println("\n-- P(no snow) --")
+	fmt.Print(db.MustQuery(`
+		select conf() p_no_snow
+		from (repair key in weather weight by w) r
+		where outlook <> 'snow'`))
+
+	// pick-tuples models independent tuple-level uncertainty.
+	db.MustExec(`
+		create table sensors (sensor text, reading float, trust float);
+		insert into sensors values
+			('s1', 20.0, 0.9), ('s2', 23.0, 0.7), ('s3', 40.0, 0.2);
+		create table trusted as
+			pick tuples from sensors independently with probability trust;
+	`)
+
+	fmt.Println("\n-- expected number of trustworthy sensors and expected sum of readings --")
+	fmt.Print(db.MustQuery(`select ecount() sensors, esum(reading) total from trusted`))
+
+	fmt.Println("\n-- which sensors are possible at all --")
+	fmt.Print(db.MustQuery(`select possible sensor from trusted order by sensor`))
+
+	// What-if: probability that at least one sensor reads above 22.
+	fmt.Println("\n-- P(some reading > 22) --")
+	fmt.Print(db.MustQuery(`select conf() p from trusted where reading > 22`))
+}

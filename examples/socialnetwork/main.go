@@ -1,0 +1,87 @@
+// Social network analysis: the third demonstration scenario on the
+// MayBMS website. Observed interactions suggest friendships with
+// varying confidence; pick-tuples turns the weighted edge list into a
+// distribution over graphs, and confidence queries answer structural
+// questions — influence, triangles, expected degree — over all
+// possible graphs at once.
+package main
+
+import (
+	"fmt"
+
+	"maybms"
+)
+
+func main() {
+	db := maybms.Open()
+
+	// Edges with extraction confidence (symmetric closure included).
+	db.MustExec(`
+		create table observed (src text, dst text, p float);
+		insert into observed values
+			('ann','bob',0.9), ('bob','ann',0.9),
+			('bob','carol',0.6), ('carol','bob',0.6),
+			('ann','carol',0.3), ('carol','ann',0.3),
+			('carol','dave',0.8), ('dave','carol',0.8),
+			('dave','erin',0.5), ('erin','dave',0.5),
+			('ann','erin',0.1), ('erin','ann',0.1);
+	`)
+	// The uncertain graph: each undirected edge either exists or not.
+	// We pick on a canonical direction and mirror it so both
+	// directions share one coin flip... here we keep directions
+	// independent for simplicity of the demo and use the canonical
+	// (src < dst) half for undirected questions.
+	db.MustExec(`
+		create table half as select src, dst, p from observed where src < dst;
+		create table edge as pick tuples from half independently with probability p;
+	`)
+
+	fmt.Println("-- marginal probability of each (undirected) edge --")
+	fmt.Print(db.MustQuery(`select src, dst, tconf() p from edge order by src, dst`))
+
+	fmt.Println("\n-- expected number of friendships and expected degree of ann --")
+	fmt.Print(db.MustQuery(`select ecount() expected_edges from edge`))
+	fmt.Print(db.MustQuery(`
+		select ecount() ann_expected_degree from edge
+		where src = 'ann' or dst = 'ann'`))
+
+	// Two-hop influence: can ann reach dave through one intermediary?
+	fmt.Println("\n-- P(ann connected to dave via some 2-hop path) --")
+	fmt.Print(db.MustQuery(`
+		select conf() p_two_hop
+		from edge e1, edge e2
+		where e1.src = 'ann' and e1.dst = e2.src and e2.dst = 'dave'`))
+
+	// Triangles: the probability that a closed triad exists at all —
+	// the classic non-hierarchical (#P-hard) query shape, answered by
+	// the exact d-tree algorithm.
+	fmt.Println("\n-- P(some triangle exists) --")
+	// Edges are stored canonically (src < dst), so a triangle a<b<c is
+	// (a,b), (b,c), (a,c).
+	fmt.Print(db.MustQuery(`
+		select conf() p_triangle
+		from edge e1, edge e2, edge e3
+		where e1.dst = e2.src and e1.src = e3.src and e2.dst = e3.dst`))
+
+	// Per-person probability of being connected to ann (1 hop).
+	fmt.Println("\n-- P(direct friendship with ann), per person --")
+	fmt.Print(db.MustQuery(`
+		select dst person, conf() p from edge where src = 'ann' group by dst
+		union all
+		select src person, conf() p from edge where dst = 'ann' group by src
+		order by p desc`))
+
+	// What-if: if we confirmed ann-carol (set it certain), how does
+	// the 2-hop reachability to dave change?
+	fmt.Println("\n-- what-if: ann-carol confirmed; P(ann reaches dave in 2 hops) --")
+	db.MustExec(`
+		create table confirmed (src text, dst text, p float);
+		insert into confirmed select src, dst, p from half where not (src = 'ann' and dst = 'carol');
+		insert into confirmed values ('ann', 'carol', 1.0);
+		create table edge2 as pick tuples from confirmed independently with probability p;
+	`)
+	fmt.Print(db.MustQuery(`
+		select conf() p_two_hop
+		from edge2 e1, edge2 e2
+		where e1.src = 'ann' and e1.dst = e2.src and e2.dst = 'dave'`))
+}

@@ -1,0 +1,206 @@
+// Package approx implements MayBMS's aconf(ε,δ): the Karp-Luby
+// unbiased estimator for DNF probability, adapted to conditions over
+// finite independent random variables, driven by the
+// Dagum-Karp-Luby-Ross "optimal algorithm for Monte Carlo estimation"
+// (SICOMP 29(5), 2000). The AA algorithm uses sequential analysis to
+// determine how many Karp-Luby trials achieve the requested
+// (ε,δ)-guarantee: P(|p̂ − p| > ε·p) < δ.
+package approx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"maybms/internal/lineage"
+	"maybms/internal/ws"
+)
+
+// Estimator draws Karp-Luby trials for a fixed DNF. Each trial is a
+// Bernoulli outcome whose mean is P(DNF)/S where S is the sum of
+// clause probabilities, so S·mean estimates P(DNF).
+type Estimator struct {
+	d     lineage.DNF
+	src   ws.ProbSource
+	rng   *rand.Rand
+	S     float64   // sum of clause probabilities
+	cum   []float64 // cumulative clause probabilities for sampling
+	vars  []ws.VarID
+	trial map[ws.VarID]int // scratch assignment
+
+	// Trials counts Karp-Luby invocations, for the experiments.
+	Trials int
+}
+
+// NewEstimator prepares a Karp-Luby estimator for d. rng may be nil,
+// in which case a fixed-seed source is used (deterministic runs).
+func NewEstimator(d lineage.DNF, src ws.ProbSource, rng *rand.Rand) *Estimator {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	d = d.Simplify()
+	e := &Estimator{d: d, src: src, rng: rng, vars: d.Vars(), trial: map[ws.VarID]int{}}
+	e.cum = make([]float64, len(d))
+	s := 0.0
+	for i, c := range d {
+		s += c.Prob(src)
+		e.cum[i] = s
+	}
+	e.S = s
+	return e
+}
+
+// Sample runs one Karp-Luby trial and reports its Bernoulli outcome.
+// The trial picks a clause i with probability P(Cᵢ)/S, samples a world
+// θ conditioned on Cᵢ, and succeeds iff i is the first clause θ
+// satisfies. E[outcome] = P(DNF)/S.
+func (e *Estimator) Sample() bool {
+	e.Trials++
+	// Pick clause i ∝ P(Cᵢ).
+	u := e.rng.Float64() * e.S
+	i := sort.SearchFloat64s(e.cum, u)
+	if i >= len(e.d) {
+		i = len(e.d) - 1
+	}
+	ci := e.d[i]
+	// Sample an assignment of all DNF variables conditioned on Cᵢ.
+	for k := range e.trial {
+		delete(e.trial, k)
+	}
+	for _, l := range ci {
+		e.trial[l.Var] = l.Val
+	}
+	for _, v := range e.vars {
+		if _, fixed := e.trial[v]; fixed {
+			continue
+		}
+		e.trial[v] = e.sampleVar(v)
+	}
+	// Success iff no earlier clause is satisfied.
+	for j := 0; j < i; j++ {
+		if e.d[j].Eval(e.trial) {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleVar draws an alternative of v from its marginal distribution.
+// Probability deficits map to the implicit extra alternative n+1,
+// which no literal mentions.
+func (e *Estimator) sampleVar(v ws.VarID) int {
+	u := e.rng.Float64()
+	n := e.src.DomainSize(v)
+	acc := 0.0
+	for val := 1; val <= n; val++ {
+		acc += e.src.Prob(v, val)
+		if u < acc {
+			return val
+		}
+	}
+	return n + 1
+}
+
+// Estimate runs exactly n trials and returns S·(successes/n), the
+// plain Karp-Luby estimate used by the fixed-budget baselines.
+func (e *Estimator) Estimate(n int) float64 {
+	if e.S == 0 || len(e.d) == 0 {
+		return 0
+	}
+	if e.d.HasEmptyClause() {
+		return 1
+	}
+	succ := 0
+	for i := 0; i < n; i++ {
+		if e.Sample() {
+			succ++
+		}
+	}
+	return e.S * float64(succ) / float64(n)
+}
+
+// Conf computes an (ε,δ)-approximation of P(d) using the AA algorithm:
+// the returned p̂ deviates from p by more than ε·p with probability
+// less than δ.
+func Conf(d lineage.DNF, src ws.ProbSource, eps, delta float64, rng *rand.Rand) (float64, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("aconf: epsilon must be in (0,1), got %v", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("aconf: delta must be in (0,1), got %v", delta)
+	}
+	d = d.Simplify()
+	if len(d) == 0 {
+		return 0, nil
+	}
+	if d.HasEmptyClause() {
+		return 1, nil
+	}
+	e := NewEstimator(d, src, rng)
+	if e.S == 0 {
+		return 0, nil
+	}
+	mean := e.AA(eps, delta)
+	return e.S * mean, nil
+}
+
+// AA is the Dagum-Karp-Luby-Ross approximation algorithm AA estimating
+// the mean μ of the Bernoulli trial stream in three steps: a stopping
+// rule for a rough estimate, a variance estimate, and a final run
+// sized by max(variance, ε·μ̂).
+func (e *Estimator) AA(eps, delta float64) float64 {
+	const lambda = math.E - 2 // λ from the DKLR paper
+	// Clamp ε to the Bernoulli regime: relative error below machine
+	// noise would demand absurd trial counts.
+	ups := 4 * lambda * math.Log(2/delta) / (eps * eps)
+
+	// Step 1: stopping-rule algorithm with Υ₁ = 1+(1+ε)Υ.
+	ups1 := 1 + (1+eps)*ups
+	sum := 0.0
+	n := 0
+	for sum < ups1 {
+		if e.Sample() {
+			sum++
+		}
+		n++
+	}
+	muHat := ups1 / float64(n)
+
+	// Step 2: estimate the variance ρ̂ = max(S/N, ε·μ̂) from N trial
+	// pairs, N = Υ₂·ε/μ̂ with Υ₂ = 2(1+√ε)(1+2√ε)(1+ln(3/2)/ln(2/δ))Υ.
+	ups2 := 2 * (1 + math.Sqrt(eps)) * (1 + 2*math.Sqrt(eps)) *
+		(1 + math.Log(1.5)/math.Log(2/delta)) * ups
+	nPairs := int(math.Ceil(ups2 * eps / muHat))
+	if nPairs < 1 {
+		nPairs = 1
+	}
+	s2 := 0.0
+	for i := 0; i < nPairs; i++ {
+		a, b := 0.0, 0.0
+		if e.Sample() {
+			a = 1
+		}
+		if e.Sample() {
+			b = 1
+		}
+		s2 += (a - b) * (a - b) / 2
+	}
+	rhoHat := s2 / float64(nPairs)
+	if eMu := eps * muHat; rhoHat < eMu {
+		rhoHat = eMu
+	}
+
+	// Step 3: final estimate with N = Υ₂·ρ̂/μ̂².
+	nFinal := int(math.Ceil(ups2 * rhoHat / (muHat * muHat)))
+	if nFinal < 1 {
+		nFinal = 1
+	}
+	succ := 0
+	for i := 0; i < nFinal; i++ {
+		if e.Sample() {
+			succ++
+		}
+	}
+	return float64(succ) / float64(nFinal)
+}

@@ -1,0 +1,128 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/lineage"
+	"maybms/internal/ws"
+)
+
+// fixtureDNF builds x ∨ (y ∧ z) over boolean variables with known
+// probability: P = px + (1-px)·py·pz.
+func fixtureDNF(t *testing.T) (lineage.DNF, *ws.Store, float64) {
+	t.Helper()
+	store := ws.NewStore()
+	x, _ := store.NewBoolVar(0.3)
+	y, _ := store.NewBoolVar(0.5)
+	z, _ := store.NewBoolVar(0.8)
+	cx, _ := lineage.NewCond(lineage.Lit{Var: x, Val: 1})
+	cyz, _ := lineage.NewCond(lineage.Lit{Var: y, Val: 1}, lineage.Lit{Var: z, Val: 1})
+	want := 0.3 + 0.7*0.5*0.8
+	return lineage.DNF{cx, cyz}, store, want
+}
+
+func TestEstimatorS(t *testing.T) {
+	d, store, _ := fixtureDNF(t)
+	e := NewEstimator(d, store, nil)
+	// S = P(x) + P(y∧z) = 0.3 + 0.4.
+	if math.Abs(e.S-0.7) > 1e-12 {
+		t.Errorf("S=%v", e.S)
+	}
+}
+
+func TestEstimateConverges(t *testing.T) {
+	d, store, want := fixtureDNF(t)
+	e := NewEstimator(d, store, rand.New(rand.NewSource(9)))
+	got := e.Estimate(100000)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("estimate %v want %v", got, want)
+	}
+	if e.Trials != 100000 {
+		t.Errorf("trials %d", e.Trials)
+	}
+}
+
+func TestEstimatorUnbiasedAcrossSeeds(t *testing.T) {
+	d, store, want := fixtureDNF(t)
+	// Mean of independent coarse estimates converges (unbiasedness).
+	total := 0.0
+	const runs = 40
+	for seed := int64(0); seed < runs; seed++ {
+		e := NewEstimator(d, store, rand.New(rand.NewSource(seed)))
+		total += e.Estimate(2000)
+	}
+	if mean := total / runs; math.Abs(mean-want) > 0.01 {
+		t.Errorf("mean of estimates %v want %v", mean, want)
+	}
+}
+
+func TestConfTautologyAndContradiction(t *testing.T) {
+	store := ws.NewStore()
+	if p, err := Conf(nil, store, 0.1, 0.1, nil); err != nil || p != 0 {
+		t.Errorf("empty: %v %v", p, err)
+	}
+	d := lineage.DNF{lineage.TrueCond()}
+	if p, err := Conf(d, store, 0.1, 0.1, nil); err != nil || p != 1 {
+		t.Errorf("true: %v %v", p, err)
+	}
+	// All-zero-probability clauses: S = 0.
+	x, _ := store.NewVar([]float64{0, 1})
+	c, _ := lineage.NewCond(lineage.Lit{Var: x, Val: 1})
+	if p, err := Conf(lineage.DNF{c}, store, 0.1, 0.1, nil); err != nil || p != 0 {
+		t.Errorf("zero-prob: %v %v", p, err)
+	}
+}
+
+func TestConfParamValidation(t *testing.T) {
+	d, store, _ := fixtureDNF(t)
+	for _, bad := range [][2]float64{{0, 0.1}, {1, 0.1}, {-0.5, 0.1}, {0.1, 0}, {0.1, 1}, {0.1, 2}} {
+		if _, err := Conf(d, store, bad[0], bad[1], nil); err == nil {
+			t.Errorf("eps=%v delta=%v should fail", bad[0], bad[1])
+		}
+	}
+}
+
+func TestConfDeterministicWithNilRng(t *testing.T) {
+	d, store, _ := fixtureDNF(t)
+	a, _ := Conf(d, store, 0.1, 0.1, nil)
+	b, _ := Conf(d, store, 0.1, 0.1, nil)
+	if a != b {
+		t.Error("nil rng must give deterministic results")
+	}
+}
+
+func TestAATrialsGrowWithPrecision(t *testing.T) {
+	d, store, _ := fixtureDNF(t)
+	rng := rand.New(rand.NewSource(4))
+	eLoose := NewEstimator(d, store, rng)
+	eLoose.AA(0.2, 0.1)
+	eTight := NewEstimator(d, store, rng)
+	eTight.AA(0.05, 0.1)
+	if eTight.Trials <= eLoose.Trials {
+		t.Errorf("tight eps must need more trials: %d vs %d", eTight.Trials, eLoose.Trials)
+	}
+	// 1/eps² scaling: 16x eps ratio² within a factor of ~4.
+	ratio := float64(eTight.Trials) / float64(eLoose.Trials)
+	if ratio < 4 || ratio > 64 {
+		t.Errorf("trial scaling ratio %v outside [4,64]", ratio)
+	}
+}
+
+// TestMultiValuedDomains: the estimator samples non-boolean domains
+// and deficit alternatives correctly.
+func TestMultiValuedDomains(t *testing.T) {
+	store := ws.NewStore()
+	x, _ := store.NewVar([]float64{0.2, 0.3, 0.5})
+	y, _ := store.NewVar([]float64{0.4, 0.1}) // 0.5 deficit
+	c1, _ := lineage.NewCond(lineage.Lit{Var: x, Val: 2})
+	c2, _ := lineage.NewCond(lineage.Lit{Var: y, Val: 1})
+	d := lineage.DNF{c1, c2}
+	want := 1 - (1-0.3)*(1-0.4)
+	e := NewEstimator(d, store, rand.New(rand.NewSource(11)))
+	got := e.Estimate(200000)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("multi-domain estimate %v want %v", got, want)
+	}
+}

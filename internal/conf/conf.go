@@ -1,0 +1,63 @@
+// Package conf dispatches confidence computation across MayBMS's
+// algorithms: SPROUT's read-once factorisation for tractable lineage,
+// the Koch-Olteanu exact d-tree algorithm, the Karp-Luby /
+// Dagum-Karp-Luby-Ross (ε,δ)-approximation, and a possible-worlds
+// oracle for testing.
+package conf
+
+import (
+	"math/rand"
+
+	"maybms/internal/conf/approx"
+	"maybms/internal/conf/exact"
+	"maybms/internal/conf/sprout"
+	"maybms/internal/lineage"
+	"maybms/internal/ws"
+)
+
+// Method selects a confidence-computation strategy.
+type Method int
+
+const (
+	// Auto tries SPROUT first and falls back to the exact d-tree
+	// algorithm; this is what conf() uses.
+	Auto Method = iota
+	// Exact forces the Koch-Olteanu d-tree algorithm.
+	Exact
+	// Sprout forces read-once factorisation (errors when not 1OF).
+	Sprout
+	// Approximate uses Karp-Luby with the DKLR stopping rule; this is
+	// what aconf(ε,δ) uses.
+	Approximate
+)
+
+// Request bundles the parameters of a confidence computation.
+type Request struct {
+	Method Method
+	// Eps, Delta configure Approximate; ignored otherwise.
+	Eps, Delta float64
+	// Rng drives the sampler; nil means a deterministic default.
+	Rng *rand.Rand
+}
+
+// Compute returns P(d) using the requested method.
+func Compute(d lineage.DNF, src ws.ProbSource, req Request) (float64, error) {
+	switch req.Method {
+	case Approximate:
+		return approx.Conf(d, src, req.Eps, req.Delta, req.Rng)
+	case Exact:
+		return exact.Prob(d, src), nil
+	case Sprout:
+		if p, ok := sprout.Prob(d, src); ok {
+			return p, nil
+		}
+		// Not read-once: SPROUT's contract is exactness, so complete
+		// with the d-tree algorithm rather than fail the query.
+		return exact.Prob(d, src), nil
+	default: // Auto
+		if p, ok := sprout.Prob(d, src); ok {
+			return p, nil
+		}
+		return exact.Prob(d, src), nil
+	}
+}

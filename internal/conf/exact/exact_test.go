@@ -1,0 +1,176 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"maybms/internal/lineage"
+	"maybms/internal/ws"
+)
+
+func boolVar(t *testing.T, s *ws.Store, p float64) ws.VarID {
+	t.Helper()
+	v, err := s.NewBoolVar(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func cond(t *testing.T, lits ...lineage.Lit) lineage.Cond {
+	t.Helper()
+	c, ok := lineage.NewCond(lits...)
+	if !ok {
+		t.Fatal("inconsistent test condition")
+	}
+	return c
+}
+
+func TestIndependentUnion(t *testing.T) {
+	s := ws.NewStore()
+	x := boolVar(t, s, 0.3)
+	y := boolVar(t, s, 0.4)
+	d := lineage.DNF{
+		cond(t, lineage.Lit{Var: x, Val: 1}),
+		cond(t, lineage.Lit{Var: y, Val: 1}),
+	}
+	want := 1 - 0.7*0.6
+	if p := Prob(d, s); math.Abs(p-want) > 1e-12 {
+		t.Errorf("p=%v want %v", p, want)
+	}
+}
+
+func TestShannonExpansionMultiValued(t *testing.T) {
+	s := ws.NewStore()
+	x, _ := s.NewVar([]float64{0.2, 0.3, 0.5})
+	y := boolVar(t, s, 0.5)
+	// (x=1) ∨ (x=2 ∧ y=1): P = 0.2 + 0.3·0.5 = 0.35.
+	d := lineage.DNF{
+		cond(t, lineage.Lit{Var: x, Val: 1}),
+		cond(t, lineage.Lit{Var: x, Val: 2}, lineage.Lit{Var: y, Val: 1}),
+	}
+	if p := Prob(d, s); math.Abs(p-0.35) > 1e-12 {
+		t.Errorf("p=%v", p)
+	}
+}
+
+func TestDeficitDomain(t *testing.T) {
+	s := ws.NewStore()
+	x, _ := s.NewVar([]float64{0.4}) // implicit 0.6 residual
+	d := lineage.DNF{cond(t, lineage.Lit{Var: x, Val: 1})}
+	if p := Prob(d, s); math.Abs(p-0.4) > 1e-12 {
+		t.Errorf("p=%v", p)
+	}
+}
+
+func TestResidualBranch(t *testing.T) {
+	s := ws.NewStore()
+	x, _ := s.NewVar([]float64{0.25, 0.25, 0.25, 0.25})
+	y := boolVar(t, s, 0.5)
+	// (x=1 ∧ y=1) ∨ (y=1): simplifies by absorption to y=1 → 0.5.
+	d := lineage.DNF{
+		cond(t, lineage.Lit{Var: x, Val: 1}, lineage.Lit{Var: y, Val: 1}),
+		cond(t, lineage.Lit{Var: y, Val: 1}),
+	}
+	if p := Prob(d, s); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("absorption case: %v", p)
+	}
+	// (x=1 ∧ y=1) ∨ (x=2): eliminating x leaves the residual y-event
+	// for alternatives 3 and 4.
+	d = lineage.DNF{
+		cond(t, lineage.Lit{Var: x, Val: 1}, lineage.Lit{Var: y, Val: 1}),
+		cond(t, lineage.Lit{Var: x, Val: 2}),
+	}
+	want := 0.25*0.5 + 0.25
+	if p := Prob(d, s); math.Abs(p-want) > 1e-12 {
+		t.Errorf("residual case: %v want %v", p, want)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	s := ws.NewStore()
+	x := boolVar(t, s, 0.5)
+	y := boolVar(t, s, 0.5)
+	z := boolVar(t, s, 0.5)
+	d := lineage.DNF{
+		cond(t, lineage.Lit{Var: x, Val: 1}, lineage.Lit{Var: y, Val: 1}),
+		cond(t, lineage.Lit{Var: y, Val: 2}),
+		cond(t, lineage.Lit{Var: z, Val: 1}),
+	}
+	comps := Components(d)
+	if len(comps) != 2 {
+		t.Fatalf("components: %d", len(comps))
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("component sizes: %v", sizes)
+	}
+	// TRUE clauses form their own components.
+	d = append(d, lineage.TrueCond())
+	if got := len(Components(d)); got != 3 {
+		t.Errorf("with TRUE clause: %d", got)
+	}
+}
+
+func TestMemoisationReducesSteps(t *testing.T) {
+	s := ws.NewStore()
+	// Build overlapping lineage where subproblems repeat: chain
+	// (v1∧v2) ∨ (v2∧v3) ∨ ... over booleans.
+	n := 12
+	vars := make([]ws.VarID, n)
+	for i := range vars {
+		vars[i] = boolVar(t, s, 0.5)
+	}
+	var d lineage.DNF
+	for i := 0; i+1 < n; i++ {
+		d = append(d, cond(t, lineage.Lit{Var: vars[i], Val: 1}, lineage.Lit{Var: vars[i+1], Val: 1}))
+	}
+	with := NewSolverOpts(s, Options{})
+	pWith := with.Prob(d)
+	without := NewSolverOpts(s, Options{NoMemo: true, NoDecompose: true})
+	pWithout := without.Prob(d)
+	if math.Abs(pWith-pWithout) > 1e-9 {
+		t.Fatalf("memo changed the answer: %v vs %v", pWith, pWithout)
+	}
+	if with.Steps >= without.Steps {
+		t.Errorf("memoised solver should take fewer steps: %d vs %d", with.Steps, without.Steps)
+	}
+}
+
+func TestChainProbabilityKnownValue(t *testing.T) {
+	// P((a∧b) ∨ (b∧c)) with all p=0.5:
+	// = P(b)·P(a∨c) = 0.5·(1-0.25) = 0.375.
+	s := ws.NewStore()
+	a := boolVar(t, s, 0.5)
+	b := boolVar(t, s, 0.5)
+	c := boolVar(t, s, 0.5)
+	d := lineage.DNF{
+		cond(t, lineage.Lit{Var: a, Val: 1}, lineage.Lit{Var: b, Val: 1}),
+		cond(t, lineage.Lit{Var: b, Val: 1}, lineage.Lit{Var: c, Val: 1}),
+	}
+	if p := Prob(d, s); math.Abs(p-0.375) > 1e-12 {
+		t.Errorf("chain: %v", p)
+	}
+}
+
+func TestTriangleProbabilityKnownValue(t *testing.T) {
+	// P(ab ∨ bc ∨ ca), p=0.5 each: by inclusion-exclusion
+	// 3/4 - 3/8 + 1/8 = 0.5... compute: each pair P=1/4, pairwise
+	// intersections P(abc)=1/8 (3 of them), triple 1/8:
+	// 3·(1/4) − 3·(1/8) + 1/8 = 0.5.
+	s := ws.NewStore()
+	a := boolVar(t, s, 0.5)
+	b := boolVar(t, s, 0.5)
+	c := boolVar(t, s, 0.5)
+	d := lineage.DNF{
+		cond(t, lineage.Lit{Var: a, Val: 1}, lineage.Lit{Var: b, Val: 1}),
+		cond(t, lineage.Lit{Var: b, Val: 1}, lineage.Lit{Var: c, Val: 1}),
+		cond(t, lineage.Lit{Var: c, Val: 1}, lineage.Lit{Var: a, Val: 1}),
+	}
+	if p := Prob(d, s); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("triangle: %v", p)
+	}
+}

@@ -1,0 +1,29 @@
+// Package naive computes exact event probabilities by enumerating all
+// possible worlds over the variables the event mentions. Exponential in
+// the number of variables; it exists as the correctness oracle for the
+// real algorithms and as the baseline in the experiments.
+package naive
+
+import (
+	"maybms/internal/lineage"
+	"maybms/internal/ws"
+)
+
+// Prob returns P(d) by summing the probabilities of all satisfying
+// worlds. Cost is the product of the mentioned variables' domain
+// sizes.
+func Prob(d lineage.DNF, store *ws.Store) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	if d.HasEmptyClause() {
+		return 1
+	}
+	total := 0.0
+	store.EnumerateWorlds(d.Vars(), func(assign map[ws.VarID]int, p float64) {
+		if d.Eval(assign) {
+			total += p
+		}
+	})
+	return total
+}

@@ -1,0 +1,108 @@
+// Package sprout implements SPROUT-style exact confidence computation
+// for tractable queries (Olteanu, Huang, Koch — ICDE 2009). For
+// hierarchical queries on tuple-independent probabilistic databases the
+// lineage of every answer tuple admits a one-occurrence form (read-once
+// factorisation), so its probability is computable in polynomial time
+// by a sequence of independent-AND, independent-OR, and
+// exclusive-union steps — the "reduction of confidence computation to
+// a sequence of SQL-like aggregations" the MayBMS paper describes.
+//
+// Prob attempts the factorisation and reports ok=false when the
+// lineage is not decomposable by these rules (the query was not
+// tractable); MayBMS then falls back to the exact d-tree algorithm.
+package sprout
+
+import (
+	"maybms/internal/conf/exact"
+	"maybms/internal/lineage"
+	"maybms/internal/ws"
+)
+
+// Prob computes P(d) via read-once factorisation. ok=false means the
+// DNF resisted the decomposition rules and the caller should fall back
+// to a complete algorithm.
+func Prob(d lineage.DNF, src ws.ProbSource) (p float64, ok bool) {
+	return factor(d.Simplify(), src)
+}
+
+func factor(d lineage.DNF, src ws.ProbSource) (float64, bool) {
+	if len(d) == 0 {
+		return 0, true
+	}
+	if d.HasEmptyClause() {
+		return 1, true
+	}
+	if len(d) == 1 {
+		// Independent-AND: one clause over distinct variables.
+		return d[0].Prob(src), true
+	}
+	// Independent-OR: split into variable-disjoint components.
+	if comps := exact.Components(d); len(comps) > 1 {
+		prod := 1.0
+		for _, comp := range comps {
+			p, ok := factor(comp, src)
+			if !ok {
+				return 0, false
+			}
+			prod *= 1 - p
+		}
+		return 1 - prod, true
+	}
+	// One connected component with ≥2 clauses: look for a variable
+	// occurring in every clause.
+	x, found := commonVar(d)
+	if !found {
+		return 0, false
+	}
+	// Partition the clauses by the value they bind x to. Different
+	// values are mutually exclusive events (exclusive union); within a
+	// value, x=v factors out of the sub-DNF (independent-AND).
+	byVal := map[int]lineage.DNF{}
+	for _, c := range d {
+		v, _ := c.Lookup(x)
+		byVal[v] = append(byVal[v], c.Without(x))
+	}
+	total := 0.0
+	for v, sub := range byVal {
+		pv := src.Prob(x, v)
+		if pv == 0 {
+			continue
+		}
+		sub = sub.Simplify()
+		if sub.HasEmptyClause() {
+			total += pv
+			continue
+		}
+		p, ok := factor(sub, src)
+		if !ok {
+			return 0, false
+		}
+		total += pv * p
+	}
+	return total, true
+}
+
+// commonVar finds a variable that occurs in every clause of d.
+func commonVar(d lineage.DNF) (ws.VarID, bool) {
+	count := map[ws.VarID]int{}
+	for _, c := range d {
+		for _, l := range c {
+			count[l.Var]++
+		}
+	}
+	best, found := ws.VarID(0), false
+	for v, n := range count {
+		if n == len(d) && (!found || v < best) {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// IsReadOnce reports whether the lineage admits the read-once
+// factorisation (i.e. whether the originating query behaved
+// hierarchically on this database).
+func IsReadOnce(d lineage.DNF, src ws.ProbSource) bool {
+	_, ok := Prob(d, src)
+	return ok
+}

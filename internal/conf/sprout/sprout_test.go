@@ -1,0 +1,130 @@
+package sprout
+
+import (
+	"math"
+	"testing"
+
+	"maybms/internal/lineage"
+	"maybms/internal/ws"
+)
+
+func boolVar(t *testing.T, s *ws.Store, p float64) ws.VarID {
+	t.Helper()
+	v, err := s.NewBoolVar(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func cond(t *testing.T, lits ...lineage.Lit) lineage.Cond {
+	t.Helper()
+	c, ok := lineage.NewCond(lits...)
+	if !ok {
+		t.Fatal("inconsistent test condition")
+	}
+	return c
+}
+
+func TestEdgeCases(t *testing.T) {
+	s := ws.NewStore()
+	if p, ok := Prob(nil, s); !ok || p != 0 {
+		t.Errorf("empty: %v %v", p, ok)
+	}
+	if p, ok := Prob(lineage.DNF{lineage.TrueCond()}, s); !ok || p != 1 {
+		t.Errorf("true: %v %v", p, ok)
+	}
+	x := boolVar(t, s, 0.4)
+	y := boolVar(t, s, 0.5)
+	single := lineage.DNF{cond(t, lineage.Lit{Var: x, Val: 1}, lineage.Lit{Var: y, Val: 1})}
+	if p, ok := Prob(single, s); !ok || math.Abs(p-0.2) > 1e-12 {
+		t.Errorf("single clause: %v %v", p, ok)
+	}
+}
+
+func TestExclusiveUnion(t *testing.T) {
+	s := ws.NewStore()
+	x, _ := s.NewVar([]float64{0.2, 0.3, 0.5})
+	// Repair-key style lineage: alternatives of one variable.
+	d := lineage.DNF{
+		cond(t, lineage.Lit{Var: x, Val: 1}),
+		cond(t, lineage.Lit{Var: x, Val: 3}),
+	}
+	p, ok := Prob(d, s)
+	if !ok || math.Abs(p-0.7) > 1e-12 {
+		t.Errorf("exclusive union: %v %v", p, ok)
+	}
+}
+
+func TestNestedFactorisation(t *testing.T) {
+	s := ws.NewStore()
+	x := boolVar(t, s, 0.5)
+	y := boolVar(t, s, 0.4)
+	z := boolVar(t, s, 0.3)
+	w := boolVar(t, s, 0.2)
+	// x ∧ (y ∨ (z ∧ w)): P = 0.5·(1 - 0.6·(1-0.06)) = 0.5·0.436.
+	d := lineage.DNF{
+		cond(t, lineage.Lit{Var: x, Val: 1}, lineage.Lit{Var: y, Val: 1}),
+		cond(t, lineage.Lit{Var: x, Val: 1}, lineage.Lit{Var: z, Val: 1}, lineage.Lit{Var: w, Val: 1}),
+	}
+	p, ok := Prob(d, s)
+	want := 0.5 * (1 - 0.6*(1-0.3*0.2))
+	if !ok || math.Abs(p-want) > 1e-12 {
+		t.Errorf("nested: %v %v want %v", p, ok, want)
+	}
+}
+
+func TestMixedValueSplit(t *testing.T) {
+	s := ws.NewStore()
+	x, _ := s.NewVar([]float64{0.25, 0.75})
+	y := boolVar(t, s, 0.5)
+	z := boolVar(t, s, 0.4)
+	// (x=1 ∧ y) ∨ (x=2 ∧ z): exclusive on x, then factoring.
+	d := lineage.DNF{
+		cond(t, lineage.Lit{Var: x, Val: 1}, lineage.Lit{Var: y, Val: 1}),
+		cond(t, lineage.Lit{Var: x, Val: 2}, lineage.Lit{Var: z, Val: 1}),
+	}
+	p, ok := Prob(d, s)
+	want := 0.25*0.5 + 0.75*0.4
+	if !ok || math.Abs(p-want) > 1e-12 {
+		t.Errorf("mixed split: %v %v want %v", p, ok, want)
+	}
+}
+
+func TestRejectsNonReadOnce(t *testing.T) {
+	s := ws.NewStore()
+	a := boolVar(t, s, 0.5)
+	b := boolVar(t, s, 0.5)
+	c := boolVar(t, s, 0.5)
+	d := lineage.DNF{
+		cond(t, lineage.Lit{Var: a, Val: 1}, lineage.Lit{Var: b, Val: 1}),
+		cond(t, lineage.Lit{Var: b, Val: 1}, lineage.Lit{Var: c, Val: 1}),
+		cond(t, lineage.Lit{Var: c, Val: 1}, lineage.Lit{Var: a, Val: 1}),
+	}
+	if _, ok := Prob(d, s); ok {
+		t.Error("triangle lineage must be rejected")
+	}
+	if IsReadOnce(d, s) {
+		t.Error("IsReadOnce must agree")
+	}
+	// But the 2-clause chain IS read-once: b ∧ (a ∨ c).
+	chain := d[:2]
+	if !IsReadOnce(chain, s) {
+		t.Error("chain is read-once")
+	}
+}
+
+func TestFactorWithEmptySubclause(t *testing.T) {
+	s := ws.NewStore()
+	x := boolVar(t, s, 0.5)
+	y := boolVar(t, s, 0.4)
+	// x ∨ (x ∧ y) absorbs to x.
+	d := lineage.DNF{
+		cond(t, lineage.Lit{Var: x, Val: 1}),
+		cond(t, lineage.Lit{Var: x, Val: 1}, lineage.Lit{Var: y, Val: 1}),
+	}
+	p, ok := Prob(d, s)
+	if !ok || math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("absorbing factor: %v %v", p, ok)
+	}
+}

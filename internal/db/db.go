@@ -1,0 +1,491 @@
+// Package db ties the engine together: a catalog of stored tables over
+// a shared world-set store, statement execution (DDL, DML, queries,
+// transactions with undo-based rollback), and snapshot persistence.
+// It is the layer the public maybms package and the shell wrap.
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"maybms/internal/conf"
+	"maybms/internal/exec"
+	"maybms/internal/plan"
+	"maybms/internal/schema"
+	"maybms/internal/sql"
+	"maybms/internal/storage"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+	"maybms/internal/ws"
+)
+
+// Database is a MayBMS database instance: tables, world-set store, and
+// executor. Statement execution is serialised by an internal mutex
+// (single-writer concurrency control; the paper notes the purely
+// relational representation makes this unremarkable).
+type Database struct {
+	mu     sync.Mutex
+	tables map[string]*storage.Table
+	store  *ws.Store
+	exec   *exec.Executor
+
+	inTxn  bool
+	undo   []func() error
+	wsSnap int
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Rel is the result relation for queries; nil for DDL/DML.
+	Rel *urel.Rel
+	// RowsAffected counts modified rows for DML.
+	RowsAffected int
+	// Msg describes DDL outcomes.
+	Msg string
+}
+
+// New creates an empty database.
+func New() *Database {
+	d := &Database{
+		tables: map[string]*storage.Table{},
+		store:  ws.NewStore(),
+	}
+	d.exec = exec.New(d, d.store)
+	return d
+}
+
+// Store exposes the world-set store (read access for marginals).
+func (d *Database) Store() *ws.Store { return d.store }
+
+// SetConfMethod overrides the strategy used by conf().
+func (d *Database) SetConfMethod(m conf.Method) { d.exec.ConfMethod = m }
+
+// SetRng injects the random source driving Monte Carlo estimation.
+func (d *Database) SetRng(r *rand.Rand) { d.exec.Rng = r }
+
+// TableNames lists the stored tables in sorted order.
+func (d *Database) TableNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableSchema implements plan.Catalog.
+func (d *Database) TableSchema(name string) (*schema.Schema, error) {
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", name)
+	}
+	return t.Schema(), nil
+}
+
+// TableRel implements plan.Catalog.
+func (d *Database) TableRel(name string) (*urel.Rel, error) {
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", name)
+	}
+	return t.ToRel(), nil
+}
+
+// TableCertain implements plan.Catalog: the system catalog
+// distinguishes U-relations from standard relational tables.
+func (d *Database) TableCertain(name string) (bool, error) {
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return false, fmt.Errorf("db: table %q does not exist", name)
+	}
+	return t.Certain(), nil
+}
+
+// Run parses and executes a script of one or more statements,
+// returning the result of the last one.
+func (d *Database) Run(src string) (*Result, error) {
+	stmts, err := sql.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, s := range stmts {
+		r, err := d.RunStatement(s)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	if last == nil {
+		return &Result{Msg: "empty script"}, nil
+	}
+	return last, nil
+}
+
+// RunStatement executes a parsed statement.
+func (d *Database) RunStatement(s sql.Statement) (*Result, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.runLocked(s)
+}
+
+func (d *Database) runLocked(s sql.Statement) (*Result, error) {
+	switch s := s.(type) {
+	case *sql.Begin:
+		if d.inTxn {
+			return nil, fmt.Errorf("db: already in a transaction")
+		}
+		d.inTxn = true
+		d.undo = nil
+		d.wsSnap = d.store.Snapshot()
+		return &Result{Msg: "BEGIN"}, nil
+
+	case *sql.Commit:
+		if !d.inTxn {
+			return nil, fmt.Errorf("db: no transaction in progress")
+		}
+		d.inTxn = false
+		d.undo = nil
+		return &Result{Msg: "COMMIT"}, nil
+
+	case *sql.Rollback:
+		if !d.inTxn {
+			return nil, fmt.Errorf("db: no transaction in progress")
+		}
+		for i := len(d.undo) - 1; i >= 0; i-- {
+			if err := d.undo[i](); err != nil {
+				return nil, fmt.Errorf("db: rollback failed: %v", err)
+			}
+		}
+		d.store.Rollback(d.wsSnap)
+		d.inTxn = false
+		d.undo = nil
+		return &Result{Msg: "ROLLBACK"}, nil
+
+	case *sql.CreateTable:
+		return d.createTable(s)
+
+	case *sql.DropTable:
+		return d.dropTable(s)
+
+	case *sql.Insert:
+		return d.insert(s)
+
+	case *sql.Update:
+		return d.update(s)
+
+	case *sql.Delete:
+		return d.del(s)
+
+	case *sql.QueryStmt:
+		rel, err := d.query(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Rel: rel}, nil
+
+	case *sql.ExplainStmt:
+		n, err := plan.Build(s.Query, d)
+		if err != nil {
+			return nil, err
+		}
+		out := urel.New(schema.New(schema.Column{Name: "plan", Kind: types.KindText}))
+		for _, line := range strings.Split(strings.TrimRight(plan.Explain(n), "\n"), "\n") {
+			out.Append(urel.Tuple{Data: schema.Tuple{types.NewText(line)}})
+		}
+		return &Result{Rel: out}, nil
+
+	default:
+		return nil, fmt.Errorf("db: unsupported statement %T", s)
+	}
+}
+
+// query plans and runs a query.
+func (d *Database) query(q sql.Query) (*urel.Rel, error) {
+	n, err := plan.Build(q, d)
+	if err != nil {
+		return nil, err
+	}
+	return d.exec.Run(n)
+}
+
+// logUndo records an inverse operation while in a transaction.
+func (d *Database) logUndo(fn func() error) {
+	if d.inTxn {
+		d.undo = append(d.undo, fn)
+	}
+}
+
+func (d *Database) createTable(s *sql.CreateTable) (*Result, error) {
+	name := strings.ToLower(s.Name)
+	if _, exists := d.tables[name]; exists {
+		return nil, fmt.Errorf("db: table %q already exists", s.Name)
+	}
+	var t *storage.Table
+	var inserted int
+	if s.AsQuery != nil {
+		rel, err := d.query(s.AsQuery)
+		if err != nil {
+			return nil, err
+		}
+		// Derive a storable schema: strip qualifiers; unknown (all
+		// NULL) columns default to TEXT.
+		cols := make([]schema.Column, rel.Sch.Len())
+		seen := map[string]bool{}
+		for i, c := range rel.Sch.Cols {
+			kind := c.Kind
+			if kind == types.KindNull {
+				kind = types.KindText
+			}
+			cname := strings.ToLower(c.Name)
+			if cname == "" || seen[cname] {
+				cname = fmt.Sprintf("column%d", i+1)
+			}
+			seen[cname] = true
+			cols[i] = schema.Column{Name: cname, Kind: kind}
+		}
+		t = storage.NewTable(name, schema.New(cols...))
+		for _, tup := range rel.Tuples {
+			if _, err := t.Insert(tup.Clone()); err != nil {
+				return nil, err
+			}
+			inserted++
+		}
+	} else {
+		cols := make([]schema.Column, len(s.Cols))
+		seen := map[string]bool{}
+		for i, c := range s.Cols {
+			cname := strings.ToLower(c.Name)
+			if seen[cname] {
+				return nil, fmt.Errorf("db: duplicate column %q", c.Name)
+			}
+			seen[cname] = true
+			cols[i] = schema.Column{Name: cname, Kind: c.Kind}
+		}
+		t = storage.NewTable(name, schema.New(cols...))
+	}
+	d.tables[name] = t
+	d.logUndo(func() error {
+		delete(d.tables, name)
+		return nil
+	})
+	return &Result{Msg: fmt.Sprintf("CREATE TABLE %s", name), RowsAffected: inserted}, nil
+}
+
+func (d *Database) dropTable(s *sql.DropTable) (*Result, error) {
+	name := strings.ToLower(s.Name)
+	t, ok := d.tables[name]
+	if !ok {
+		if s.IfExists {
+			return &Result{Msg: "DROP TABLE (no-op)"}, nil
+		}
+		return nil, fmt.Errorf("db: table %q does not exist", s.Name)
+	}
+	delete(d.tables, name)
+	d.logUndo(func() error {
+		d.tables[name] = t
+		return nil
+	})
+	return &Result{Msg: fmt.Sprintf("DROP TABLE %s", name)}, nil
+}
+
+func (d *Database) insert(s *sql.Insert) (*Result, error) {
+	name := strings.ToLower(s.Table)
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", s.Table)
+	}
+	sch := t.Schema()
+	// Column list mapping.
+	colIdx := make([]int, 0, sch.Len())
+	if len(s.Cols) > 0 {
+		for _, c := range s.Cols {
+			idx, err := sch.Resolve("", c)
+			if err != nil {
+				return nil, err
+			}
+			colIdx = append(colIdx, idx)
+		}
+	} else {
+		for i := 0; i < sch.Len(); i++ {
+			colIdx = append(colIdx, i)
+		}
+	}
+	var tuples []urel.Tuple
+	if s.Query != nil {
+		rel, err := d.query(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		if rel.Sch.Len() != len(colIdx) {
+			return nil, fmt.Errorf("db: INSERT expects %d columns, query returned %d", len(colIdx), rel.Sch.Len())
+		}
+		for _, tup := range rel.Tuples {
+			full := make(schema.Tuple, sch.Len())
+			for i := range full {
+				full[i] = types.Null()
+			}
+			for i, idx := range colIdx {
+				full[idx] = tup.Data[i]
+			}
+			tuples = append(tuples, urel.Tuple{Data: full, Cond: tup.Cond.Clone()})
+		}
+	} else {
+		empty := schema.New()
+		for _, row := range s.Rows {
+			if len(row) != len(colIdx) {
+				return nil, fmt.Errorf("db: INSERT row has %d values, expected %d", len(row), len(colIdx))
+			}
+			full := make(schema.Tuple, sch.Len())
+			for i := range full {
+				full[i] = types.Null()
+			}
+			for i, expr := range row {
+				c, err := plan.Compile(expr, empty)
+				if err != nil {
+					return nil, fmt.Errorf("db: INSERT values must be constant expressions: %v", err)
+				}
+				v, err := c.Eval(&plan.EvalCtx{Store: d.store}, nil)
+				if err != nil {
+					return nil, err
+				}
+				full[colIdx[i]] = v
+			}
+			tuples = append(tuples, urel.Tuple{Data: full})
+		}
+	}
+	count := 0
+	for _, tup := range tuples {
+		id, err := t.Insert(tup)
+		if err != nil {
+			return nil, err
+		}
+		count++
+		d.logUndo(func() error {
+			_, err := t.Delete(id)
+			return err
+		})
+	}
+	return &Result{RowsAffected: count, Msg: fmt.Sprintf("INSERT %d", count)}, nil
+}
+
+func (d *Database) update(s *sql.Update) (*Result, error) {
+	name := strings.ToLower(s.Table)
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", s.Table)
+	}
+	sch := t.Schema()
+	type setc struct {
+		idx int
+		c   *plan.Compiled
+	}
+	sets := make([]setc, len(s.Sets))
+	for i, sc := range s.Sets {
+		idx, err := sch.Resolve("", sc.Col)
+		if err != nil {
+			return nil, err
+		}
+		c, err := plan.Compile(sc.Expr, sch)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = setc{idx: idx, c: c}
+	}
+	var where *plan.Compiled
+	if s.Where != nil {
+		c, err := plan.Compile(s.Where, sch)
+		if err != nil {
+			return nil, err
+		}
+		where = c
+	}
+	ctx := &plan.EvalCtx{Store: d.store}
+	// Collect target rows first so updates do not re-match.
+	var targets []storage.RowID
+	t.Scan(func(id storage.RowID, tup urel.Tuple) error {
+		if where != nil {
+			v, err := where.Eval(ctx, tup.Data)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() || !v.Truth() {
+				return nil
+			}
+		}
+		targets = append(targets, id)
+		return nil
+	})
+	count := 0
+	for _, id := range targets {
+		old, _ := t.Get(id)
+		data := old.Data.Clone()
+		for _, sc := range sets {
+			v, err := sc.c.Eval(ctx, old.Data)
+			if err != nil {
+				return nil, err
+			}
+			data[sc.idx] = v
+		}
+		prev, err := t.Update(id, urel.Tuple{Data: data, Cond: old.Cond})
+		if err != nil {
+			return nil, err
+		}
+		count++
+		id := id
+		d.logUndo(func() error {
+			_, err := t.Update(id, prev)
+			return err
+		})
+	}
+	return &Result{RowsAffected: count, Msg: fmt.Sprintf("UPDATE %d", count)}, nil
+}
+
+func (d *Database) del(s *sql.Delete) (*Result, error) {
+	name := strings.ToLower(s.Table)
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", s.Table)
+	}
+	sch := t.Schema()
+	var where *plan.Compiled
+	if s.Where != nil {
+		c, err := plan.Compile(s.Where, sch)
+		if err != nil {
+			return nil, err
+		}
+		where = c
+	}
+	ctx := &plan.EvalCtx{Store: d.store}
+	var targets []storage.RowID
+	t.Scan(func(id storage.RowID, tup urel.Tuple) error {
+		if where != nil {
+			v, err := where.Eval(ctx, tup.Data)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() || !v.Truth() {
+				return nil
+			}
+		}
+		targets = append(targets, id)
+		return nil
+	})
+	count := 0
+	for _, id := range targets {
+		if _, err := t.Delete(id); err != nil {
+			return nil, err
+		}
+		count++
+		id := id
+		d.logUndo(func() error {
+			return t.Undelete(id)
+		})
+	}
+	return &Result{RowsAffected: count, Msg: fmt.Sprintf("DELETE %d", count)}, nil
+}

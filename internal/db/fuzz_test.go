@@ -1,0 +1,92 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestFuzzQueriesCommuteWithWorlds generates random select-project-join
+// queries over the uncertain fixture and checks each one commutes with
+// possible-world semantics. This complements the fixed query set in
+// worlds_test.go with broader structural coverage.
+func TestFuzzQueriesCommuteWithWorlds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2009))
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		q := randomQuery(rng)
+		d := worldFixture(t)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: query %q panicked: %v", trial, q, r)
+				}
+			}()
+			checkCommutes(t, d, q)
+		}()
+		if t.Failed() {
+			t.Fatalf("trial %d: query %q", trial, q)
+		}
+	}
+}
+
+// randomQuery builds a random positive query over u1(k,v) and u2(k,w).
+func randomQuery(rng *rand.Rand) string {
+	type relInfo struct {
+		name string
+		cols []string
+	}
+	rels := []relInfo{
+		{"u1", []string{"k", "v"}},
+		{"u2", []string{"k", "w"}},
+	}
+	nFrom := 1 + rng.Intn(3)
+	var from []string
+	var aliases []relInfo
+	for i := 0; i < nFrom; i++ {
+		r := rels[rng.Intn(len(rels))]
+		alias := fmt.Sprintf("t%d", i)
+		from = append(from, r.name+" "+alias)
+		aliases = append(aliases, relInfo{alias, r.cols})
+	}
+	col := func(i int) string {
+		a := aliases[i]
+		return a.name + "." + a.cols[rng.Intn(len(a.cols))]
+	}
+	// Predicates: join conditions between adjacent relations plus
+	// random constant filters.
+	var preds []string
+	for i := 1; i < nFrom; i++ {
+		if rng.Intn(3) > 0 {
+			op := []string{"=", "<", "<="}[rng.Intn(3)]
+			preds = append(preds, fmt.Sprintf("%s %s %s", col(i-1), op, col(i)))
+		}
+	}
+	nFilters := rng.Intn(3)
+	for i := 0; i < nFilters; i++ {
+		target := rng.Intn(nFrom)
+		op := []string{"=", "<>", "<", ">", ">=", "<="}[rng.Intn(6)]
+		consts := []int{1, 2, 3, 8, 10, 20, 30, 50}
+		preds = append(preds, fmt.Sprintf("%s %s %d", col(target), op, consts[rng.Intn(len(consts))]))
+	}
+	// Projection: 1-3 columns, possibly with arithmetic.
+	nProj := 1 + rng.Intn(3)
+	var items []string
+	for i := 0; i < nProj; i++ {
+		c := col(rng.Intn(nFrom))
+		switch rng.Intn(3) {
+		case 0:
+			items = append(items, c)
+		case 1:
+			items = append(items, fmt.Sprintf("%s + %d", c, rng.Intn(5)))
+		default:
+			items = append(items, fmt.Sprintf("%s * 2", c))
+		}
+	}
+	q := "select " + strings.Join(items, ", ") + " from " + strings.Join(from, ", ")
+	if len(preds) > 0 {
+		q += " where " + strings.Join(preds, " and ")
+	}
+	return q
+}

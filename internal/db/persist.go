@@ -1,0 +1,203 @@
+package db
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"maybms/internal/lineage"
+	"maybms/internal/schema"
+	"maybms/internal/storage"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+	"maybms/internal/ws"
+)
+
+// The persistence format is a gob-encoded snapshot of the catalog,
+// rows, conditions, and world-set variable table. Recovery is simply
+// loading the snapshot: as the paper observes, a purely relational
+// representation makes recovery unremarkable.
+
+type valDump struct {
+	K uint8
+	I int64
+	F float64
+	S string
+	B bool
+}
+
+type litDump struct {
+	Var int32
+	Val int
+}
+
+type rowDump struct {
+	Vals []valDump
+	Cond []litDump
+	Dead bool
+}
+
+type colDump struct {
+	Rel  string
+	Name string
+	Kind uint8
+}
+
+type tableDump struct {
+	Name string
+	Cols []colDump
+	Rows []rowDump
+}
+
+type dbDump struct {
+	Version int
+	Tables  []tableDump
+	Domains [][]float64
+}
+
+func dumpValue(v types.Value) valDump {
+	switch v.Kind() {
+	case types.KindInt:
+		return valDump{K: 1, I: v.Int()}
+	case types.KindFloat:
+		return valDump{K: 2, F: v.Float()}
+	case types.KindText:
+		return valDump{K: 3, S: v.Text()}
+	case types.KindBool:
+		return valDump{K: 4, B: v.Bool()}
+	default:
+		return valDump{K: 0}
+	}
+}
+
+func loadValue(d valDump) types.Value {
+	switch d.K {
+	case 1:
+		return types.NewInt(d.I)
+	case 2:
+		return types.NewFloat(d.F)
+	case 3:
+		return types.NewText(d.S)
+	case 4:
+		return types.NewBool(d.B)
+	default:
+		return types.Null()
+	}
+}
+
+// Save writes a snapshot of the database to w.
+func (d *Database) Save(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.inTxn {
+		return fmt.Errorf("db: cannot snapshot during a transaction")
+	}
+	dump := dbDump{Version: 1, Domains: d.store.Domains()}
+	for _, name := range d.tableNamesLocked() {
+		t := d.tables[name]
+		td := tableDump{Name: name}
+		for _, c := range t.Schema().Cols {
+			td.Cols = append(td.Cols, colDump{Rel: c.Rel, Name: c.Name, Kind: uint8(c.Kind)})
+		}
+		rows, dead := t.Rows()
+		for i, r := range rows {
+			rd := rowDump{Dead: dead[i]}
+			for _, v := range r.Data {
+				rd.Vals = append(rd.Vals, dumpValue(v))
+			}
+			for _, l := range r.Cond {
+				rd.Cond = append(rd.Cond, litDump{Var: int32(l.Var), Val: l.Val})
+			}
+			td.Rows = append(td.Rows, rd)
+		}
+		dump.Tables = append(dump.Tables, td)
+	}
+	return gob.NewEncoder(w).Encode(&dump)
+}
+
+func (d *Database) tableNamesLocked() []string {
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	// Deterministic output.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// Load replaces the database contents with a snapshot read from r.
+func (d *Database) Load(r io.Reader) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.inTxn {
+		return fmt.Errorf("db: cannot load during a transaction")
+	}
+	var dump dbDump
+	if err := gob.NewDecoder(r).Decode(&dump); err != nil {
+		return fmt.Errorf("db: load: %v", err)
+	}
+	if dump.Version != 1 {
+		return fmt.Errorf("db: unsupported snapshot version %d", dump.Version)
+	}
+	store := ws.NewStore()
+	store.Restore(dump.Domains)
+	tables := map[string]*storage.Table{}
+	for _, td := range dump.Tables {
+		cols := make([]schema.Column, len(td.Cols))
+		for i, c := range td.Cols {
+			cols[i] = schema.Column{Rel: c.Rel, Name: c.Name, Kind: types.Kind(c.Kind)}
+		}
+		t := storage.NewTable(td.Name, schema.New(cols...))
+		rows := make([]urel.Tuple, len(td.Rows))
+		dead := make([]bool, len(td.Rows))
+		for i, rd := range td.Rows {
+			data := make(schema.Tuple, len(rd.Vals))
+			for j, vd := range rd.Vals {
+				data[j] = loadValue(vd)
+			}
+			lits := make([]lineage.Lit, len(rd.Cond))
+			for j, ld := range rd.Cond {
+				lits[j] = lineage.Lit{Var: ws.VarID(ld.Var), Val: ld.Val}
+			}
+			cond, ok := lineage.NewCond(lits...)
+			if !ok {
+				return fmt.Errorf("db: load: inconsistent condition in table %s row %d", td.Name, i)
+			}
+			rows[i] = urel.Tuple{Data: data, Cond: cond}
+			dead[i] = rd.Dead
+		}
+		t.LoadRows(rows, dead)
+		tables[td.Name] = t
+	}
+	d.store.Restore(dump.Domains)
+	d.tables = tables
+	return nil
+}
+
+// SaveFile snapshots the database to a file.
+func (d *Database) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile restores the database from a file snapshot.
+func (d *Database) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.Load(f)
+}

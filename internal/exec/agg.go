@@ -1,0 +1,304 @@
+package exec
+
+import (
+	"fmt"
+
+	"maybms/internal/conf"
+	"maybms/internal/lineage"
+	"maybms/internal/plan"
+	"maybms/internal/schema"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+)
+
+// group accumulates the rows of one GROUP BY bucket.
+type group struct {
+	keyVals schema.Tuple
+	rows    []urel.Tuple
+}
+
+func (e *Executor) runAggregate(n *plan.Aggregate) (*urel.Rel, error) {
+	in, err := e.Run(n.In)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.evalCtx()
+
+	// Bucket input rows.
+	groups := map[string]*group{}
+	var order []string
+	for _, t := range in.Tuples {
+		keyVals := make(schema.Tuple, len(n.GroupBy))
+		for i, gb := range n.GroupBy {
+			v, err := gb.Eval(ctx, t.Data)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		k := keyVals.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{keyVals: keyVals}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, t)
+	}
+	// With no GROUP BY there is always exactly one group, even on
+	// empty input.
+	if len(n.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = &group{keyVals: schema.Tuple{}}
+		order = append(order, "")
+	}
+
+	out := urel.New(n.Sch())
+	for _, k := range order {
+		g := groups[k]
+		synthRows, err := e.aggregateGroup(n, ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		for _, synth := range synthRows {
+			if n.Having != nil {
+				hv, err := n.Having.Eval(ctx, synth)
+				if err != nil {
+					return nil, err
+				}
+				if hv.IsNull() || !hv.Truth() {
+					continue
+				}
+			}
+			row := make(schema.Tuple, len(n.Items))
+			for i, item := range n.Items {
+				v, err := item.Eval(ctx, synth)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			out.Append(urel.Tuple{Data: row})
+		}
+	}
+	return out, nil
+}
+
+// aggregateGroup computes the synthetic rows [keys..., aggs...] of one
+// group. argmax may fan a group out into several rows (one per
+// maximiser); every other combination yields exactly one.
+func (e *Executor) aggregateGroup(n *plan.Aggregate, ctx *plan.EvalCtx, g *group) ([]schema.Tuple, error) {
+	aggVals := make(schema.Tuple, len(n.Aggs))
+	argmaxIdx := -1
+	var argmaxVals []types.Value
+	for i, spec := range n.Aggs {
+		switch spec.Kind {
+		case plan.AggConf, plan.AggAconf:
+			event := make(lineage.DNF, 0, len(g.rows))
+			for _, t := range g.rows {
+				event = append(event, t.Cond)
+			}
+			req := conf.Request{Method: e.ConfMethod, Rng: e.rng()}
+			if spec.Kind == plan.AggAconf {
+				req = conf.Request{Method: conf.Approximate, Eps: spec.Eps, Delta: spec.Delta, Rng: e.rng()}
+			}
+			p, err := conf.Compute(event, e.Store, req)
+			if err != nil {
+				return nil, err
+			}
+			aggVals[i] = types.NewFloat(p)
+
+		case plan.AggESum:
+			total := 0.0
+			for _, t := range g.rows {
+				v, err := spec.Arg.Eval(ctx, t.Data)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					continue
+				}
+				f, ok := v.AsFloat()
+				if !ok {
+					return nil, fmt.Errorf("exec: esum requires a numeric argument, got %s", v.Kind())
+				}
+				total += f * t.Cond.Prob(e.Store)
+			}
+			aggVals[i] = types.NewFloat(total)
+
+		case plan.AggECount:
+			total := 0.0
+			for _, t := range g.rows {
+				if spec.Arg != nil {
+					v, err := spec.Arg.Eval(ctx, t.Data)
+					if err != nil {
+						return nil, err
+					}
+					if v.IsNull() {
+						continue
+					}
+				}
+				total += t.Cond.Prob(e.Store)
+			}
+			aggVals[i] = types.NewFloat(total)
+
+		case plan.AggArgmax:
+			if err := requireCertainGroup(g, "argmax"); err != nil {
+				return nil, err
+			}
+			var best types.Value
+			var args []types.Value
+			for _, t := range g.rows {
+				val, err := spec.Arg2.Eval(ctx, t.Data)
+				if err != nil {
+					return nil, err
+				}
+				if val.IsNull() {
+					continue
+				}
+				arg, err := spec.Arg.Eval(ctx, t.Data)
+				if err != nil {
+					return nil, err
+				}
+				switch {
+				case best.IsNull() || val.Compare(best) > 0:
+					best = val
+					args = []types.Value{arg}
+				case val.Compare(best) == 0:
+					args = append(args, arg)
+				}
+			}
+			argmaxIdx = i
+			argmaxVals = args
+			aggVals[i] = types.Null() // filled per fan-out row
+
+		case plan.AggCountStar:
+			if err := requireCertainGroup(g, "count"); err != nil {
+				return nil, err
+			}
+			aggVals[i] = types.NewInt(int64(len(g.rows)))
+
+		case plan.AggCount:
+			if err := requireCertainGroup(g, "count"); err != nil {
+				return nil, err
+			}
+			cnt := int64(0)
+			for _, t := range g.rows {
+				v, err := spec.Arg.Eval(ctx, t.Data)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsNull() {
+					cnt++
+				}
+			}
+			aggVals[i] = types.NewInt(cnt)
+
+		case plan.AggSum, plan.AggAvg, plan.AggMin, plan.AggMax:
+			name := map[plan.AggKind]string{
+				plan.AggSum: "sum", plan.AggAvg: "avg", plan.AggMin: "min", plan.AggMax: "max",
+			}[spec.Kind]
+			if err := requireCertainGroup(g, name); err != nil {
+				return nil, err
+			}
+			v, err := e.certainAgg(spec, ctx, g)
+			if err != nil {
+				return nil, err
+			}
+			aggVals[i] = v
+
+		default:
+			return nil, fmt.Errorf("exec: unknown aggregate kind %d", spec.Kind)
+		}
+	}
+
+	base := g.keyVals.Concat(aggVals)
+	if argmaxIdx < 0 {
+		return []schema.Tuple{base}, nil
+	}
+	// Fan out one synthetic row per maximiser.
+	slot := len(g.keyVals) + argmaxIdx
+	rows := make([]schema.Tuple, 0, len(argmaxVals))
+	for _, a := range argmaxVals {
+		r := base.Clone()
+		r[slot] = a
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// requireCertainGroup enforces MayBMS's rule that standard SQL
+// aggregates apply only to t-certain relations: on uncertain data they
+// would have exponentially many results across the worlds.
+func requireCertainGroup(g *group, agg string) error {
+	for _, t := range g.rows {
+		if len(t.Cond) != 0 {
+			return fmt.Errorf("exec: aggregate %s is not supported on uncertain relations; use esum/ecount or conf", agg)
+		}
+	}
+	return nil
+}
+
+// certainAgg computes sum/avg/min/max over a certain group.
+func (e *Executor) certainAgg(spec plan.AggSpec, ctx *plan.EvalCtx, g *group) (types.Value, error) {
+	var (
+		sumI   int64
+		sumF   float64
+		isInt  = true
+		count  int64
+		minV   = types.Null()
+		maxV   = types.Null()
+		anyVal bool
+	)
+	for _, t := range g.rows {
+		v, err := spec.Arg.Eval(ctx, t.Data)
+		if err != nil {
+			return types.Null(), err
+		}
+		if v.IsNull() {
+			continue
+		}
+		anyVal = true
+		count++
+		switch spec.Kind {
+		case plan.AggSum, plan.AggAvg:
+			switch v.Kind() {
+			case types.KindInt:
+				sumI += v.Int()
+				sumF += float64(v.Int())
+			case types.KindFloat:
+				isInt = false
+				sumF += v.Float()
+			default:
+				return types.Null(), fmt.Errorf("exec: sum/avg requires numeric values, got %s", v.Kind())
+			}
+		case plan.AggMin:
+			if minV.IsNull() || v.Compare(minV) < 0 {
+				minV = v
+			}
+		case plan.AggMax:
+			if maxV.IsNull() || v.Compare(maxV) > 0 {
+				maxV = v
+			}
+		}
+	}
+	switch spec.Kind {
+	case plan.AggSum:
+		if !anyVal {
+			return types.Null(), nil
+		}
+		if isInt {
+			return types.NewInt(sumI), nil
+		}
+		return types.NewFloat(sumF), nil
+	case plan.AggAvg:
+		if !anyVal {
+			return types.Null(), nil
+		}
+		return types.NewFloat(sumF / float64(count)), nil
+	case plan.AggMin:
+		return minV, nil
+	case plan.AggMax:
+		return maxV, nil
+	}
+	return types.Null(), fmt.Errorf("exec: unreachable aggregate")
+}

@@ -1,0 +1,484 @@
+// Package exec interprets logical plans over U-relations. Operators
+// follow the parsimonious positive-RA translation of Antova et al.
+// (ICDE 2008): projections and selections carry condition columns
+// along, joins conjoin conditions and drop inconsistent pairs, and the
+// uncertainty-introducing operators allocate fresh world-set
+// variables. Confidence aggregation delegates to the algorithms in
+// internal/conf.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"maybms/internal/conf"
+	"maybms/internal/lineage"
+	"maybms/internal/plan"
+	"maybms/internal/schema"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+	"maybms/internal/ws"
+)
+
+// Executor runs plans against a catalog and world-set store.
+type Executor struct {
+	Cat   plan.Catalog
+	Store *ws.Store
+	// Rng drives Monte Carlo confidence computation; nil means a
+	// deterministic default source.
+	Rng *rand.Rand
+	// ConfMethod is the strategy behind conf(); Auto (SPROUT with
+	// d-tree fallback) unless overridden.
+	ConfMethod conf.Method
+}
+
+// New returns an executor with default settings.
+func New(cat plan.Catalog, store *ws.Store) *Executor {
+	return &Executor{Cat: cat, Store: store}
+}
+
+func (e *Executor) rng() *rand.Rand {
+	if e.Rng == nil {
+		e.Rng = rand.New(rand.NewSource(1))
+	}
+	return e.Rng
+}
+
+func (e *Executor) evalCtx() *plan.EvalCtx {
+	return &plan.EvalCtx{Store: e.Store, Run: e.Run, Rng: e.rng()}
+}
+
+// Run executes a plan, materialising its result U-relation.
+func (e *Executor) Run(n plan.Node) (*urel.Rel, error) {
+	switch n := n.(type) {
+	case *plan.Scan:
+		base, err := e.Cat.TableRel(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		return &urel.Rel{Sch: n.Sch(), Tuples: base.Tuples}, nil
+
+	case *plan.Dual:
+		out := urel.New(n.Sch())
+		out.Append(urel.Tuple{Data: schema.Tuple{}})
+		return out, nil
+
+	case *plan.Rename:
+		in, err := e.Run(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &urel.Rel{Sch: n.Sch(), Tuples: in.Tuples}, nil
+
+	case *plan.Product:
+		return e.runProduct(n)
+
+	case *plan.HashJoin:
+		return e.runHashJoin(n)
+
+	case *plan.Filter:
+		return e.runFilter(n)
+
+	case *plan.SemiJoinIn:
+		return e.runSemiJoinIn(n)
+
+	case *plan.Project:
+		return e.runProject(n)
+
+	case *plan.Aggregate:
+		return e.runAggregate(n)
+
+	case *plan.RepairKey:
+		return e.runRepairKey(n)
+
+	case *plan.PickTuples:
+		return e.runPickTuples(n)
+
+	case *plan.UnionAll:
+		l, err := e.Run(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.Run(n.R)
+		if err != nil {
+			return nil, err
+		}
+		out := urel.New(n.Sch())
+		out.Tuples = append(out.Tuples, l.Tuples...)
+		out.Tuples = append(out.Tuples, r.Tuples...)
+		return out, nil
+
+	case *plan.Distinct:
+		in, err := e.Run(n.In)
+		if err != nil {
+			return nil, err
+		}
+		out := urel.New(n.Sch())
+		seen := map[string]bool{}
+		for _, t := range in.Tuples {
+			k := t.Data.Key()
+			if !seen[k] {
+				seen[k] = true
+				out.Append(t)
+			}
+		}
+		return out, nil
+
+	case *plan.Possible:
+		return e.runPossible(n)
+
+	case *plan.Sort:
+		return e.runSort(n)
+
+	case *plan.Limit:
+		in, err := e.Run(n.In)
+		if err != nil {
+			return nil, err
+		}
+		out := urel.New(n.Sch())
+		for i, t := range in.Tuples {
+			if i < n.Offset {
+				continue
+			}
+			if i-n.Offset >= n.N {
+				break
+			}
+			out.Append(t)
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+	}
+}
+
+func (e *Executor) runProduct(n *plan.Product) (*urel.Rel, error) {
+	l, err := e.Run(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.Run(n.R)
+	if err != nil {
+		return nil, err
+	}
+	out := urel.New(n.Sch())
+	for _, lt := range l.Tuples {
+		for _, rt := range r.Tuples {
+			cond, ok := lt.Cond.And(rt.Cond)
+			if !ok {
+				continue // contradictory conditions: pair exists in no world
+			}
+			out.Append(urel.Tuple{Data: lt.Data.Concat(rt.Data), Cond: cond})
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) runHashJoin(n *plan.HashJoin) (*urel.Rel, error) {
+	l, err := e.Run(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.Run(n.R)
+	if err != nil {
+		return nil, err
+	}
+	// Build on the right side.
+	build := map[string][]urel.Tuple{}
+	for _, rt := range r.Tuples {
+		k := rt.Data.Project(n.RKeys).Key()
+		build[k] = append(build[k], rt)
+	}
+	out := urel.New(n.Sch())
+	for _, lt := range l.Tuples {
+		key := lt.Data.Project(n.LKeys)
+		// SQL join semantics: NULL keys match nothing.
+		hasNull := false
+		for _, v := range key {
+			if v.IsNull() {
+				hasNull = true
+				break
+			}
+		}
+		if hasNull {
+			continue
+		}
+		for _, rt := range build[key.Key()] {
+			cond, ok := lt.Cond.And(rt.Cond)
+			if !ok {
+				continue
+			}
+			out.Append(urel.Tuple{Data: lt.Data.Concat(rt.Data), Cond: cond})
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) runFilter(n *plan.Filter) (*urel.Rel, error) {
+	in, err := e.Run(n.In)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.evalCtx()
+	out := urel.New(n.Sch())
+	for _, t := range in.Tuples {
+		v, err := n.Pred.Eval(ctx, t.Data)
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsNull() && v.Truth() {
+			out.Append(t)
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) runSemiJoinIn(n *plan.SemiJoinIn) (*urel.Rel, error) {
+	in, err := e.Run(n.In)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := e.Run(n.Sub)
+	if err != nil {
+		return nil, err
+	}
+	// Group subquery tuples by value.
+	matches := map[string][]lineage.Cond{}
+	for _, st := range sub.Tuples {
+		matches[st.Data.Key()] = append(matches[st.Data.Key()], st.Cond)
+	}
+	ctx := e.evalCtx()
+	out := urel.New(n.Sch())
+	for _, t := range in.Tuples {
+		v, err := n.Expr.Eval(ctx, t.Data)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		for _, sc := range matches[(schema.Tuple{v}).Key()] {
+			cond, ok := t.Cond.And(sc)
+			if !ok {
+				continue
+			}
+			out.Append(urel.Tuple{Data: t.Data, Cond: cond})
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) runProject(n *plan.Project) (*urel.Rel, error) {
+	in, err := e.Run(n.In)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.evalCtx()
+	out := urel.New(n.Sch())
+	for _, t := range in.Tuples {
+		row := make(schema.Tuple, len(n.Items))
+		for i, item := range n.Items {
+			if item.IsTconf {
+				row[i] = types.NewFloat(t.Cond.Prob(e.Store))
+				continue
+			}
+			v, err := item.Expr.Eval(ctx, t.Data)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		cond := t.Cond
+		if n.HasTconf {
+			// tconf maps the relation to a t-certain table of
+			// marginals.
+			cond = nil
+		}
+		out.Append(urel.Tuple{Data: row, Cond: cond})
+	}
+	return out, nil
+}
+
+func (e *Executor) runPossible(n *plan.Possible) (*urel.Rel, error) {
+	in, err := e.Run(n.In)
+	if err != nil {
+		return nil, err
+	}
+	out := urel.New(n.Sch())
+	idx := in.Lineage()
+	for _, entry := range idx.Entries {
+		// A tuple is possible iff some clause of its lineage has
+		// positive probability (clauses are consistent by
+		// construction).
+		possible := false
+		for _, c := range entry.Event {
+			if c.Prob(e.Store) > 0 {
+				possible = true
+				break
+			}
+		}
+		if possible {
+			out.Append(urel.Tuple{Data: entry.Data})
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) runSort(n *plan.Sort) (*urel.Rel, error) {
+	in, err := e.Run(n.In)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.evalCtx()
+	type keyed struct {
+		t    urel.Tuple
+		keys schema.Tuple
+	}
+	rows := make([]keyed, len(in.Tuples))
+	for i, t := range in.Tuples {
+		ks := make(schema.Tuple, len(n.Keys))
+		for j, k := range n.Keys {
+			v, err := k.Eval(ctx, t.Data)
+			if err != nil {
+				return nil, err
+			}
+			ks[j] = v
+		}
+		rows[i] = keyed{t: t, keys: ks}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for j := range n.Keys {
+			c := rows[a].keys[j].Compare(rows[b].keys[j])
+			if c == 0 {
+				continue
+			}
+			if n.Desc[j] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := urel.New(n.Sch())
+	for _, r := range rows {
+		out.Append(r.t)
+	}
+	return out, nil
+}
+
+func (e *Executor) runRepairKey(n *plan.RepairKey) (*urel.Rel, error) {
+	in, err := e.Run(n.In)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.evalCtx()
+	type block struct {
+		tuples  []urel.Tuple
+		weights []float64
+	}
+	blocks := map[string]*block{}
+	var order []string
+	for _, t := range in.Tuples {
+		if len(t.Cond) != 0 {
+			return nil, fmt.Errorf("exec: repair key requires a t-certain input")
+		}
+		w := 1.0
+		if n.Weight != nil {
+			v, err := n.Weight.Eval(ctx, t.Data)
+			if err != nil {
+				return nil, err
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				return nil, fmt.Errorf("exec: repair key weight must be numeric, got %s", v.Kind())
+			}
+			if f < 0 {
+				return nil, fmt.Errorf("exec: repair key weight must be non-negative, got %v", f)
+			}
+			w = f
+		}
+		k := t.Data.Project(n.Keys).Key()
+		b, ok := blocks[k]
+		if !ok {
+			b = &block{}
+			blocks[k] = b
+			order = append(order, k)
+		}
+		b.tuples = append(b.tuples, t)
+		b.weights = append(b.weights, w)
+	}
+	out := urel.New(n.Sch())
+	for _, k := range order {
+		b := blocks[k]
+		total := 0.0
+		for _, w := range b.weights {
+			total += w
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("exec: repair key block has zero total weight")
+		}
+		if len(b.tuples) == 1 {
+			// A single-alternative block is deterministic: the tuple
+			// survives in every world.
+			out.Append(b.tuples[0])
+			continue
+		}
+		probs := make([]float64, len(b.weights))
+		for i, w := range b.weights {
+			probs[i] = w / total
+		}
+		v, err := e.Store.NewVar(probs)
+		if err != nil {
+			return nil, fmt.Errorf("exec: repair key: %v", err)
+		}
+		for i, t := range b.tuples {
+			cond, _ := lineage.NewCond(lineage.Lit{Var: v, Val: i + 1})
+			out.Append(urel.Tuple{Data: t.Data, Cond: cond})
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) runPickTuples(n *plan.PickTuples) (*urel.Rel, error) {
+	in, err := e.Run(n.In)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.evalCtx()
+	out := urel.New(n.Sch())
+	for _, t := range in.Tuples {
+		if len(t.Cond) != 0 {
+			return nil, fmt.Errorf("exec: pick tuples requires a t-certain input")
+		}
+		p := 0.5
+		if n.Prob != nil {
+			v, err := n.Prob.Eval(ctx, t.Data)
+			if err != nil {
+				return nil, err
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				return nil, fmt.Errorf("exec: pick tuples probability must be numeric, got %s", v.Kind())
+			}
+			p = f
+		}
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("exec: pick tuples probability %v out of [0,1]", p)
+		}
+		switch p {
+		case 0:
+			continue // never present in any world
+		case 1:
+			out.Append(t) // present in every world
+		default:
+			v, err := e.Store.NewBoolVar(p)
+			if err != nil {
+				return nil, err
+			}
+			cond, _ := lineage.NewCond(lineage.Lit{Var: v, Val: 1})
+			out.Append(urel.Tuple{Data: t.Data, Cond: cond})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"maybms/internal/lineage"
+	"maybms/internal/plan"
+	"maybms/internal/schema"
+	"maybms/internal/sql"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+	"maybms/internal/ws"
+)
+
+// memCatalog is a catalog over in-memory U-relations.
+type memCatalog struct {
+	rels map[string]*urel.Rel
+}
+
+func (c *memCatalog) TableSchema(name string) (*schema.Schema, error) {
+	r, ok := c.rels[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("no table %q", name)
+	}
+	return r.Sch, nil
+}
+
+func (c *memCatalog) TableRel(name string) (*urel.Rel, error) {
+	r, ok := c.rels[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("no table %q", name)
+	}
+	return r, nil
+}
+
+func (c *memCatalog) TableCertain(name string) (bool, error) {
+	r, err := c.TableRel(name)
+	if err != nil {
+		return false, err
+	}
+	return r.IsCertain(), nil
+}
+
+// fixture builds a catalog with one certain table t(a int, b text) and
+// one uncertain table u(a int) over variable x.
+func fixture() (*memCatalog, *ws.Store, ws.VarID) {
+	store := ws.NewStore()
+	x, _ := store.NewVar([]float64{0.3, 0.7})
+	tSch := schema.New(
+		schema.Column{Name: "a", Kind: types.KindInt},
+		schema.Column{Name: "b", Kind: types.KindText},
+	)
+	t := urel.New(tSch)
+	t.Append(urel.Tuple{Data: schema.Tuple{types.NewInt(1), types.NewText("x")}})
+	t.Append(urel.Tuple{Data: schema.Tuple{types.NewInt(2), types.NewText("y")}})
+
+	uSch := schema.New(schema.Column{Name: "a", Kind: types.KindInt})
+	u := urel.New(uSch)
+	c1, _ := lineage.NewCond(lineage.Lit{Var: x, Val: 1})
+	c2, _ := lineage.NewCond(lineage.Lit{Var: x, Val: 2})
+	u.Append(urel.Tuple{Data: schema.Tuple{types.NewInt(1)}, Cond: c1})
+	u.Append(urel.Tuple{Data: schema.Tuple{types.NewInt(2)}, Cond: c2})
+	return &memCatalog{rels: map[string]*urel.Rel{"t": t, "u": u}}, store, x
+}
+
+func runSQL(t *testing.T, cat *memCatalog, store *ws.Store, src string) (*urel.Rel, error) {
+	t.Helper()
+	st, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	n, err := plan.Build(st.(*sql.QueryStmt).Query, cat)
+	if err != nil {
+		return nil, err
+	}
+	return New(cat, store).Run(n)
+}
+
+func mustSQL(t *testing.T, cat *memCatalog, store *ws.Store, src string) *urel.Rel {
+	t.Helper()
+	rel, err := runSQL(t, cat, store, src)
+	if err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+	return rel
+}
+
+func TestJoinDropsContradictoryConditions(t *testing.T) {
+	cat, store, _ := fixture()
+	// Self-join of u on unequal a pairs the x=1 tuple with the x=2
+	// tuple; their conditions contradict, so nothing survives.
+	rel := mustSQL(t, cat, store, "select x1.a from u x1, u x2 where x1.a <> x2.a")
+	if rel.Len() != 0 {
+		t.Errorf("contradictory join should be empty: %v", rel.Tuples)
+	}
+	// Equal pairs keep their condition.
+	rel = mustSQL(t, cat, store, "select x1.a from u x1, u x2 where x1.a = x2.a")
+	if rel.Len() != 2 {
+		t.Errorf("consistent join: %v", rel.Tuples)
+	}
+	for _, tup := range rel.Tuples {
+		if len(tup.Cond) != 1 {
+			t.Errorf("idempotent conjunction: %v", tup.Cond)
+		}
+	}
+}
+
+func TestNullJoinKeysMatchNothing(t *testing.T) {
+	store := ws.NewStore()
+	sch := schema.New(schema.Column{Name: "k", Kind: types.KindInt})
+	withNull := urel.New(sch)
+	withNull.Append(urel.Tuple{Data: schema.Tuple{types.Null()}})
+	withNull.Append(urel.Tuple{Data: schema.Tuple{types.NewInt(1)}})
+	cat := &memCatalog{rels: map[string]*urel.Rel{"n1": withNull, "n2": withNull}}
+	rel := mustSQL(t, cat, store, "select n1.k from n1, n2 where n1.k = n2.k")
+	if rel.Len() != 1 {
+		t.Errorf("NULL keys must not join: %v", rel.Tuples)
+	}
+}
+
+func TestProjectKeepsConditions(t *testing.T) {
+	cat, store, _ := fixture()
+	rel := mustSQL(t, cat, store, "select a + 10 from u")
+	if rel.IsCertain() {
+		t.Error("projection must keep conditions")
+	}
+	if rel.Tuples[0].Data[0].Int() != 11 {
+		t.Errorf("projection value: %v", rel.Tuples[0])
+	}
+}
+
+func TestTconfProducesCertain(t *testing.T) {
+	cat, store, _ := fixture()
+	rel := mustSQL(t, cat, store, "select a, tconf() from u")
+	if !rel.IsCertain() {
+		t.Error("tconf output must be certain")
+	}
+	if math.Abs(rel.Tuples[0].Data[1].Float()-0.3) > 1e-12 {
+		t.Errorf("marginal: %v", rel.Tuples[0])
+	}
+}
+
+func TestRepairKeyDeterministicSingleton(t *testing.T) {
+	cat, store, _ := fixture()
+	before := store.NumVars()
+	// Key (a) makes every block a singleton: no variables needed.
+	rel := mustSQL(t, cat, store, "repair key a in t")
+	if store.NumVars() != before {
+		t.Error("singleton blocks must not allocate variables")
+	}
+	if !rel.IsCertain() || rel.Len() != 2 {
+		t.Errorf("singleton repair: %v", rel.Tuples)
+	}
+	// Empty key: one block of two tuples, one variable.
+	rel = mustSQL(t, cat, store, "repair key in t")
+	if store.NumVars() != before+1 {
+		t.Errorf("vars created: %d", store.NumVars()-before)
+	}
+	if rel.IsCertain() {
+		t.Error("non-singleton repair is uncertain")
+	}
+}
+
+func TestAggregateOnEmptyGrouplessInput(t *testing.T) {
+	cat, store, _ := fixture()
+	rel := mustSQL(t, cat, store, "select conf(), ecount() from u where a > 99")
+	if rel.Len() != 1 {
+		t.Fatalf("one row expected: %v", rel.Tuples)
+	}
+	if rel.Tuples[0].Data[0].Float() != 0 || rel.Tuples[0].Data[1].Float() != 0 {
+		t.Errorf("empty conf/ecount: %v", rel.Tuples[0])
+	}
+}
+
+func TestStandardAggregateRejectedOnUncertain(t *testing.T) {
+	cat, store, _ := fixture()
+	for _, agg := range []string{"sum(a)", "count(*)", "count(a)", "avg(a)", "min(a)", "max(a)"} {
+		if _, err := runSQL(t, cat, store, "select "+agg+" from u"); err == nil {
+			t.Errorf("%s on uncertain input must fail", agg)
+		}
+	}
+	// argmax too.
+	if _, err := runSQL(t, cat, store, "select argmax(a, a) from u"); err == nil {
+		t.Error("argmax on uncertain input must fail")
+	}
+}
+
+func TestRuntimeErrorPropagation(t *testing.T) {
+	cat, store, _ := fixture()
+	// Division by zero inside a filter propagates.
+	if _, err := runSQL(t, cat, store, "select a from t where a / 0 > 1"); err == nil {
+		t.Error("division by zero should propagate")
+	}
+	// ... and inside projections and aggregates.
+	if _, err := runSQL(t, cat, store, "select a / 0 from t"); err == nil {
+		t.Error("projection error should propagate")
+	}
+	if _, err := runSQL(t, cat, store, "select sum(a / 0) from t"); err == nil {
+		t.Error("aggregate arg error should propagate")
+	}
+	// esum on non-numeric.
+	if _, err := runSQL(t, cat, store, "select esum(b) from t"); err == nil {
+		t.Error("esum over text should fail")
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	store := ws.NewStore()
+	sch := schema.New(
+		schema.Column{Name: "k", Kind: types.KindInt},
+		schema.Column{Name: "seq", Kind: types.KindInt},
+	)
+	r := urel.New(sch)
+	for i := 0; i < 6; i++ {
+		r.Append(urel.Tuple{Data: schema.Tuple{types.NewInt(int64(i % 2)), types.NewInt(int64(i))}})
+	}
+	cat := &memCatalog{rels: map[string]*urel.Rel{"r": r}}
+	rel := mustSQL(t, cat, store, "select k, seq from r order by k")
+	// Within equal keys, input order is preserved.
+	var last int64 = -1
+	for _, tup := range rel.Tuples {
+		if tup.Data[0].Int() != 0 {
+			break
+		}
+		if tup.Data[1].Int() < last {
+			t.Errorf("unstable sort: %v", rel.Tuples)
+		}
+		last = tup.Data[1].Int()
+	}
+}
+
+func TestLimitAndDual(t *testing.T) {
+	cat, store, _ := fixture()
+	rel := mustSQL(t, cat, store, "select a from t limit 1")
+	if rel.Len() != 1 {
+		t.Errorf("limit: %v", rel.Tuples)
+	}
+	rel = mustSQL(t, cat, store, "select 2 + 2")
+	if rel.Len() != 1 || rel.Tuples[0].Data[0].Int() != 4 {
+		t.Errorf("dual: %v", rel.Tuples)
+	}
+}
+
+func TestHavingFiltersGroups(t *testing.T) {
+	cat, store, _ := fixture()
+	rel := mustSQL(t, cat, store, "select a, conf() from u group by a having conf() > 0.5")
+	if rel.Len() != 1 || rel.Tuples[0].Data[0].Int() != 2 {
+		t.Errorf("having on conf: %v", rel.Tuples)
+	}
+}
+
+func TestPossibleDropsZeroProbability(t *testing.T) {
+	store := ws.NewStore()
+	x, _ := store.NewVar([]float64{0, 1})
+	sch := schema.New(schema.Column{Name: "a", Kind: types.KindInt})
+	r := urel.New(sch)
+	dead, _ := lineage.NewCond(lineage.Lit{Var: x, Val: 1})
+	live, _ := lineage.NewCond(lineage.Lit{Var: x, Val: 2})
+	r.Append(urel.Tuple{Data: schema.Tuple{types.NewInt(1)}, Cond: dead})
+	r.Append(urel.Tuple{Data: schema.Tuple{types.NewInt(2)}, Cond: live})
+	cat := &memCatalog{rels: map[string]*urel.Rel{"r": r}}
+	rel := mustSQL(t, cat, store, "select possible a from r")
+	if rel.Len() != 1 || rel.Tuples[0].Data[0].Int() != 2 {
+		t.Errorf("possible must drop zero-probability tuples: %v", rel.Tuples)
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"maybms/internal/nbagen"
+)
+
+// quick is the CI-scale option set.
+var quick = Options{Quick: true, Seed: 1}
+
+func TestRunWalk3MatchesMatrixPower(t *testing.T) {
+	db := Figure1Setup()
+	walk := RunWalk3(db)
+	m3 := nbagen.MatrixPower(FitnessMatrix, 3)
+	want := map[string]float64{"F": m3[0][0], "SE": m3[0][1], "SL": m3[0][2]}
+	for s, p := range want {
+		if math.Abs(walk[s]-p) > 1e-9 {
+			t.Errorf("%s: %v want %v", s, walk[s], p)
+		}
+	}
+	// Re-running is idempotent (ft2 is recreated).
+	walk2 := RunWalk3(db)
+	for s := range want {
+		if math.Abs(walk[s]-walk2[s]) > 1e-12 {
+			t.Errorf("rerun differs for %s", s)
+		}
+	}
+}
+
+func TestE2SweepSane(t *testing.T) {
+	pts := E2Sweep(quick)
+	if len(pts) != 6 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.TrueP < 0 || pt.TrueP > 1 {
+			t.Errorf("ratio %v: mean probability %v", pt.Ratio, pt.TrueP)
+		}
+		if pt.ExactUS < 0 || pt.ApproxUS <= 0 {
+			t.Errorf("ratio %v: timings %v %v", pt.Ratio, pt.ExactUS, pt.ApproxUS)
+		}
+	}
+}
+
+func TestE3SweepReadOnce(t *testing.T) {
+	pts := E3Sweep(quick)
+	for _, pt := range pts {
+		if !pt.ReadOnce {
+			t.Errorf("hierarchical query lineage must be read-once at scale %d", pt.Customers)
+		}
+		if pt.Lineage == 0 {
+			t.Errorf("no lineage at scale %d", pt.Customers)
+		}
+	}
+	// Lineage grows with scale.
+	if pts[len(pts)-1].Lineage <= pts[0].Lineage {
+		t.Error("lineage should grow with customer count")
+	}
+}
+
+func TestE7GuaranteeHolds(t *testing.T) {
+	pts := E7Sweep(quick)
+	for _, pt := range pts {
+		// δ=0.05 per instance; with 10 instances even 3 violations is
+		// highly unlikely.
+		if pt.Violations > 3 {
+			t.Errorf("eps=%v: %d violations out of %d", pt.Eps, pt.Violations, pt.Instances)
+		}
+	}
+	// Trials grow as eps shrinks.
+	if !(pts[0].MeanTrials < pts[len(pts)-1].MeanTrials) {
+		t.Errorf("trials should grow as eps shrinks: %v vs %v", pts[0].MeanTrials, pts[len(pts)-1].MeanTrials)
+	}
+}
+
+func TestE8AblationAgrees(t *testing.T) {
+	pts := E8Sweep(quick)
+	if len(pts) != 6 {
+		t.Fatalf("configs: %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.MeanSteps <= 0 {
+			t.Errorf("%s: no steps recorded", pt.Config)
+		}
+	}
+}
+
+// TestAllPrints smoke-tests every experiment's printer end to end.
+func TestAllPrints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	All(&buf, quick)
+	out := buf.String()
+	for _, heading := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+		if !strings.Contains(out, "== "+heading) {
+			t.Errorf("missing %s section", heading)
+		}
+	}
+	if !strings.Contains(out, "shape check") {
+		t.Error("missing shape checks")
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"maybms"
+	"maybms/internal/nbagen"
+)
+
+// TestNBAWalkMatchesMatrixPowers is the full-pipeline validation of
+// the paper's Section 3 scenario: for every generated player, the
+// SQL-computed 3-day fitness distribution must equal the third power
+// of that player's stochastic matrix applied to their current state.
+func TestNBAWalkMatchesMatrixPowers(t *testing.T) {
+	cfg := nbagen.Config{Teams: 1, PlayersPerTeam: 6, GamesPerPlayer: 2, Seed: 77}
+	ds := nbagen.Generate(cfg)
+	db := maybms.Open()
+	db.MustExec(nbagen.ScriptFor(ds))
+
+	db.MustExec(`
+		create table ft2 as
+		select r1.player, r1.init, r2.final, conf() as p from
+			(repair key player, init in ft weight by p) r1,
+			(repair key player, init in ft weight by p) r2, states s
+		where r1.player = s.player and r1.init = s.state
+			and r1.final = r2.init and r1.player = r2.player
+		group by r1.player, r1.init, r2.final;
+
+		create table ft3 as
+		select r1.player, r2.final as state, conf() as p from
+			(repair key player, init in ft2 weight by p) r1,
+			(repair key player, init in ft weight by p) r2
+		where r1.final = r2.init and r1.player = r2.player
+		group by r1.player, r2.final;
+	`)
+
+	stateIdx := map[string]int{"F": 0, "SE": 1, "SL": 2}
+	for _, pl := range ds.Players {
+		m3 := nbagen.MatrixPower(pl.Transition, 3)
+		row := m3[stateIdx[pl.State]]
+		rows := db.MustQuery(fmt.Sprintf(
+			`select state, p from ft3 where player = '%s'`, escape(pl.Name)))
+		got := map[string]float64{}
+		for _, r := range rows.Data {
+			got[r[0].(string)] = r[1].(float64)
+		}
+		total := 0.0
+		for s, j := range stateIdx {
+			want := row[j]
+			if math.Abs(got[s]-want) > 1e-9 {
+				t.Errorf("%s (%s) 3-day P(%s): %v want %v",
+					pl.Name, pl.State, s, got[s], want)
+			}
+			total += got[s]
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("%s: 3-day distribution mass %v", pl.Name, total)
+		}
+	}
+}
+
+func escape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '\'' {
+			out = append(out, '\'')
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// TestSkillAvailabilityMatchesHandComputation validates the team
+// management query: P(skill available) = 1 - Π over skilled players of
+// P(player not fit tomorrow).
+func TestSkillAvailabilityMatchesHandComputation(t *testing.T) {
+	cfg := nbagen.Config{Teams: 1, PlayersPerTeam: 5, GamesPerPlayer: 1, Seed: 21}
+	ds := nbagen.Generate(cfg)
+	db := maybms.Open()
+	db.MustExec(nbagen.ScriptFor(ds))
+	db.MustExec(`
+		create table walk1 as
+		select r.player, r.final
+		from (repair key player, init in ft weight by p) r, states s
+		where r.player = s.player and r.init = s.state;
+	`)
+	stateIdx := map[string]int{"F": 0, "SE": 1, "SL": 2}
+	for _, skill := range nbagen.Skills {
+		// Hand computation over the generated model.
+		miss := 1.0
+		any := false
+		for _, pl := range ds.Players {
+			if !pl.SkillOf[skill] {
+				continue
+			}
+			any = true
+			pFit := pl.Transition[stateIdx[pl.State]][0]
+			miss *= 1 - pFit
+		}
+		if !any {
+			continue
+		}
+		want := 1 - miss
+		got, err := db.QueryFloat(fmt.Sprintf(`
+			select conf() from walk1 w, skills k
+			where w.player = k.player and w.final = 'F' and k.skill = '%s'`, skill))
+		if err != nil {
+			t.Fatalf("%s: %v", skill, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("skill %s: %v want %v", skill, got, want)
+		}
+	}
+}

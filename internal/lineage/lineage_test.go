@@ -1,0 +1,212 @@
+package lineage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"maybms/internal/ws"
+)
+
+func mustCond(t *testing.T, lits ...Lit) Cond {
+	t.Helper()
+	c, ok := NewCond(lits...)
+	if !ok {
+		t.Fatalf("unexpected inconsistent condition %v", lits)
+	}
+	return c
+}
+
+func TestNewCondNormalises(t *testing.T) {
+	c := mustCond(t, Lit{3, 1}, Lit{1, 2}, Lit{3, 1})
+	if len(c) != 2 || c[0] != (Lit{1, 2}) || c[1] != (Lit{3, 1}) {
+		t.Errorf("normalisation wrong: %v", c)
+	}
+}
+
+func TestNewCondInconsistent(t *testing.T) {
+	if _, ok := NewCond(Lit{1, 1}, Lit{1, 2}); ok {
+		t.Error("x1->1 ∧ x1->2 should be inconsistent")
+	}
+}
+
+func TestAnd(t *testing.T) {
+	a := mustCond(t, Lit{1, 1}, Lit{3, 2})
+	b := mustCond(t, Lit{2, 1}, Lit{3, 2})
+	c, ok := a.And(b)
+	if !ok || len(c) != 3 {
+		t.Fatalf("And: %v %v", c, ok)
+	}
+	d := mustCond(t, Lit{3, 1})
+	if _, ok := a.And(d); ok {
+		t.Error("contradictory And should fail")
+	}
+	// TRUE is the identity.
+	if e, ok := a.And(TrueCond()); !ok || e.Key() != a.Key() {
+		t.Errorf("And TRUE: %v %v", e, ok)
+	}
+	if e, ok := TrueCond().And(a); !ok || e.Key() != a.Key() {
+		t.Errorf("TRUE And: %v %v", e, ok)
+	}
+}
+
+func TestCondProbAndEval(t *testing.T) {
+	s := ws.NewStore()
+	x, _ := s.NewVar([]float64{0.3, 0.7})
+	y, _ := s.NewVar([]float64{0.5, 0.5})
+	c := mustCond(t, Lit{x, 1}, Lit{y, 2})
+	if p := c.Prob(s); p != 0.3*0.5 {
+		t.Errorf("Prob = %v", p)
+	}
+	if !c.Eval(map[ws.VarID]int{x: 1, y: 2}) {
+		t.Error("should hold")
+	}
+	if c.Eval(map[ws.VarID]int{x: 1, y: 1}) {
+		t.Error("should not hold")
+	}
+	if TrueCond().Prob(s) != 1 {
+		t.Error("TRUE must have probability 1")
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	a := mustCond(t, Lit{1, 1})
+	b := mustCond(t, Lit{1, 1}, Lit{2, 2})
+	if !a.Subsumes(b) {
+		t.Error("a ⊆ b")
+	}
+	if b.Subsumes(a) {
+		t.Error("b ⊄ a")
+	}
+	if !TrueCond().Subsumes(a) {
+		t.Error("TRUE subsumes everything")
+	}
+}
+
+func TestWithoutLookup(t *testing.T) {
+	c := mustCond(t, Lit{1, 1}, Lit{2, 2})
+	if v, ok := c.Lookup(2); !ok || v != 2 {
+		t.Errorf("Lookup: %v %v", v, ok)
+	}
+	if _, ok := c.Lookup(5); ok {
+		t.Error("Lookup of absent var")
+	}
+	r := c.Without(1)
+	if len(r) != 1 || r[0] != (Lit{2, 2}) {
+		t.Errorf("Without: %v", r)
+	}
+	if got := c.Without(1).Without(2); got != nil {
+		t.Error("removing all literals should give TRUE (nil)")
+	}
+}
+
+func TestDNFSimplify(t *testing.T) {
+	a := mustCond(t, Lit{1, 1})
+	b := mustCond(t, Lit{1, 1}, Lit{2, 2})
+	d := DNF{b, a, b}.Simplify()
+	if len(d) != 1 || d[0].Key() != a.Key() {
+		t.Errorf("absorption failed: %v", d)
+	}
+	empty := DNF{}
+	if got := empty.Simplify(); got != nil {
+		t.Errorf("empty simplify: %v", got)
+	}
+}
+
+func TestDNFConditionAndDrop(t *testing.T) {
+	x, y := ws.VarID(1), ws.VarID(2)
+	d := DNF{
+		mustCond(t, Lit{x, 1}, Lit{y, 1}),
+		mustCond(t, Lit{x, 2}),
+		mustCond(t, Lit{y, 2}),
+	}
+	c1 := d.Condition(x, 1)
+	// Clause 1 loses x; clause 2 (x=2) drops; clause 3 unaffected.
+	if len(c1) != 2 {
+		t.Fatalf("Condition: %v", c1)
+	}
+	if c1[0].Key() != mustCond(t, Lit{y, 1}).Key() {
+		t.Errorf("Condition clause: %v", c1[0])
+	}
+	dd := d.DropVar(x)
+	if len(dd) != 1 || dd[0].Key() != mustCond(t, Lit{y, 2}).Key() {
+		t.Errorf("DropVar: %v", dd)
+	}
+	// Conditioning the single-literal clause yields the empty clause.
+	c2 := d.Condition(x, 2)
+	if !c2.HasEmptyClause() {
+		t.Errorf("expected TRUE clause: %v", c2)
+	}
+}
+
+func TestDNFVarsAndStats(t *testing.T) {
+	d := DNF{
+		mustCond(t, Lit{3, 1}, Lit{1, 1}),
+		mustCond(t, Lit{2, 1}),
+	}
+	vars := d.Vars()
+	if len(vars) != 3 || vars[0] != 1 || vars[1] != 2 || vars[2] != 3 {
+		t.Errorf("Vars: %v", vars)
+	}
+	st := d.ComputeStats()
+	if st.Clauses != 2 || st.Vars != 3 || st.MaxWidth != 2 || st.AvgWidth != 1.5 || st.VarsPerCls != 1.5 {
+		t.Errorf("Stats: %+v", st)
+	}
+}
+
+// Property: Simplify preserves the event under every assignment.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func() DNF {
+		nc := 1 + rng.Intn(5)
+		d := make(DNF, 0, nc)
+		for i := 0; i < nc; i++ {
+			nl := rng.Intn(4)
+			lits := make([]Lit, 0, nl)
+			for j := 0; j < nl; j++ {
+				lits = append(lits, Lit{ws.VarID(rng.Intn(4)), 1 + rng.Intn(2)})
+			}
+			if c, ok := NewCond(lits...); ok {
+				d = append(d, c)
+			}
+		}
+		return d
+	}
+	for trial := 0; trial < 200; trial++ {
+		d := gen()
+		s := d.Simplify()
+		// Enumerate all assignments of vars 0..3 over {1,2,3}.
+		var assign map[ws.VarID]int
+		for a0 := 1; a0 <= 3; a0++ {
+			for a1 := 1; a1 <= 3; a1++ {
+				for a2 := 1; a2 <= 3; a2++ {
+					for a3 := 1; a3 <= 3; a3++ {
+						assign = map[ws.VarID]int{0: a0, 1: a1, 2: a2, 3: a3}
+						if d.Eval(assign) != s.Eval(assign) {
+							t.Fatalf("Simplify changed semantics:\n d=%v\n s=%v\n assign=%v", d, s, assign)
+						}
+					}
+				}
+			}
+		}
+		// Idempotence.
+		if s.Simplify().Key() != s.Key() {
+			t.Fatalf("Simplify not idempotent: %v", s)
+		}
+	}
+}
+
+// Property: And is commutative and its probability multiplies for
+// disjoint conditions.
+func TestAndProperties(t *testing.T) {
+	f := func(av, bv uint8) bool {
+		a, _ := NewCond(Lit{ws.VarID(av % 4), 1})
+		b, _ := NewCond(Lit{ws.VarID(bv%4) + 4, 2})
+		ab, ok1 := a.And(b)
+		ba, ok2 := b.And(a)
+		return ok1 && ok2 && ab.Key() == ba.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

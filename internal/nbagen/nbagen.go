@@ -1,0 +1,215 @@
+// Package nbagen generates the synthetic NBA-shaped dataset behind the
+// paper's human-resource-management demonstration. The original demo
+// scraped www.nba.com; we generate rosters, salaries, skills,
+// per-player stochastic fitness-transition matrices, and recent game
+// logs with the same shape, so the what-if queries of Section 3 run
+// unchanged.
+package nbagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config sizes the generated dataset.
+type Config struct {
+	// Teams is the number of teams.
+	Teams int
+	// PlayersPerTeam is the roster size per team.
+	PlayersPerTeam int
+	// GamesPerPlayer is the length of each player's recent game log.
+	GamesPerPlayer int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultConfig matches the scale of the paper's demo scenario.
+func DefaultConfig() Config {
+	return Config{Teams: 4, PlayersPerTeam: 12, GamesPerPlayer: 10, Seed: 2009}
+}
+
+// FitnessStates are the fitness states of the paper's stochastic
+// matrix: fit, seriously injured, slightly injured.
+var FitnessStates = []string{"F", "SE", "SL"}
+
+// Skills are the skill dimensions of the team-management scenario.
+var Skills = []string{"defense", "three_point", "free_throw", "shooting", "passing"}
+
+var firstNames = []string{
+	"Kobe", "LeBron", "Tim", "Kevin", "Dirk", "Steve", "Dwyane", "Chris",
+	"Paul", "Tony", "Manu", "Ray", "Vince", "Tracy", "Allen", "Jason",
+	"Carmelo", "Dwight", "Pau", "Amar", "Shaquille", "Yao", "Rajon", "Deron",
+}
+
+var lastNames = []string{
+	"Bryant", "James", "Duncan", "Garnett", "Nowitzki", "Nash", "Wade",
+	"Paul", "Pierce", "Parker", "Ginobili", "Allen", "Carter", "McGrady",
+	"Iverson", "Kidd", "Anthony", "Howard", "Gasol", "Stoudemire",
+	"O'Neal", "Ming", "Rondo", "Williams",
+}
+
+var teamNames = []string{
+	"Lakers", "Celtics", "Spurs", "Cavaliers", "Mavericks", "Suns",
+	"Heat", "Hornets", "Magic", "Rockets", "Nuggets", "Jazz",
+}
+
+// Player is one generated roster entry.
+type Player struct {
+	Name   string
+	Team   string
+	Salary int64  // annual salary in dollars
+	State  string // current fitness state
+	// Transition[i][j] = P(state j tomorrow | state i today).
+	Transition [3][3]float64
+	// SkillOf maps a skill to mastery (true when the player has it).
+	SkillOf map[string]bool
+	// Points are the player's recent game scores, most recent last.
+	Points []int
+}
+
+// Dataset is the full generated world.
+type Dataset struct {
+	Players []Player
+}
+
+// Generate builds a deterministic dataset for the config.
+func Generate(cfg Config) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{}
+	nameUsed := map[string]bool{}
+	for t := 0; t < cfg.Teams; t++ {
+		team := teamNames[t%len(teamNames)]
+		if t >= len(teamNames) {
+			team = fmt.Sprintf("%s%d", team, t/len(teamNames)+1)
+		}
+		for p := 0; p < cfg.PlayersPerTeam; p++ {
+			name := ""
+			for {
+				name = firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+				if !nameUsed[name] {
+					nameUsed[name] = true
+					break
+				}
+				name += fmt.Sprintf(" %c", 'A'+rng.Intn(26)) // suffix on collision
+				if !nameUsed[name] {
+					nameUsed[name] = true
+					break
+				}
+			}
+			pl := Player{
+				Name:    name,
+				Team:    team,
+				Salary:  int64(1_000_000 + rng.Intn(29_000_000)),
+				State:   FitnessStates[rng.Intn(len(FitnessStates))],
+				SkillOf: map[string]bool{},
+			}
+			pl.Transition = randomStochasticMatrix(rng)
+			for _, s := range Skills {
+				pl.SkillOf[s] = rng.Float64() < 0.4
+			}
+			for g := 0; g < cfg.GamesPerPlayer; g++ {
+				pl.Points = append(pl.Points, rng.Intn(40))
+			}
+			ds.Players = append(ds.Players, pl)
+		}
+	}
+	return ds
+}
+
+// randomStochasticMatrix draws a 3x3 row-stochastic matrix biased the
+// way injury dynamics behave: fit players tend to stay fit, injured
+// players recover gradually.
+func randomStochasticMatrix(rng *rand.Rand) [3][3]float64 {
+	var m [3][3]float64
+	bias := [3][3]float64{
+		{6, 1, 2}, // from F: mostly stay fit
+		{2, 5, 2}, // from SE: slow recovery
+		{4, 1, 3}, // from SL: often recovers
+	}
+	for i := 0; i < 3; i++ {
+		total := 0.0
+		var row [3]float64
+		for j := 0; j < 3; j++ {
+			row[j] = bias[i][j] * (0.25 + rng.Float64())
+			total += row[j]
+		}
+		for j := 0; j < 3; j++ {
+			m[i][j] = row[j] / total
+		}
+		// Round to 4 decimals and re-normalise onto the last column
+		// so stored probabilities sum to exactly 1.
+		sum := 0.0
+		for j := 0; j < 2; j++ {
+			m[i][j] = float64(int(m[i][j]*10000)) / 10000
+			sum += m[i][j]
+		}
+		m[i][2] = 1 - sum
+	}
+	return m
+}
+
+// Script renders the dataset as a SQL setup script creating and
+// populating the demo tables:
+//
+//	players  (player, team, salary, state)
+//	ft       (player, init, final, p)     — fitness transitions
+//	states   (player, state)              — current fitness
+//	skills   (player, skill)              — mastered skills
+//	gamelog  (player, game, points)       — recent scores, 1 = oldest
+func Script(cfg Config) string {
+	return ScriptFor(Generate(cfg))
+}
+
+// ScriptFor renders an existing dataset as a SQL setup script.
+func ScriptFor(ds *Dataset) string {
+	var b strings.Builder
+	b.WriteString(`create table players (player text, team text, salary int, state text);
+create table ft (player text, init text, final text, p float);
+create table states (player text, state text);
+create table skills (player text, skill text);
+create table gamelog (player text, game int, points int);
+`)
+	quote := func(s string) string { return "'" + strings.ReplaceAll(s, "'", "''") + "'" }
+	for _, p := range ds.Players {
+		fmt.Fprintf(&b, "insert into players values (%s, %s, %d, %s);\n",
+			quote(p.Name), quote(p.Team), p.Salary, quote(p.State))
+		fmt.Fprintf(&b, "insert into states values (%s, %s);\n", quote(p.Name), quote(p.State))
+		for i, from := range FitnessStates {
+			for j, to := range FitnessStates {
+				if p.Transition[i][j] == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "insert into ft values (%s, %s, %s, %g);\n",
+					quote(p.Name), quote(from), quote(to), p.Transition[i][j])
+			}
+		}
+		for _, s := range Skills {
+			if p.SkillOf[s] {
+				fmt.Fprintf(&b, "insert into skills values (%s, %s);\n", quote(p.Name), quote(s))
+			}
+		}
+		for g, pts := range p.Points {
+			fmt.Fprintf(&b, "insert into gamelog values (%s, %d, %d);\n", quote(p.Name), g+1, pts)
+		}
+	}
+	return b.String()
+}
+
+// MatrixPower returns m^k for a 3x3 row-stochastic matrix; used by
+// tests and the experiment harness to validate random-walk queries.
+func MatrixPower(m [3][3]float64, k int) [3][3]float64 {
+	out := [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	for ; k > 0; k-- {
+		var next [3][3]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				for l := 0; l < 3; l++ {
+					next[i][j] += out[i][l] * m[l][j]
+				}
+			}
+		}
+		out = next
+	}
+	return out
+}

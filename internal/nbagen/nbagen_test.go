@@ -1,0 +1,93 @@
+package nbagen
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a.Players) != cfg.Teams*cfg.PlayersPerTeam {
+		t.Fatalf("players: %d", len(a.Players))
+	}
+	if a.Players[0].Name != b.Players[0].Name || a.Players[7].Salary != b.Players[7].Salary {
+		t.Error("generator must be deterministic for a fixed seed")
+	}
+}
+
+func TestTransitionMatricesAreStochastic(t *testing.T) {
+	ds := Generate(Config{Teams: 2, PlayersPerTeam: 10, GamesPerPlayer: 3, Seed: 5})
+	for _, p := range ds.Players {
+		for i := 0; i < 3; i++ {
+			sum := 0.0
+			for j := 0; j < 3; j++ {
+				if p.Transition[i][j] < 0 {
+					t.Fatalf("%s: negative transition", p.Name)
+				}
+				sum += p.Transition[i][j]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s: row %d sums to %v", p.Name, i, sum)
+			}
+		}
+	}
+}
+
+func TestPlayerNamesUnique(t *testing.T) {
+	ds := Generate(Config{Teams: 6, PlayersPerTeam: 15, GamesPerPlayer: 1, Seed: 3})
+	seen := map[string]bool{}
+	for _, p := range ds.Players {
+		if seen[p.Name] {
+			t.Fatalf("duplicate player name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestScriptShape(t *testing.T) {
+	s := Script(Config{Teams: 1, PlayersPerTeam: 2, GamesPerPlayer: 2, Seed: 1})
+	for _, tbl := range []string{"players", "ft", "states", "skills", "gamelog"} {
+		if !strings.Contains(s, "create table "+tbl) {
+			t.Errorf("missing table %s", tbl)
+		}
+	}
+	if strings.Count(s, "insert into players") != 2 {
+		t.Errorf("player inserts: %d", strings.Count(s, "insert into players"))
+	}
+	if strings.Count(s, "insert into gamelog") != 4 {
+		t.Errorf("gamelog inserts: %d", strings.Count(s, "insert into gamelog"))
+	}
+	// Quoting: names with apostrophes must be escaped.
+	if strings.Contains(s, "O'Neal") && !strings.Contains(s, "O''Neal") {
+		t.Error("apostrophes must be SQL-escaped")
+	}
+}
+
+func TestMatrixPower(t *testing.T) {
+	m := [3][3]float64{{0.8, 0.05, 0.15}, {0.1, 0.6, 0.3}, {0.8, 0.0, 0.2}}
+	m1 := MatrixPower(m, 1)
+	if m1 != m {
+		t.Error("M^1 = M")
+	}
+	m0 := MatrixPower(m, 0)
+	if m0[0][0] != 1 || m0[0][1] != 0 {
+		t.Error("M^0 = I")
+	}
+	m3 := MatrixPower(m, 3)
+	if math.Abs(m3[0][0]-0.751) > 1e-9 {
+		t.Errorf("M^3[F][F]: %v", m3[0][0])
+	}
+	// Rows remain stochastic.
+	for i := 0; i < 3; i++ {
+		sum := 0.0
+		for j := 0; j < 3; j++ {
+			sum += m3[i][j]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("M^3 row %d: %v", i, sum)
+		}
+	}
+}

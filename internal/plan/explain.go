@@ -1,0 +1,151 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a plan tree as an indented outline, used by the
+// shell's EXPLAIN and by planner tests asserting on plan shapes.
+func Explain(n Node) string {
+	var b strings.Builder
+	explain(&b, n, 0)
+	return b.String()
+}
+
+func explain(b *strings.Builder, n Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	certainty := "uncertain"
+	if n.Certain() {
+		certainty = "certain"
+	}
+	line := func(format string, args ...interface{}) {
+		fmt.Fprintf(b, "%s%s [%s] %s\n", indent, opName(n), certainty, fmt.Sprintf(format, args...))
+	}
+	switch n := n.(type) {
+	case *Scan:
+		line("table=%s alias=%s cols=%d", n.Table, n.Alias, n.Sch().Len())
+	case *Dual:
+		line("")
+	case *Rename:
+		line("as=%s", n.sch.Cols[0].Rel)
+		explain(b, n.In, depth+1)
+	case *Product:
+		line("")
+		explain(b, n.L, depth+1)
+		explain(b, n.R, depth+1)
+	case *HashJoin:
+		line("lkeys=%v rkeys=%v", n.LKeys, n.RKeys)
+		explain(b, n.L, depth+1)
+		explain(b, n.R, depth+1)
+	case *Filter:
+		line("")
+		explain(b, n.In, depth+1)
+	case *SemiJoinIn:
+		line("")
+		explain(b, n.In, depth+1)
+		explain(b, n.Sub, depth+1)
+	case *Project:
+		line("items=%d tconf=%v", len(n.Items), n.HasTconf)
+		explain(b, n.In, depth+1)
+	case *Aggregate:
+		names := make([]string, len(n.Aggs))
+		for i, a := range n.Aggs {
+			names[i] = aggName(a.Kind)
+		}
+		line("groupby=%d aggs=%v", len(n.GroupBy), names)
+		explain(b, n.In, depth+1)
+	case *RepairKey:
+		line("keys=%v weighted=%v", n.Keys, n.Weight != nil)
+		explain(b, n.In, depth+1)
+	case *PickTuples:
+		line("independently prob=%v", n.Prob != nil)
+		explain(b, n.In, depth+1)
+	case *UnionAll:
+		line("")
+		explain(b, n.L, depth+1)
+		explain(b, n.R, depth+1)
+	case *Distinct:
+		line("")
+		explain(b, n.In, depth+1)
+	case *Possible:
+		line("")
+		explain(b, n.In, depth+1)
+	case *Sort:
+		line("keys=%d", len(n.Keys))
+		explain(b, n.In, depth+1)
+	case *Limit:
+		line("n=%d offset=%d", n.N, n.Offset)
+		explain(b, n.In, depth+1)
+	default:
+		line("?")
+	}
+}
+
+func opName(n Node) string {
+	switch n.(type) {
+	case *Scan:
+		return "Scan"
+	case *Dual:
+		return "Dual"
+	case *Rename:
+		return "Rename"
+	case *Product:
+		return "Product"
+	case *HashJoin:
+		return "HashJoin"
+	case *Filter:
+		return "Filter"
+	case *SemiJoinIn:
+		return "SemiJoinIn"
+	case *Project:
+		return "Project"
+	case *Aggregate:
+		return "Aggregate"
+	case *RepairKey:
+		return "RepairKey"
+	case *PickTuples:
+		return "PickTuples"
+	case *UnionAll:
+		return "UnionAll"
+	case *Distinct:
+		return "Distinct"
+	case *Possible:
+		return "Possible"
+	case *Sort:
+		return "Sort"
+	case *Limit:
+		return "Limit"
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+func aggName(k AggKind) string {
+	switch k {
+	case AggConf:
+		return "conf"
+	case AggAconf:
+		return "aconf"
+	case AggESum:
+		return "esum"
+	case AggECount:
+		return "ecount"
+	case AggArgmax:
+		return "argmax"
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggCountStar:
+		return "count(*)"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("agg%d", k)
+	}
+}

@@ -1,0 +1,558 @@
+// Package plan translates parsed MayBMS queries into a tree of logical
+// operators over U-relations, implementing the parsimonious
+// translation of positive relational algebra of Antova et al. (ICDE
+// 2008): selections filter data columns, projections keep condition
+// columns, joins conjoin conditions and drop inconsistent
+// combinations, and the uncertainty-introducing constructs repair-key
+// and pick-tuples allocate fresh world-set variables.
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"maybms/internal/schema"
+	"maybms/internal/sql"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+	"maybms/internal/ws"
+)
+
+// Catalog resolves table names during planning and execution.
+type Catalog interface {
+	// TableSchema returns the schema of a named table.
+	TableSchema(name string) (*schema.Schema, error)
+	// TableRel materialises the named table as a U-relation.
+	TableRel(name string) (*urel.Rel, error)
+	// TableCertain reports whether the named table is t-certain.
+	TableCertain(name string) (bool, error)
+}
+
+// NodeRunner executes a planned subtree, returning its result. The
+// executor provides it so compiled expressions can run subqueries.
+type NodeRunner func(n Node) (*urel.Rel, error)
+
+// EvalCtx carries the runtime state expression evaluation needs.
+type EvalCtx struct {
+	Store  *ws.Store
+	Run    NodeRunner
+	Rng    *rand.Rand
+	Params map[string]types.Value // reserved for future use
+}
+
+// Compiled is a scalar expression bound to an input schema.
+type Compiled struct {
+	eval func(ctx *EvalCtx, row schema.Tuple) (types.Value, error)
+	kind types.Kind
+}
+
+// Eval evaluates the expression on a row.
+func (c *Compiled) Eval(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+	return c.eval(ctx, row)
+}
+
+// Kind returns the statically inferred result type.
+func (c *Compiled) Kind() types.Kind { return c.kind }
+
+// Compile binds expression e to the given input schema. Aggregate
+// calls are rejected here; the aggregation operator compiles its
+// arguments separately.
+func Compile(e sql.Expr, sch *schema.Schema) (*Compiled, error) {
+	return compile(e, sch, nil)
+}
+
+// compileWithPlanner allows subquery expressions; planSub plans a
+// query appearing inside the expression.
+func compile(e sql.Expr, sch *schema.Schema, planSub func(q sql.Query) (Node, error)) (*Compiled, error) {
+	switch e := e.(type) {
+	case sql.Lit:
+		v := e.Val
+		return &Compiled{
+			eval: func(*EvalCtx, schema.Tuple) (types.Value, error) { return v, nil },
+			kind: v.Kind(),
+		}, nil
+
+	case sql.ColRef:
+		idx, err := sch.Resolve(e.Rel, e.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &Compiled{
+			eval: func(_ *EvalCtx, row schema.Tuple) (types.Value, error) { return row[idx], nil },
+			kind: sch.Cols[idx].Kind,
+		}, nil
+
+	case *sql.Unary:
+		in, err := compile(e.E, sch, planSub)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-":
+			return &Compiled{kind: in.kind, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+				v, err := in.eval(ctx, row)
+				if err != nil {
+					return types.Null(), err
+				}
+				return types.Neg(v)
+			}}, nil
+		case "not":
+			return &Compiled{kind: types.KindBool, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+				v, err := in.eval(ctx, row)
+				if err != nil {
+					return types.Null(), err
+				}
+				if v.IsNull() {
+					return types.Null(), nil
+				}
+				return types.NewBool(!v.Truth()), nil
+			}}, nil
+		default:
+			return nil, fmt.Errorf("plan: unknown unary operator %q", e.Op)
+		}
+
+	case *sql.Binary:
+		return compileBinary(e, sch, planSub)
+
+	case *sql.IsNull:
+		in, err := compile(e.E, sch, planSub)
+		if err != nil {
+			return nil, err
+		}
+		neg := e.Negate
+		return &Compiled{kind: types.KindBool, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			v, err := in.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			return types.NewBool(v.IsNull() != neg), nil
+		}}, nil
+
+	case *sql.Between:
+		lo, err := compile(&sql.Binary{Op: ">=", L: e.E, R: e.Lo}, sch, planSub)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compile(&sql.Binary{Op: "<=", L: e.E, R: e.Hi}, sch, planSub)
+		if err != nil {
+			return nil, err
+		}
+		neg := e.Negate
+		return &Compiled{kind: types.KindBool, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			a, err := lo.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			b, err := hi.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			if a.IsNull() || b.IsNull() {
+				return types.Null(), nil
+			}
+			return types.NewBool((a.Truth() && b.Truth()) != neg), nil
+		}}, nil
+
+	case *sql.Cast:
+		in, err := compile(e.E, sch, planSub)
+		if err != nil {
+			return nil, err
+		}
+		k := e.Kind
+		return &Compiled{kind: k, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			v, err := in.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			return v.Cast(k)
+		}}, nil
+
+	case *sql.InList:
+		in, err := compile(e.E, sch, planSub)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]*Compiled, len(e.List))
+		for i, x := range e.List {
+			c, err := compile(x, sch, planSub)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = c
+		}
+		neg := e.Negate
+		return &Compiled{kind: types.KindBool, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			v, err := in.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			if v.IsNull() {
+				return types.Null(), nil
+			}
+			anyNull := false
+			for _, it := range items {
+				w, err := it.eval(ctx, row)
+				if err != nil {
+					return types.Null(), err
+				}
+				if w.IsNull() {
+					anyNull = true
+					continue
+				}
+				if v.Equal(w) {
+					return types.NewBool(!neg), nil
+				}
+			}
+			if anyNull {
+				return types.Null(), nil
+			}
+			return types.NewBool(neg), nil
+		}}, nil
+
+	case *sql.InSubquery:
+		if planSub == nil {
+			return nil, fmt.Errorf("plan: subquery not allowed in this context")
+		}
+		sub, err := planSub(e.Query)
+		if err != nil {
+			return nil, err
+		}
+		if !sub.Certain() {
+			return nil, fmt.Errorf("plan: uncertain subquery in IN must occur positively as a top-level WHERE conjunct")
+		}
+		if sub.Sch().Len() != 1 {
+			return nil, fmt.Errorf("plan: IN subquery must return exactly one column, got %d", sub.Sch().Len())
+		}
+		in, err := compile(e.E, sch, planSub)
+		if err != nil {
+			return nil, err
+		}
+		neg := e.Negate
+		var cache map[string]bool // lazily materialised value set
+		return &Compiled{kind: types.KindBool, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			if cache == nil {
+				rel, err := ctx.Run(sub)
+				if err != nil {
+					return types.Null(), err
+				}
+				cache = make(map[string]bool, rel.Len())
+				for _, t := range rel.Tuples {
+					cache[t.Data.Key()] = true
+				}
+			}
+			v, err := in.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			if v.IsNull() {
+				return types.Null(), nil
+			}
+			hit := cache[schema.Tuple{v}.Key()]
+			return types.NewBool(hit != neg), nil
+		}}, nil
+
+	case *sql.Exists:
+		if planSub == nil {
+			return nil, fmt.Errorf("plan: subquery not allowed in this context")
+		}
+		sub, err := planSub(e.Query)
+		if err != nil {
+			return nil, err
+		}
+		if !sub.Certain() {
+			return nil, fmt.Errorf("plan: EXISTS requires a t-certain subquery; use conf() or possible instead")
+		}
+		neg := e.Negate
+		known := false
+		var result bool
+		return &Compiled{kind: types.KindBool, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			if !known {
+				rel, err := ctx.Run(sub)
+				if err != nil {
+					return types.Null(), err
+				}
+				result = rel.Len() > 0
+				known = true
+			}
+			return types.NewBool(result != neg), nil
+		}}, nil
+
+	case *sql.FuncCall:
+		if sql.AggregateNames[e.Name] {
+			return nil, fmt.Errorf("plan: aggregate %s not allowed here", e.Name)
+		}
+		return compileScalarFunc(e, sch, planSub)
+
+	default:
+		return nil, fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}
+
+func compileBinary(e *sql.Binary, sch *schema.Schema, planSub func(q sql.Query) (Node, error)) (*Compiled, error) {
+	l, err := compile(e.L, sch, planSub)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compile(e.R, sch, planSub)
+	if err != nil {
+		return nil, err
+	}
+	op := e.Op
+	switch op {
+	case "and", "or":
+		isAnd := op == "and"
+		return &Compiled{kind: types.KindBool, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			a, err := l.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			// Three-valued logic with short-circuit.
+			if !a.IsNull() {
+				if isAnd && !a.Truth() {
+					return types.NewBool(false), nil
+				}
+				if !isAnd && a.Truth() {
+					return types.NewBool(true), nil
+				}
+			}
+			b, err := r.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			if b.IsNull() || a.IsNull() {
+				if !b.IsNull() {
+					if isAnd && !b.Truth() {
+						return types.NewBool(false), nil
+					}
+					if !isAnd && b.Truth() {
+						return types.NewBool(true), nil
+					}
+				}
+				return types.Null(), nil
+			}
+			if isAnd {
+				return types.NewBool(a.Truth() && b.Truth()), nil
+			}
+			return types.NewBool(a.Truth() || b.Truth()), nil
+		}}, nil
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		return &Compiled{kind: types.KindBool, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			a, err := l.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			b, err := r.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			return types.CompareOp(op, a, b)
+		}}, nil
+	case "like":
+		return &Compiled{kind: types.KindBool, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			a, err := l.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			b, err := r.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			if a.IsNull() || b.IsNull() {
+				return types.Null(), nil
+			}
+			if a.Kind() != types.KindText || b.Kind() != types.KindText {
+				return types.Null(), fmt.Errorf("LIKE requires text operands")
+			}
+			return types.NewBool(likeMatch(b.Text(), a.Text())), nil
+		}}, nil
+	case "+", "-", "*", "/", "%":
+		kind := types.KindInt
+		if l.kind == types.KindFloat || r.kind == types.KindFloat {
+			kind = types.KindFloat
+		}
+		if op == "+" && l.kind == types.KindText {
+			kind = types.KindText
+		}
+		fn := map[string]func(a, b types.Value) (types.Value, error){
+			"+": types.Add, "-": types.Sub, "*": types.Mul, "/": types.Div, "%": types.Mod,
+		}[op]
+		return &Compiled{kind: kind, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			a, err := l.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			b, err := r.eval(ctx, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			return fn(a, b)
+		}}, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown operator %q", op)
+	}
+}
+
+// compileScalarFunc handles the non-aggregate built-in functions.
+func compileScalarFunc(e *sql.FuncCall, sch *schema.Schema, planSub func(q sql.Query) (Node, error)) (*Compiled, error) {
+	args := make([]*Compiled, len(e.Args))
+	for i, a := range e.Args {
+		c, err := compile(a, sch, planSub)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = c
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("plan: %s expects %d argument(s), got %d", e.Name, n, len(args))
+		}
+		return nil
+	}
+	switch e.Name {
+	case "abs":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return &Compiled{kind: args[0].kind, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			v, err := args[0].eval(ctx, row)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			switch v.Kind() {
+			case types.KindInt:
+				if v.Int() < 0 {
+					return types.NewInt(-v.Int()), nil
+				}
+				return v, nil
+			case types.KindFloat:
+				if v.Float() < 0 {
+					return types.NewFloat(-v.Float()), nil
+				}
+				return v, nil
+			}
+			return types.Null(), fmt.Errorf("abs requires a numeric argument")
+		}}, nil
+	case "coalesce":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("plan: coalesce needs at least one argument")
+		}
+		kind := args[0].kind
+		return &Compiled{kind: kind, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			for _, a := range args {
+				v, err := a.eval(ctx, row)
+				if err != nil {
+					return types.Null(), err
+				}
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return types.Null(), nil
+		}}, nil
+	case "lower", "upper":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		toUpper := e.Name == "upper"
+		return &Compiled{kind: types.KindText, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			v, err := args[0].eval(ctx, row)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			if v.Kind() != types.KindText {
+				return types.Null(), fmt.Errorf("%s requires a text argument", e.Name)
+			}
+			if toUpper {
+				return types.NewText(strings.ToUpper(v.Text())), nil
+			}
+			return types.NewText(strings.ToLower(v.Text())), nil
+		}}, nil
+	case "length":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return &Compiled{kind: types.KindInt, eval: func(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
+			v, err := args[0].eval(ctx, row)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			if v.Kind() != types.KindText {
+				return types.Null(), fmt.Errorf("length requires a text argument")
+			}
+			return types.NewInt(int64(len(v.Text()))), nil
+		}}, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown function %q", e.Name)
+	}
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(pattern, s string) bool {
+	// Dynamic programming over pattern/string positions.
+	p, n := []rune(pattern), []rune(s)
+	memo := make(map[[2]int]bool)
+	var match func(i, j int) bool
+	match = func(i, j int) bool {
+		if i == len(p) {
+			return j == len(n)
+		}
+		key := [2]int{i, j}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		var res bool
+		switch p[i] {
+		case '%':
+			res = match(i+1, j) || (j < len(n) && match(i, j+1))
+		case '_':
+			res = j < len(n) && match(i+1, j+1)
+		default:
+			res = j < len(n) && p[i] == n[j] && match(i+1, j+1)
+		}
+		memo[key] = res
+		return res
+	}
+	return match(0, 0)
+}
+
+// ExprString renders an expression canonically; used to match GROUP BY
+// expressions against SELECT items.
+func ExprString(e sql.Expr) string {
+	switch e := e.(type) {
+	case sql.Lit:
+		return "lit:" + e.Val.SQLLiteral()
+	case sql.ColRef:
+		return "col:" + strings.ToLower(e.Rel) + "." + strings.ToLower(e.Name)
+	case *sql.Unary:
+		return "(" + e.Op + " " + ExprString(e.E) + ")"
+	case *sql.Binary:
+		return "(" + ExprString(e.L) + " " + e.Op + " " + ExprString(e.R) + ")"
+	case *sql.FuncCall:
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = ExprString(a)
+		}
+		star := ""
+		if e.Star {
+			star = "*"
+		}
+		return e.Name + "(" + star + strings.Join(parts, ",") + ")"
+	case *sql.IsNull:
+		return fmt.Sprintf("(%s is null neg=%v)", ExprString(e.E), e.Negate)
+	case *sql.Between:
+		return fmt.Sprintf("(%s between %s and %s neg=%v)", ExprString(e.E), ExprString(e.Lo), ExprString(e.Hi), e.Negate)
+	case *sql.Cast:
+		return fmt.Sprintf("cast(%s as %s)", ExprString(e.E), e.Kind)
+	case *sql.InList:
+		parts := make([]string, len(e.List))
+		for i, a := range e.List {
+			parts[i] = ExprString(a)
+		}
+		sort.Strings(parts)
+		return fmt.Sprintf("(%s in [%s] neg=%v)", ExprString(e.E), strings.Join(parts, ","), e.Negate)
+	default:
+		return fmt.Sprintf("%T@%p", e, e)
+	}
+}

@@ -1,0 +1,265 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"maybms/internal/schema"
+	"maybms/internal/sql"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+)
+
+// fakeCatalog serves fixed schemas for planner tests.
+type fakeCatalog struct {
+	tables map[string]*schema.Schema
+	// uncertain marks tables as U-relations.
+	uncertain map[string]bool
+}
+
+func (c *fakeCatalog) TableSchema(name string) (*schema.Schema, error) {
+	s, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("no table %q", name)
+	}
+	return s, nil
+}
+
+func (c *fakeCatalog) TableRel(name string) (*urel.Rel, error) {
+	s, err := c.TableSchema(name)
+	if err != nil {
+		return nil, err
+	}
+	return urel.New(s), nil
+}
+
+func (c *fakeCatalog) TableCertain(name string) (bool, error) {
+	if _, err := c.TableSchema(name); err != nil {
+		return false, err
+	}
+	return !c.uncertain[strings.ToLower(name)], nil
+}
+
+func testCatalog() *fakeCatalog {
+	return &fakeCatalog{
+		tables: map[string]*schema.Schema{
+			"r": schema.New(
+				schema.Column{Name: "a", Kind: types.KindInt},
+				schema.Column{Name: "b", Kind: types.KindInt},
+			),
+			"s": schema.New(
+				schema.Column{Name: "b", Kind: types.KindInt},
+				schema.Column{Name: "c", Kind: types.KindText},
+			),
+			"u": schema.New(
+				schema.Column{Name: "a", Kind: types.KindInt},
+				schema.Column{Name: "p", Kind: types.KindFloat},
+			),
+		},
+		uncertain: map[string]bool{"u": true},
+	}
+}
+
+func buildQuery(t *testing.T, src string) Node {
+	t.Helper()
+	st, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	n, err := Build(st.(*sql.QueryStmt).Query, testCatalog())
+	if err != nil {
+		t.Fatalf("build %q: %v", src, err)
+	}
+	return n
+}
+
+func buildErr(t *testing.T, src string) error {
+	t.Helper()
+	st, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	_, err = Build(st.(*sql.QueryStmt).Query, testCatalog())
+	if err == nil {
+		t.Fatalf("build %q: expected error", src)
+	}
+	return err
+}
+
+func TestEquiJoinBecomesHashJoin(t *testing.T) {
+	n := buildQuery(t, "select r.a, s.c from r, s where r.b = s.b")
+	out := Explain(n)
+	if !strings.Contains(out, "HashJoin") {
+		t.Errorf("expected HashJoin:\n%s", out)
+	}
+	if strings.Contains(out, "Product") {
+		t.Errorf("no Product expected:\n%s", out)
+	}
+}
+
+func TestNonEquiJoinFallsBackToProduct(t *testing.T) {
+	n := buildQuery(t, "select r.a from r, s where r.b < s.b")
+	out := Explain(n)
+	if !strings.Contains(out, "Product") {
+		t.Errorf("expected Product:\n%s", out)
+	}
+	if !strings.Contains(out, "Filter") {
+		t.Errorf("expected residual Filter:\n%s", out)
+	}
+}
+
+func TestSingleTablePredicatePushdown(t *testing.T) {
+	n := buildQuery(t, "select r.a from r, s where r.b = s.b and r.a > 3")
+	out := Explain(n)
+	// The r.a > 3 filter must sit below the join, directly over the
+	// scan of r.
+	idxFilter := strings.Index(out, "Filter")
+	idxJoin := strings.Index(out, "HashJoin")
+	if idxFilter < 0 || idxJoin < 0 || idxFilter < idxJoin {
+		t.Errorf("pushed filter should appear under the join:\n%s", out)
+	}
+}
+
+func TestCertaintyPropagation(t *testing.T) {
+	if n := buildQuery(t, "select a from r"); !n.Certain() {
+		t.Error("select over certain table is certain")
+	}
+	if n := buildQuery(t, "select a from u"); n.Certain() {
+		t.Error("select over U-relation is uncertain")
+	}
+	if n := buildQuery(t, "select a, conf() from u group by a"); !n.Certain() {
+		t.Error("conf() output is t-certain")
+	}
+	if n := buildQuery(t, "select a, tconf() from u"); !n.Certain() {
+		t.Error("tconf() output is t-certain")
+	}
+	if n := buildQuery(t, "select possible a from u"); !n.Certain() {
+		t.Error("possible output is t-certain")
+	}
+	if n := buildQuery(t, "repair key a in r"); n.Certain() {
+		t.Error("repair key output is uncertain")
+	}
+	if n := buildQuery(t, "pick tuples from r"); n.Certain() {
+		t.Error("pick tuples output is uncertain")
+	}
+	if n := buildQuery(t, "select r.a from r, u where r.a = u.a"); n.Certain() {
+		t.Error("join with U-relation is uncertain")
+	}
+}
+
+func TestPlanRestrictions(t *testing.T) {
+	cases := map[string]string{
+		"select sum(a) from u":                                "not supported on uncertain", // caught at exec; plan allows
+		"select distinct a from u":                            "DISTINCT",
+		"repair key a in u":                                   "t-certain",
+		"pick tuples from u":                                  "t-certain",
+		"select a from u union select a from u":               "UNION",
+		"select a from r where sum(a) > 1":                    "aggregates",
+		"select a, tconf() from u group by a":                 "tconf",
+		"select tconf(), conf() from u":                       "tconf",
+		"select possible a, conf() from u group by a":         "POSSIBLE",
+		"select a from r where a in (select a, p from u)":     "one column",
+		"select a from r where a not in (select a from u)":    "positively",
+		"select argmax(a, p), argmax(p, a) from u group by a": "argmax",
+		"select b from r group by a":                          "GROUP BY",
+		"select a from r order by 99":                         "out of range",
+		"select zzz from r":                                   "unknown column",
+		"select a from nope":                                  "no table",
+	}
+	for src, want := range cases {
+		if src == "select sum(a) from u" {
+			continue // runtime-enforced, covered in db tests
+		}
+		err := buildErr(t, src)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Build(%q) error %q should mention %q", src, err, want)
+		}
+	}
+}
+
+func TestAggregatePlanShape(t *testing.T) {
+	n := buildQuery(t, "select a, conf() from u group by a order by a")
+	out := Explain(n)
+	if !strings.Contains(out, "Aggregate") || !strings.Contains(out, "aggs=[conf]") {
+		t.Errorf("aggregate plan:\n%s", out)
+	}
+	if !strings.Contains(out, "Sort") {
+		t.Errorf("order by should plan a sort:\n%s", out)
+	}
+}
+
+func TestHiddenSortColumnProjection(t *testing.T) {
+	// ORDER BY a group-by expression that is not projected must add a
+	// hidden column and strip it afterwards.
+	n := buildQuery(t, "select conf() from u group by a order by a")
+	if n.Sch().Len() != 1 {
+		t.Errorf("hidden sort column leaked: %v", n.Sch())
+	}
+	out := Explain(n)
+	if !strings.Contains(out, "Project") || !strings.Contains(out, "Sort") {
+		t.Errorf("expected Sort+Project:\n%s", out)
+	}
+}
+
+func TestOrderByAggregateNotProjected(t *testing.T) {
+	n := buildQuery(t, "select a from r group by a order by count(*) desc")
+	if n.Sch().Len() != 1 {
+		t.Errorf("hidden agg column leaked: %v", n.Sch())
+	}
+}
+
+func TestCompileStandalone(t *testing.T) {
+	sch := schema.New(schema.Column{Name: "x", Kind: types.KindInt})
+	st, _ := sql.Parse("select x + 1 from r")
+	item := st.(*sql.QueryStmt).Query.(*sql.Select).Items[0].Expr
+	c, err := Compile(item, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Eval(&EvalCtx{}, schema.Tuple{types.NewInt(41)})
+	if err != nil || v.Int() != 42 {
+		t.Errorf("%v %v", v, err)
+	}
+	// Aggregates rejected by standalone Compile.
+	st, _ = sql.Parse("select sum(x) from r")
+	if _, err := Compile(st.(*sql.QueryStmt).Query.(*sql.Select).Items[0].Expr, sch); err == nil {
+		t.Error("aggregate should be rejected")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"%", "", true},
+		{"%", "anything", true},
+		{"a%", "abc", true},
+		{"a%", "bc", false},
+		{"%c", "abc", true},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"%b%", "abc", true},
+		{"abc", "abc", true},
+		{"", "", true},
+		{"", "x", false},
+		{"%%x%%", "needle x haystack", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("likeMatch(%q,%q)=%v want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	st, _ := sql.Parse("select a + b, a + b, b + a from r")
+	items := st.(*sql.QueryStmt).Query.(*sql.Select).Items
+	if ExprString(items[0].Expr) != ExprString(items[1].Expr) {
+		t.Error("identical expressions must have identical strings")
+	}
+	if ExprString(items[0].Expr) == ExprString(items[2].Expr) {
+		t.Error("a+b and b+a differ syntactically")
+	}
+}

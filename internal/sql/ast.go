@@ -1,0 +1,281 @@
+// Package sql implements the MayBMS query language front-end: a lexer
+// and recursive-descent parser for SQL extended with the
+// uncertainty-aware constructs of the paper — repair-key, pick-tuples,
+// possible, and the aggregates conf, aconf, tconf, esum, ecount, and
+// argmax.
+package sql
+
+import (
+	"strings"
+
+	"maybms/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColDef is one column definition in CREATE TABLE.
+type ColDef struct {
+	Name string
+	Kind types.Kind
+}
+
+// CreateTable is CREATE TABLE name (cols) or CREATE TABLE name AS query.
+type CreateTable struct {
+	Name    string
+	Cols    []ColDef
+	AsQuery Query // nil unless CREATE TABLE ... AS
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// Insert is INSERT INTO name [(cols)] VALUES (...),(...) or INSERT INTO name query.
+type Insert struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+	Query Query // nil unless INSERT ... SELECT
+}
+
+// SetClause is one col = expr assignment in UPDATE.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// Update is UPDATE name SET ... [WHERE ...].
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// Delete is DELETE FROM name [WHERE ...].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Begin, Commit, Rollback are transaction control statements.
+type Begin struct{}
+
+// Commit commits the current transaction.
+type Commit struct{}
+
+// Rollback aborts the current transaction.
+type Rollback struct{}
+
+// QueryStmt wraps a query used as a statement.
+type QueryStmt struct{ Query Query }
+
+// ExplainStmt is EXPLAIN <query>: it returns the plan outline instead
+// of running the query.
+type ExplainStmt struct{ Query Query }
+
+func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
+func (*Insert) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}
+func (*Begin) stmt()       {}
+func (*Commit) stmt()      {}
+func (*Rollback) stmt()    {}
+func (*QueryStmt) stmt()   {}
+func (*ExplainStmt) stmt() {}
+
+// Query is any table-valued expression.
+type Query interface{ query() }
+
+// SelectItem is one item of the SELECT list.
+type SelectItem struct {
+	Expr  Expr   // nil for *
+	Alias string // optional
+	Star  bool   // SELECT * or rel.*
+	Rel   string // qualifier for rel.*
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a select-from-where-groupby-orderby-limit block.
+type Select struct {
+	Possible bool // SELECT POSSIBLE ...: dedupe, drop zero-probability
+	Distinct bool // SELECT DISTINCT (t-certain input only)
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+	Offset   int // 0 when absent
+}
+
+// Union is the multiset union of two queries (SQL UNION ALL; plain
+// UNION additionally deduplicates and requires t-certain inputs).
+type Union struct {
+	Left, Right Query
+	All         bool
+}
+
+// RepairKey is repair key <attrs> in <query> [weight by <expr>]: it
+// nondeterministically chooses a maximal repair of the key, turning a
+// t-certain relation into a block-independent uncertain one.
+type RepairKey struct {
+	Attrs    []ColRef
+	In       Query
+	WeightBy Expr // nil = uniform
+}
+
+// PickTuples is pick tuples from <query> [independently]
+// [with probability <expr>]: the distribution over all subsets of the
+// input.
+type PickTuples struct {
+	From          Query
+	Independently bool
+	Prob          Expr // nil = 0.5
+}
+
+func (*Select) query()     {}
+func (*Union) query()      {}
+func (*RepairKey) query()  {}
+func (*PickTuples) query() {}
+
+// FromItem is one entry of the FROM clause.
+type FromItem struct {
+	Table    string // non-empty for base table references
+	Subquery Query  // non-nil for (query) alias
+	Alias    string
+}
+
+// Expr is any scalar expression.
+type Expr interface{ expr() }
+
+// ColRef references a column, optionally qualified.
+type ColRef struct {
+	Rel  string
+	Name string
+}
+
+// Lit is a literal value.
+type Lit struct{ Val types.Value }
+
+// Unary applies NOT or - to an operand.
+type Unary struct {
+	Op string
+	E  Expr
+}
+
+// Binary applies an infix operator.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// FuncCall is a function or aggregate invocation.
+type FuncCall struct {
+	Name string // lower-cased
+	Args []Expr
+	Star bool // count(*)
+}
+
+// InList is e [NOT] IN (v1, v2, ...).
+type InList struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+// InSubquery is e [NOT] IN (query).
+type InSubquery struct {
+	E      Expr
+	Query  Query
+	Negate bool
+}
+
+// Exists is [NOT] EXISTS (query).
+type Exists struct {
+	Query  Query
+	Negate bool
+}
+
+// IsNull is e IS [NOT] NULL.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Between is e [NOT] BETWEEN lo AND hi.
+type Between struct {
+	E, Lo, Hi Expr
+	Negate    bool
+}
+
+// Cast is CAST(e AS type).
+type Cast struct {
+	E    Expr
+	Kind types.Kind
+}
+
+func (ColRef) expr()      {}
+func (Lit) expr()         {}
+func (*Unary) expr()      {}
+func (*Binary) expr()     {}
+func (*FuncCall) expr()   {}
+func (*InList) expr()     {}
+func (*InSubquery) expr() {}
+func (*Exists) expr()     {}
+func (*IsNull) expr()     {}
+func (*Between) expr()    {}
+func (*Cast) expr()       {}
+
+// AggregateNames lists the aggregate functions the language knows,
+// including the uncertainty-aware ones.
+var AggregateNames = map[string]bool{
+	"conf": true, "aconf": true, "tconf": true,
+	"esum": true, "ecount": true, "eavg": true, "argmax": true,
+	"sum": true, "count": true, "avg": true, "min": true, "max": true,
+}
+
+// IsAggregate reports whether the expression tree contains an
+// aggregate call.
+func IsAggregate(e Expr) bool {
+	switch e := e.(type) {
+	case *FuncCall:
+		if AggregateNames[strings.ToLower(e.Name)] {
+			return true
+		}
+		for _, a := range e.Args {
+			if IsAggregate(a) {
+				return true
+			}
+		}
+	case *Unary:
+		return IsAggregate(e.E)
+	case *Binary:
+		return IsAggregate(e.L) || IsAggregate(e.R)
+	case *IsNull:
+		return IsAggregate(e.E)
+	case *Between:
+		return IsAggregate(e.E) || IsAggregate(e.Lo) || IsAggregate(e.Hi)
+	case *Cast:
+		return IsAggregate(e.E)
+	case *InList:
+		if IsAggregate(e.E) {
+			return true
+		}
+		for _, x := range e.List {
+			if IsAggregate(x) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // operators and punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers lower-cased unless quoted
+	pos  int
+}
+
+// lexer turns SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenises the input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.pos++
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokIdent, strings.ToLower(l.src[start:l.pos]), start)
+		case c == '"': // quoted identifier
+			l.pos++
+			var b strings.Builder
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				b.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier at %d", start)
+			}
+			l.pos++
+			l.emit(tokIdent, b.String(), start)
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.pos++
+			seenDot := c == '.'
+			for l.pos < len(l.src) {
+				d := l.src[l.pos]
+				if d >= '0' && d <= '9' {
+					l.pos++
+					continue
+				}
+				if d == '.' && !seenDot {
+					seenDot = true
+					l.pos++
+					continue
+				}
+				if (d == 'e' || d == 'E') && l.pos+1 < len(l.src) {
+					next := l.src[l.pos+1]
+					if next >= '0' && next <= '9' || ((next == '+' || next == '-') && l.pos+2 < len(l.src) && l.src[l.pos+2] >= '0' && l.src[l.pos+2] <= '9') {
+						l.pos += 2
+						for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+							l.pos++
+						}
+					}
+				}
+				break
+			}
+			l.emit(tokNumber, l.src[start:l.pos], start)
+		case c == '\'':
+			l.pos++
+			var b strings.Builder
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						b.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					break
+				}
+				b.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("sql: unterminated string at %d", start)
+			}
+			l.pos++
+			l.emit(tokString, b.String(), start)
+		default:
+			// Multi-char operators first.
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				l.pos += 2
+				l.emit(tokOp, two, start)
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', ';', '.':
+				l.pos++
+				l.emit(tokOp, string(c), start)
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += end + 4
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,1005 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"maybms/internal/types"
+)
+
+// Parse parses a single SQL statement (a trailing semicolon is
+// allowed).
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	var out []Statement
+	for {
+		for p.acceptOp(";") {
+		}
+		if p.peek().kind == tokEOF {
+			break
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if !p.acceptOp(";") && p.peek().kind != tokEOF {
+			return nil, p.errf("expected ';' or end of input")
+		}
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) peek2() token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.peek()
+	where := "end of input"
+	if t.kind != tokEOF {
+		where = fmt.Sprintf("%q at offset %d", t.text, t.pos)
+	}
+	return fmt.Errorf("sql: %s (near %s)", fmt.Sprintf(format, args...), where)
+}
+
+// acceptKw consumes the next token when it is the given keyword.
+func (p *parser) acceptKw(kw string) bool {
+	if t := p.peek(); t.kind == tokIdent && t.text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// peekKw reports whether the next token is the given keyword.
+func (p *parser) peekKw(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == kw
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s", strings.ToUpper(kw))
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if t := p.peek(); t.kind == tokOp && t.text == op {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q", op)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		p.next()
+		return t.text, nil
+	}
+	return "", p.errf("expected identifier")
+}
+
+// statement parses one statement.
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.peekKw("create"):
+		return p.createTable()
+	case p.peekKw("drop"):
+		return p.dropTable()
+	case p.peekKw("insert"):
+		return p.insert()
+	case p.peekKw("update"):
+		return p.update()
+	case p.peekKw("delete"):
+		return p.delete()
+	case p.acceptKw("explain"):
+		q, err := p.query()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: q}, nil
+	case p.acceptKw("begin"):
+		p.acceptKw("transaction")
+		return &Begin{}, nil
+	case p.acceptKw("commit"):
+		return &Commit{}, nil
+	case p.acceptKw("rollback"):
+		p.acceptKw("transaction")
+		return &Rollback{}, nil
+	default:
+		q, err := p.query()
+		if err != nil {
+			return nil, err
+		}
+		return &QueryStmt{Query: q}, nil
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	p.next() // create
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKw("as") {
+		q, err := p.query()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateTable{Name: name, AsQuery: q}, nil
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var cols []ColDef
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		// Allow DOUBLE PRECISION.
+		if tname == "double" && p.acceptKw("precision") {
+			tname = "double"
+		}
+		kind, ok := types.KindFromName(tname)
+		if !ok {
+			return nil, p.errf("unknown type %q", tname)
+		}
+		cols = append(cols, ColDef{Name: cname, Kind: kind})
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CreateTable{Name: name, Cols: cols}, nil
+}
+
+func (p *parser) dropTable() (Statement, error) {
+	p.next() // drop
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	ifExists := false
+	if p.acceptKw("if") {
+		if err := p.expectKw("exists"); err != nil {
+			return nil, err
+		}
+		ifExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name, IfExists: ifExists}, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	p.next() // insert
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	if p.acceptOp("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, c)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("values") {
+		for {
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if p.acceptOp(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			ins.Rows = append(ins.Rows, row)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		return ins, nil
+	}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	ins.Query = q
+	return ins, nil
+}
+
+func (p *parser) update() (Statement, error) {
+	p.next() // update
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	u := &Update{Table: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		u.Sets = append(u.Sets, SetClause{Col: col, Expr: e})
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("where") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = e
+	}
+	return u, nil
+}
+
+func (p *parser) delete() (Statement, error) {
+	p.next() // delete
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: name}
+	if p.acceptKw("where") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = e
+	}
+	return d, nil
+}
+
+// query parses a union of query terms.
+func (p *parser) query() (Query, error) {
+	left, err := p.queryTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("union") {
+		all := p.acceptKw("all")
+		right, err := p.queryTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &Union{Left: left, Right: right, All: all}
+	}
+	return left, nil
+}
+
+// queryTerm parses a select, repair-key, pick-tuples, or
+// parenthesised query.
+func (p *parser) queryTerm() (Query, error) {
+	switch {
+	case p.peekKw("select"):
+		return p.selectQuery()
+	case p.peekKw("repair"):
+		return p.repairKey()
+	case p.peekKw("pick"):
+		return p.pickTuples()
+	case p.peek().kind == tokOp && p.peek().text == "(":
+		p.next()
+		q, err := p.query()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return q, nil
+	default:
+		return nil, p.errf("expected SELECT, REPAIR KEY, or PICK TUPLES")
+	}
+}
+
+func (p *parser) repairKey() (Query, error) {
+	p.next() // repair
+	if err := p.expectKw("key"); err != nil {
+		return nil, err
+	}
+	rk := &RepairKey{}
+	// Attribute list (possibly empty before IN? the grammar requires
+	// at least zero attributes; MayBMS allows "repair key in R" for
+	// the empty key, picking one tuple overall).
+	for !p.peekKw("in") {
+		c, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		rk.Attrs = append(rk.Attrs, c)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("in"); err != nil {
+		return nil, err
+	}
+	in, err := p.querySource()
+	if err != nil {
+		return nil, err
+	}
+	rk.In = in
+	if p.acceptKw("weight") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		rk.WeightBy = e
+	}
+	return rk, nil
+}
+
+func (p *parser) pickTuples() (Query, error) {
+	p.next() // pick
+	if err := p.expectKw("tuples"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	from, err := p.querySource()
+	if err != nil {
+		return nil, err
+	}
+	pt := &PickTuples{From: from}
+	if p.acceptKw("independently") {
+		pt.Independently = true
+	}
+	if p.acceptKw("with") {
+		if err := p.expectKw("probability"); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		pt.Prob = e
+	}
+	return pt, nil
+}
+
+// querySource is either a bare table name or a parenthesised query,
+// used by repair-key and pick-tuples.
+func (p *parser) querySource() (Query, error) {
+	if p.peek().kind == tokOp && p.peek().text == "(" {
+		return p.queryTerm()
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// A bare table name T is shorthand for SELECT * FROM T.
+	return &Select{
+		Items: []SelectItem{{Star: true}},
+		From:  []FromItem{{Table: name, Alias: name}},
+		Limit: -1,
+	}, nil
+}
+
+func (p *parser) selectQuery() (Query, error) {
+	p.next() // select
+	s := &Select{Limit: -1}
+	if p.acceptKw("possible") {
+		s.Possible = true
+	} else if p.acceptKw("distinct") {
+		s.Distinct = true
+	}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("from") {
+		for {
+			fi, err := p.fromItem()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, fi)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("where") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("having") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.acceptKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Expr: e}
+			if p.acceptKw("desc") {
+				oi.Desc = true
+			} else {
+				p.acceptKw("asc")
+			}
+			s.OrderBy = append(s.OrderBy, oi)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("limit") {
+		n, err := p.smallCount("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = n
+	}
+	if p.acceptKw("offset") {
+		n, err := p.smallCount("OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		s.Offset = n
+	}
+	return s, nil
+}
+
+// smallCount parses a non-negative integer literal for LIMIT/OFFSET.
+func (p *parser) smallCount(what string) (int, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected %s count", what)
+	}
+	p.next()
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, p.errf("bad %s %q", what, t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	// * or rel.*
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	if p.peek().kind == tokIdent && p.peek2().kind == tokOp && p.peek2().text == "." {
+		// Could be rel.* — look one more token ahead.
+		if p.i+2 < len(p.toks) && p.toks[p.i+2].kind == tokOp && p.toks[p.i+2].text == "*" {
+			rel := p.next().text
+			p.next() // .
+			p.next() // *
+			return SelectItem{Star: true, Rel: rel}, nil
+		}
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("as") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if t := p.peek(); t.kind == tokIdent && !reservedAfterItem[t.text] {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+// reservedExprStart lists hard keywords that can never begin a scalar
+// expression; contextual keywords like "weight" or "key" remain valid
+// column names.
+var reservedExprStart = map[string]bool{
+	"from": true, "where": true, "group": true, "having": true,
+	"order": true, "limit": true, "offset": true, "union": true, "as": true,
+	"on": true, "in": true, "is": true, "between": true, "like": true,
+	"and": true, "or": true, "desc": true, "asc": true, "by": true,
+	"select": true,
+}
+
+// reservedAfterItem prevents keywords from being eaten as implicit
+// aliases.
+var reservedAfterItem = map[string]bool{
+	"from": true, "where": true, "group": true, "having": true,
+	"order": true, "limit": true, "offset": true, "union": true, "as": true,
+	"on": true, "weight": true, "with": true, "independently": true,
+	"in": true, "desc": true, "asc": true, "and": true, "or": true,
+	"not": true, "is": true, "between": true, "like": true, "possible": true,
+}
+
+func (p *parser) fromItem() (FromItem, error) {
+	if p.peek().kind == tokOp && p.peek().text == "(" {
+		q, err := p.queryTerm()
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi := FromItem{Subquery: q}
+		p.acceptKw("as")
+		if t := p.peek(); t.kind == tokIdent && !reservedAfterItem[t.text] {
+			fi.Alias = p.next().text
+		} else {
+			return FromItem{}, p.errf("subquery in FROM requires an alias")
+		}
+		return fi, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return FromItem{}, err
+	}
+	fi := FromItem{Table: name, Alias: name}
+	p.acceptKw("as")
+	if t := p.peek(); t.kind == tokIdent && !reservedAfterItem[t.text] {
+		fi.Alias = p.next().text
+	}
+	return fi, nil
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.peek().kind == tokOp && p.peek().text == "." {
+		p.next()
+		n2, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Rel: name, Name: n2}, nil
+	}
+	return ColRef{Name: name}, nil
+}
+
+// --- Expressions -------------------------------------------------------
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKw("not") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "not", E: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Postfix predicates.
+	negate := false
+	if p.peekKw("not") && (p.peek2().text == "in" || p.peek2().text == "between" || p.peek2().text == "like") {
+		p.next()
+		negate = true
+	}
+	switch {
+	case p.acceptKw("in"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		if p.peekKw("select") || p.peekKw("repair") || p.peekKw("pick") {
+			q, err := p.query()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &InSubquery{E: l, Query: q, Negate: negate}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InList{E: l, List: list, Negate: negate}, nil
+	case p.acceptKw("between"):
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{E: l, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.acceptKw("like"):
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		e := Expr(&Binary{Op: "like", L: l, R: r})
+		if negate {
+			e = &Unary{Op: "not", E: e}
+		}
+		return e, nil
+	case p.acceptKw("is"):
+		neg := p.acceptKw("not")
+		if err := p.expectKw("null"); err != nil {
+			return nil, err
+		}
+		return &IsNull{E: l, Negate: neg}, nil
+	}
+	if t := p.peek(); t.kind == tokOp {
+		switch t.text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.next()
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.peek().kind == tokOp && p.peek().text == "-" {
+		p.next()
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", E: e}, nil
+	}
+	if p.peek().kind == tokOp && p.peek().text == "+" {
+		p.next()
+		return p.unaryExpr()
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return Lit{types.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return Lit{types.NewInt(n)}, nil
+	case tokString:
+		p.next()
+		return Lit{types.NewText(t.text)}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		if reservedExprStart[t.text] {
+			return nil, p.errf("expected expression")
+		}
+		switch t.text {
+		case "null":
+			p.next()
+			return Lit{types.Null()}, nil
+		case "true":
+			p.next()
+			return Lit{types.NewBool(true)}, nil
+		case "false":
+			p.next()
+			return Lit{types.NewBool(false)}, nil
+		case "exists":
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			q, err := p.query()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &Exists{Query: q}, nil
+		case "cast":
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("as"); err != nil {
+				return nil, err
+			}
+			tn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if tn == "double" {
+				p.acceptKw("precision")
+			}
+			kind, ok := types.KindFromName(tn)
+			if !ok {
+				return nil, p.errf("unknown type %q", tn)
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &Cast{E: e, Kind: kind}, nil
+		}
+		p.next()
+		// Function call?
+		if p.peek().kind == tokOp && p.peek().text == "(" {
+			p.next()
+			fc := &FuncCall{Name: t.text}
+			if p.acceptOp("*") {
+				fc.Star = true
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return fc, nil
+			}
+			if !p.acceptOp(")") {
+				for {
+					e, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, e)
+					if p.acceptOp(",") {
+						continue
+					}
+					break
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			return fc, nil
+		}
+		// Qualified column?
+		if p.peek().kind == tokOp && p.peek().text == "." {
+			p.next()
+			n2, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return ColRef{Rel: t.text, Name: n2}, nil
+		}
+		return ColRef{Name: t.text}, nil
+	}
+	return nil, p.errf("expected expression")
+}

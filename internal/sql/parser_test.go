@@ -1,0 +1,337 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"maybms/internal/types"
+)
+
+func parse(t *testing.T, src string) Statement {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func parseQuery(t *testing.T, src string) Query {
+	t.Helper()
+	s := parse(t, src)
+	qs, ok := s.(*QueryStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want query", src, s)
+	}
+	return qs.Query
+}
+
+func TestParseCreateTable(t *testing.T) {
+	s := parse(t, "create table foo (a int, b varchar, c double precision, d bool)")
+	ct := s.(*CreateTable)
+	if ct.Name != "foo" || len(ct.Cols) != 4 {
+		t.Fatalf("%+v", ct)
+	}
+	wantKinds := []types.Kind{types.KindInt, types.KindText, types.KindFloat, types.KindBool}
+	for i, k := range wantKinds {
+		if ct.Cols[i].Kind != k {
+			t.Errorf("col %d kind %v want %v", i, ct.Cols[i].Kind, k)
+		}
+	}
+	if _, err := Parse("create table bad (a blob)"); err == nil {
+		t.Error("unknown type should fail")
+	}
+}
+
+func TestParseCreateTableAs(t *testing.T) {
+	s := parse(t, "create table foo as select 1")
+	ct := s.(*CreateTable)
+	if ct.AsQuery == nil {
+		t.Fatal("AsQuery nil")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	s := parse(t, "insert into r (a, b) values (1, 'x'), (2, NULL)")
+	ins := s.(*Insert)
+	if ins.Table != "r" || len(ins.Cols) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("%+v", ins)
+	}
+	s = parse(t, "insert into r select * from s")
+	if s.(*Insert).Query == nil {
+		t.Error("INSERT SELECT")
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	s := parse(t, "update r set a = a + 1, b = 'x' where a < 10")
+	u := s.(*Update)
+	if len(u.Sets) != 2 || u.Where == nil {
+		t.Fatalf("%+v", u)
+	}
+	s = parse(t, "delete from r")
+	if s.(*Delete).Where != nil {
+		t.Error("where should be nil")
+	}
+}
+
+func TestParseSelectClauses(t *testing.T) {
+	q := parseQuery(t, `select distinct a, b.c as x, count(*) cnt
+		from r, s t where a = 1 and b <> 2
+		group by a having count(*) > 1
+		order by a desc, 2 limit 7`).(*Select)
+	if !q.Distinct || len(q.Items) != 3 || len(q.From) != 2 {
+		t.Fatalf("%+v", q)
+	}
+	if q.From[1].Alias != "t" || q.From[1].Table != "s" {
+		t.Errorf("alias: %+v", q.From[1])
+	}
+	if q.Items[1].Alias != "x" || q.Items[2].Alias != "cnt" {
+		t.Errorf("aliases: %+v", q.Items)
+	}
+	if q.Where == nil || len(q.GroupBy) != 1 || q.Having == nil {
+		t.Error("clauses missing")
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Errorf("order: %+v", q.OrderBy)
+	}
+	if q.Limit != 7 {
+		t.Errorf("limit: %d", q.Limit)
+	}
+}
+
+func TestParsePossible(t *testing.T) {
+	q := parseQuery(t, "select possible a from r").(*Select)
+	if !q.Possible {
+		t.Error("possible flag")
+	}
+}
+
+func TestParseStars(t *testing.T) {
+	q := parseQuery(t, "select *, r.* from r").(*Select)
+	if !q.Items[0].Star || q.Items[0].Rel != "" {
+		t.Errorf("star: %+v", q.Items[0])
+	}
+	if !q.Items[1].Star || q.Items[1].Rel != "r" {
+		t.Errorf("rel star: %+v", q.Items[1])
+	}
+}
+
+func TestParseRepairKey(t *testing.T) {
+	q := parseQuery(t, "repair key player, init in ft weight by p").(*RepairKey)
+	if len(q.Attrs) != 2 || q.WeightBy == nil {
+		t.Fatalf("%+v", q)
+	}
+	if q.Attrs[0].Name != "player" || q.Attrs[1].Name != "init" {
+		t.Errorf("attrs: %+v", q.Attrs)
+	}
+	// Empty key, no weight.
+	q = parseQuery(t, "repair key in coin").(*RepairKey)
+	if len(q.Attrs) != 0 || q.WeightBy != nil {
+		t.Fatalf("%+v", q)
+	}
+	// Parenthesised subquery source and qualified attributes.
+	q = parseQuery(t, "repair key r.k in (select k from r) weight by 1").(*RepairKey)
+	if q.Attrs[0].Rel != "r" {
+		t.Errorf("qualified attr: %+v", q.Attrs)
+	}
+}
+
+func TestParsePickTuples(t *testing.T) {
+	q := parseQuery(t, "pick tuples from r independently with probability p * 0.5").(*PickTuples)
+	if !q.Independently || q.Prob == nil {
+		t.Fatalf("%+v", q)
+	}
+	q = parseQuery(t, "pick tuples from r").(*PickTuples)
+	if q.Independently || q.Prob != nil {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestParseRepairKeyInFrom(t *testing.T) {
+	q := parseQuery(t, `select * from (repair key a in r weight by w) r1, s`).(*Select)
+	if len(q.From) != 2 {
+		t.Fatalf("%+v", q.From)
+	}
+	if _, ok := q.From[0].Subquery.(*RepairKey); !ok || q.From[0].Alias != "r1" {
+		t.Errorf("from[0]: %+v", q.From[0])
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := parseQuery(t, "select a from r union all select b from s union select c from t")
+	u := q.(*Union)
+	if u.All {
+		t.Error("outer union is distinct")
+	}
+	inner := u.Left.(*Union)
+	if !inner.All {
+		t.Error("inner union is ALL")
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	q := parseQuery(t, `select -a + 2 * 3 % 4, not a and b or c,
+		a in (1,2,3), a not in (select x from s), a between 1 and 2,
+		a is not null, b like '%x%', cast(a as float),
+		aconf(0.05, 0.05), exists (select 1)
+		from r`).(*Select)
+	if len(q.Items) != 10 {
+		t.Fatalf("items: %d", len(q.Items))
+	}
+	// Precedence: -a + (2*3)%4.
+	add := q.Items[0].Expr.(*Binary)
+	if add.Op != "+" {
+		t.Errorf("top op %q", add.Op)
+	}
+	if _, ok := add.L.(*Unary); !ok {
+		t.Errorf("left should be unary neg: %T", add.L)
+	}
+	// or is outermost for item 2.
+	or := q.Items[1].Expr.(*Binary)
+	if or.Op != "or" {
+		t.Errorf("or precedence: %q", or.Op)
+	}
+	if inl, ok := q.Items[2].Expr.(*InList); !ok || len(inl.List) != 3 {
+		t.Errorf("in list: %+v", q.Items[2].Expr)
+	}
+	if ins, ok := q.Items[3].Expr.(*InSubquery); !ok || !ins.Negate {
+		t.Errorf("not in subquery: %+v", q.Items[3].Expr)
+	}
+	if _, ok := q.Items[4].Expr.(*Between); !ok {
+		t.Errorf("between: %T", q.Items[4].Expr)
+	}
+	if isn, ok := q.Items[5].Expr.(*IsNull); !ok || !isn.Negate {
+		t.Errorf("is not null: %+v", q.Items[5].Expr)
+	}
+	if like, ok := q.Items[6].Expr.(*Binary); !ok || like.Op != "like" {
+		t.Errorf("like: %+v", q.Items[6].Expr)
+	}
+	if c, ok := q.Items[7].Expr.(*Cast); !ok || c.Kind != types.KindFloat {
+		t.Errorf("cast: %+v", q.Items[7].Expr)
+	}
+	if fc, ok := q.Items[8].Expr.(*FuncCall); !ok || fc.Name != "aconf" || len(fc.Args) != 2 {
+		t.Errorf("aconf: %+v", q.Items[8].Expr)
+	}
+	if _, ok := q.Items[9].Expr.(*Exists); !ok {
+		t.Errorf("exists: %T", q.Items[9].Expr)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := parseQuery(t, `select 42, -7, 2.5, 1e3, 'it''s', true, false, null`).(*Select)
+	want := []types.Value{
+		types.NewInt(42), types.NewInt(7), types.NewFloat(2.5), types.NewFloat(1000),
+		types.NewText("it's"), types.NewBool(true), types.NewBool(false), types.Null(),
+	}
+	for i, w := range want {
+		e := q.Items[i].Expr
+		if u, ok := e.(*Unary); ok {
+			e = u.E
+		}
+		lit, ok := e.(Lit)
+		if !ok {
+			t.Errorf("item %d: %T", i, q.Items[i].Expr)
+			continue
+		}
+		if lit.Val.Kind() != w.Kind() {
+			t.Errorf("item %d kind %v want %v", i, lit.Val.Kind(), w.Kind())
+		}
+	}
+}
+
+func TestParseTransactions(t *testing.T) {
+	if _, ok := parse(t, "begin").(*Begin); !ok {
+		t.Error("begin")
+	}
+	if _, ok := parse(t, "commit").(*Commit); !ok {
+		t.Error("commit")
+	}
+	if _, ok := parse(t, "rollback").(*Rollback); !ok {
+		t.Error("rollback")
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	stmts, err := ParseAll("select 1; select 2;; -- comment\nselect 3 /* block */;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Errorf("statements: %d", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"select",
+		"select from r",
+		"select * from",
+		"create table",
+		"create table t (a)",
+		"insert into",
+		"select * from r where",
+		"select a from r order by",
+		"select a from r limit x",
+		"repair key a in",
+		"pick tuples r",
+		"select 'unterminated",
+		"select \"unterminated",
+		"select a ~ b",
+		"select (1 + 2",
+		"select * from (select 1)", // missing alias
+		"select 1; garbage trailing here;",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	q := parseQuery(t, `select "Weird Col" from "My Table"`).(*Select)
+	if q.Items[0].Expr.(ColRef).Name != "Weird Col" {
+		t.Errorf("quoted ident: %+v", q.Items[0].Expr)
+	}
+	if q.From[0].Table != "My Table" {
+		t.Errorf("quoted table: %+v", q.From[0])
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	q := parseQuery(t, "SELECT A FROM R WHERE B = 'Keep Case'").(*Select)
+	if q.Items[0].Expr.(ColRef).Name != "a" {
+		t.Error("identifiers should lower-case")
+	}
+	bin := q.Where.(*Binary)
+	if bin.R.(Lit).Val.Text() != "Keep Case" {
+		t.Error("string literals keep case")
+	}
+}
+
+func TestIsAggregate(t *testing.T) {
+	q := parseQuery(t, "select conf(), a + sum(b), lower(c) from r").(*Select)
+	if !IsAggregate(q.Items[0].Expr) || !IsAggregate(q.Items[1].Expr) {
+		t.Error("aggregate detection")
+	}
+	if IsAggregate(q.Items[2].Expr) {
+		t.Error("lower() is not an aggregate")
+	}
+}
+
+func TestKeywordAsIdentifierContextually(t *testing.T) {
+	// "key", "weight", "tuples" are contextual keywords and remain
+	// usable as column/table names.
+	q := parseQuery(t, "select key, weight from tuples").(*Select)
+	if q.Items[0].Expr.(ColRef).Name != "key" || q.From[0].Table != "tuples" {
+		t.Errorf("%+v", q)
+	}
+}
+
+func TestLexerOffsets(t *testing.T) {
+	_, err := Parse("select $ from r")
+	if err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Errorf("lexer error: %v", err)
+	}
+}

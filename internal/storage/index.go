@@ -1,0 +1,71 @@
+package storage
+
+import (
+	"maybms/internal/schema"
+	"maybms/internal/urel"
+)
+
+// HashIndex is an equality index over a fixed set of column positions.
+type HashIndex struct {
+	cols    []int
+	buckets map[string][]RowID
+}
+
+// NewHashIndex creates an index over the given column positions.
+func NewHashIndex(cols []int) *HashIndex {
+	cp := make([]int, len(cols))
+	copy(cp, cols)
+	return &HashIndex{cols: cp, buckets: map[string][]RowID{}}
+}
+
+// Cols returns the indexed column positions.
+func (ix *HashIndex) Cols() []int { return ix.cols }
+
+func (ix *HashIndex) key(data schema.Tuple) string {
+	return data.Project(ix.cols).Key()
+}
+
+func (ix *HashIndex) add(data schema.Tuple, id RowID) {
+	k := ix.key(data)
+	ix.buckets[k] = append(ix.buckets[k], id)
+}
+
+func (ix *HashIndex) remove(data schema.Tuple, id RowID) {
+	k := ix.key(data)
+	b := ix.buckets[k]
+	for i, r := range b {
+		if r == id {
+			b[i] = b[len(b)-1]
+			ix.buckets[k] = b[:len(b)-1]
+			return
+		}
+	}
+}
+
+func (ix *HashIndex) clear() {
+	ix.buckets = map[string][]RowID{}
+}
+
+// Lookup returns the row ids whose indexed columns equal key (a tuple
+// of the same arity as the indexed column list).
+func (ix *HashIndex) Lookup(key schema.Tuple) []RowID {
+	return ix.buckets[key.Key()]
+}
+
+// CreateIndex builds and registers a hash index named name over the
+// given column positions, populating it from the current rows.
+func (t *Table) CreateIndex(name string, cols []int) *HashIndex {
+	ix := NewHashIndex(cols)
+	t.Scan(func(id RowID, tuple urel.Tuple) error {
+		ix.add(tuple.Data, id)
+		return nil
+	})
+	t.indexes[name] = ix
+	return ix
+}
+
+// Index returns a registered index by name.
+func (t *Table) Index(name string) (*HashIndex, bool) {
+	ix, ok := t.indexes[name]
+	return ix, ok
+}

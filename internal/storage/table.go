@@ -1,0 +1,238 @@
+// Package storage implements the in-memory row store backing the
+// database: heap tables of conditioned tuples with tombstone deletes,
+// stable row ids, hash indexes, and type checking against the table
+// schema. The store is deliberately simple — MayBMS's point is that a
+// purely relational representation makes updates, concurrency control,
+// and recovery unremarkable — but it is a real store: the undo
+// information the transaction layer needs is exposed here.
+package storage
+
+import (
+	"fmt"
+
+	"maybms/internal/schema"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+)
+
+// RowID identifies a row within a table for its whole lifetime.
+type RowID int64
+
+// Table is a heap of conditioned tuples with a fixed schema.
+type Table struct {
+	name    string
+	sch     *schema.Schema
+	rows    []urel.Tuple
+	dead    []bool
+	live    int
+	uncert  int // live rows with a non-trivial condition
+	indexes map[string]*HashIndex
+}
+
+// Certain reports whether every live row is condition-free, i.e. the
+// table is typed-certain.
+func (t *Table) Certain() bool { return t.uncert == 0 }
+
+// NewTable creates an empty table.
+func NewTable(name string, sch *schema.Schema) *Table {
+	return &Table{name: name, sch: sch, indexes: map[string]*HashIndex{}}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema. Callers must not mutate it.
+func (t *Table) Schema() *schema.Schema { return t.sch }
+
+// Len reports the number of live rows.
+func (t *Table) Len() int { return t.live }
+
+// checkTypes verifies tuple arity and column types; NULL fits any
+// column, INTs widen to FLOAT columns.
+func (t *Table) checkTypes(tp schema.Tuple) (schema.Tuple, error) {
+	if len(tp) != t.sch.Len() {
+		return nil, fmt.Errorf("table %s: expected %d values, got %d", t.name, t.sch.Len(), len(tp))
+	}
+	out := tp
+	for i, v := range tp {
+		want := t.sch.Cols[i].Kind
+		if v.IsNull() || v.Kind() == want {
+			continue
+		}
+		if want == types.KindFloat && v.Kind() == types.KindInt {
+			if &out[0] == &tp[0] {
+				out = tp.Clone()
+			}
+			out[i] = types.NewFloat(float64(v.Int()))
+			continue
+		}
+		return nil, fmt.Errorf("table %s column %s: cannot store %s in %s",
+			t.name, t.sch.Cols[i].Name, v.Kind(), want)
+	}
+	return out, nil
+}
+
+// Insert appends a tuple, returning its row id.
+func (t *Table) Insert(tuple urel.Tuple) (RowID, error) {
+	data, err := t.checkTypes(tuple.Data)
+	if err != nil {
+		return -1, err
+	}
+	tuple.Data = data
+	id := RowID(len(t.rows))
+	t.rows = append(t.rows, tuple)
+	t.dead = append(t.dead, false)
+	t.live++
+	if len(tuple.Cond) != 0 {
+		t.uncert++
+	}
+	for _, ix := range t.indexes {
+		ix.add(tuple.Data, id)
+	}
+	return id, nil
+}
+
+// Get returns the tuple at id. ok=false when the row is deleted or the
+// id is out of range.
+func (t *Table) Get(id RowID) (urel.Tuple, bool) {
+	if id < 0 || int(id) >= len(t.rows) || t.dead[id] {
+		return urel.Tuple{}, false
+	}
+	return t.rows[id], true
+}
+
+// Delete tombstones a row. It returns the deleted tuple so the
+// transaction layer can undo.
+func (t *Table) Delete(id RowID) (urel.Tuple, error) {
+	if id < 0 || int(id) >= len(t.rows) || t.dead[id] {
+		return urel.Tuple{}, fmt.Errorf("table %s: no live row %d", t.name, id)
+	}
+	old := t.rows[id]
+	t.dead[id] = true
+	t.live--
+	if len(old.Cond) != 0 {
+		t.uncert--
+	}
+	for _, ix := range t.indexes {
+		ix.remove(old.Data, id)
+	}
+	return old, nil
+}
+
+// Undelete resurrects a tombstoned row (transaction rollback).
+func (t *Table) Undelete(id RowID) error {
+	if id < 0 || int(id) >= len(t.rows) || !t.dead[id] {
+		return fmt.Errorf("table %s: row %d is not dead", t.name, id)
+	}
+	t.dead[id] = false
+	t.live++
+	if len(t.rows[id].Cond) != 0 {
+		t.uncert++
+	}
+	for _, ix := range t.indexes {
+		ix.add(t.rows[id].Data, id)
+	}
+	return nil
+}
+
+// Update replaces a row in place, returning the previous tuple.
+func (t *Table) Update(id RowID, tuple urel.Tuple) (urel.Tuple, error) {
+	if id < 0 || int(id) >= len(t.rows) || t.dead[id] {
+		return urel.Tuple{}, fmt.Errorf("table %s: no live row %d", t.name, id)
+	}
+	data, err := t.checkTypes(tuple.Data)
+	if err != nil {
+		return urel.Tuple{}, err
+	}
+	tuple.Data = data
+	old := t.rows[id]
+	t.rows[id] = tuple
+	if len(old.Cond) != 0 {
+		t.uncert--
+	}
+	if len(tuple.Cond) != 0 {
+		t.uncert++
+	}
+	for _, ix := range t.indexes {
+		ix.remove(old.Data, id)
+		ix.add(tuple.Data, id)
+	}
+	return old, nil
+}
+
+// Truncate removes every row, returning the removed tuples with ids
+// for undo.
+func (t *Table) Truncate() []RowWithID {
+	var out []RowWithID
+	for i := range t.rows {
+		if !t.dead[i] {
+			out = append(out, RowWithID{RowID(i), t.rows[i]})
+			t.dead[i] = true
+		}
+	}
+	t.live = 0
+	t.uncert = 0
+	for _, ix := range t.indexes {
+		ix.clear()
+	}
+	return out
+}
+
+// RowWithID pairs a tuple with its row id.
+type RowWithID struct {
+	ID    RowID
+	Tuple urel.Tuple
+}
+
+// Scan calls fn for every live row in insertion order. Returning a
+// non-nil error stops the scan.
+func (t *Table) Scan(fn func(id RowID, tuple urel.Tuple) error) error {
+	for i := range t.rows {
+		if t.dead[i] {
+			continue
+		}
+		if err := fn(RowID(i), t.rows[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ToRel materialises the live rows as a U-relation (shared tuples; the
+// caller must not mutate them).
+func (t *Table) ToRel() *urel.Rel {
+	r := urel.New(t.sch)
+	t.Scan(func(_ RowID, tuple urel.Tuple) error {
+		r.Append(tuple)
+		return nil
+	})
+	return r
+}
+
+// Rows returns the raw row storage (including tombstones) for
+// persistence. Callers must treat it as read-only.
+func (t *Table) Rows() ([]urel.Tuple, []bool) { return t.rows, t.dead }
+
+// LoadRows replaces table contents during database load.
+func (t *Table) LoadRows(rows []urel.Tuple, dead []bool) {
+	t.rows = rows
+	t.dead = dead
+	t.live = 0
+	t.uncert = 0
+	for i := range rows {
+		if !dead[i] {
+			t.live++
+			if len(rows[i].Cond) != 0 {
+				t.uncert++
+			}
+		}
+	}
+	for name, ix := range t.indexes {
+		rebuilt := NewHashIndex(ix.cols)
+		t.Scan(func(id RowID, tuple urel.Tuple) error {
+			rebuilt.add(tuple.Data, id)
+			return nil
+		})
+		t.indexes[name] = rebuilt
+	}
+}

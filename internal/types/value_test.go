@@ -1,0 +1,251 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindFromName(t *testing.T) {
+	cases := []struct {
+		name string
+		want Kind
+		ok   bool
+	}{
+		{"int", KindInt, true},
+		{"INTEGER", KindInt, true},
+		{"bigint", KindInt, true},
+		{"float", KindFloat, true},
+		{"DOUBLE", KindFloat, true},
+		{"real", KindFloat, true},
+		{"numeric", KindFloat, true},
+		{"text", KindText, true},
+		{"VARCHAR", KindText, true},
+		{"bool", KindBool, true},
+		{"BOOLEAN", KindBool, true},
+		{"blob", KindNull, false},
+	}
+	for _, c := range cases {
+		got, ok := KindFromName(c.name)
+		if got != c.want || ok != c.ok {
+			t.Errorf("KindFromName(%q) = %v,%v want %v,%v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	n := Null()
+	if !n.IsNull() {
+		t.Fatal("Null() not null")
+	}
+	if n.Equal(Null()) {
+		t.Error("NULL = NULL must not hold under SQL equality")
+	}
+	if n.Truth() {
+		t.Error("NULL must be falsy")
+	}
+	v, err := CompareOp("=", n, NewInt(1))
+	if err != nil || !v.IsNull() {
+		t.Errorf("NULL = 1 should be NULL, got %v err %v", v, err)
+	}
+	sum, err := Add(n, NewInt(1))
+	if err != nil || !sum.IsNull() {
+		t.Errorf("NULL + 1 should be NULL, got %v err %v", sum, err)
+	}
+}
+
+func TestNumericCrossKindEquality(t *testing.T) {
+	if !NewInt(2).Equal(NewFloat(2.0)) {
+		t.Error("2 should equal 2.0")
+	}
+	if NewInt(2).Equal(NewFloat(2.5)) {
+		t.Error("2 should not equal 2.5")
+	}
+	if NewInt(2).Hash() != NewFloat(2.0).Hash() {
+		t.Error("equal values must hash equally")
+	}
+	if NewFloat(0.0).Hash() != NewFloat(math.Copysign(0, -1)).Hash() {
+		t.Error("+0 and -0 must hash equally")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewText("a"), NewText("b"), -1},
+		{NewText("b"), NewText("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{Null(), NewInt(0), -1},
+		{NewInt(0), Null(), 1},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	check := func(got Value, err error, want Value) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("got %v want %v", got, want)
+		}
+	}
+	v, err := Add(NewInt(2), NewInt(3))
+	check(v, err, NewInt(5))
+	v, err = Add(NewInt(2), NewFloat(0.5))
+	check(v, err, NewFloat(2.5))
+	v, err = Add(NewText("foo"), NewText("bar"))
+	check(v, err, NewText("foobar"))
+	v, err = Sub(NewInt(2), NewInt(3))
+	check(v, err, NewInt(-1))
+	v, err = Mul(NewFloat(0.5), NewInt(4))
+	check(v, err, NewFloat(2))
+	v, err = Div(NewInt(7), NewInt(2))
+	check(v, err, NewInt(3)) // integer division truncates
+	v, err = Div(NewFloat(7), NewInt(2))
+	check(v, err, NewFloat(3.5))
+	v, err = Mod(NewInt(7), NewInt(3))
+	check(v, err, NewInt(1))
+	v, err = Neg(NewInt(5))
+	check(v, err, NewInt(-5))
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	if _, err := Div(NewInt(1), NewInt(0)); err != ErrDivisionByZero {
+		t.Errorf("int div by zero: got %v", err)
+	}
+	if _, err := Div(NewFloat(1), NewFloat(0)); err != ErrDivisionByZero {
+		t.Errorf("float div by zero: got %v", err)
+	}
+	if _, err := Mod(NewInt(1), NewInt(0)); err != ErrDivisionByZero {
+		t.Errorf("mod by zero: got %v", err)
+	}
+	if _, err := Add(NewBool(true), NewInt(1)); err == nil {
+		t.Error("bool + int should error")
+	}
+	if _, err := Neg(NewText("x")); err == nil {
+		t.Error("-text should error")
+	}
+	if _, err := CompareOp("<", NewText("a"), NewInt(1)); err == nil {
+		t.Error("text < int should error")
+	}
+}
+
+func TestCompareOps(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b Value
+		want bool
+	}{
+		{"=", NewInt(1), NewInt(1), true},
+		{"<>", NewInt(1), NewInt(1), false},
+		{"!=", NewInt(1), NewInt(2), true},
+		{"<", NewInt(1), NewInt(2), true},
+		{"<=", NewInt(2), NewInt(2), true},
+		{">", NewText("b"), NewText("a"), true},
+		{">=", NewFloat(1.5), NewInt(2), false},
+		{"=", NewText("a"), NewInt(1), false}, // cross-kind equality is false, not error
+	}
+	for _, c := range cases {
+		got, err := CompareOp(c.op, c.a, c.b)
+		if err != nil {
+			t.Fatalf("%v %s %v: %v", c.a, c.op, c.b, err)
+		}
+		if got.Bool() != c.want {
+			t.Errorf("%v %s %v = %v want %v", c.a, c.op, c.b, got.Bool(), c.want)
+		}
+	}
+}
+
+func TestCast(t *testing.T) {
+	v, err := NewText("42").Cast(KindInt)
+	if err != nil || v.Int() != 42 {
+		t.Errorf("cast '42' to int: %v %v", v, err)
+	}
+	v, err = NewText(" 2.5 ").Cast(KindFloat)
+	if err != nil || v.Float() != 2.5 {
+		t.Errorf("cast '2.5' to float: %v %v", v, err)
+	}
+	v, err = NewFloat(3.9).Cast(KindInt)
+	if err != nil || v.Int() != 3 {
+		t.Errorf("cast 3.9 to int: %v %v", v, err)
+	}
+	v, err = NewInt(0).Cast(KindBool)
+	if err != nil || v.Bool() {
+		t.Errorf("cast 0 to bool: %v %v", v, err)
+	}
+	v, err = NewBool(true).Cast(KindText)
+	if err != nil || v.Text() != "true" {
+		t.Errorf("cast true to text: %v %v", v, err)
+	}
+	if _, err = NewText("xyzzy").Cast(KindInt); err == nil {
+		t.Error("cast 'xyzzy' to int should fail")
+	}
+	n, err := Null().Cast(KindInt)
+	if err != nil || !n.IsNull() {
+		t.Errorf("cast NULL: %v %v", n, err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(2.5), "2.5"},
+		{NewText("hi"), "hi"},
+		{NewBool(true), "true"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v)=%q want %q", c.v, got, c.want)
+		}
+	}
+	if got := NewText("it's").SQLLiteral(); got != "'it''s'" {
+		t.Errorf("SQLLiteral quoting: %q", got)
+	}
+}
+
+// Property: Compare is antisymmetric and Equal implies Compare==0 for
+// non-null numerics.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		if va.Compare(vb) != -vb.Compare(va) {
+			return false
+		}
+		if va.Equal(vb) != (va.Compare(vb) == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hash equality follows value equality for mixed numerics.
+func TestHashConsistency(t *testing.T) {
+	f := func(a int64) bool {
+		return NewInt(a).Hash() == NewFloat(float64(a)).Hash() ||
+			float64(a) != math.Trunc(float64(a)) // precision loss exempt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package urel implements U-relations, MayBMS's representation system
+// for uncertain data: standard relations extended with condition
+// columns over a finite set of independent random variables (the
+// world-set store). A U-relation tuple is present in exactly the
+// possible worlds whose variable assignment satisfies its condition.
+// U-relations are a succinct and complete representation system for
+// finite sets of possible worlds (Antova et al., ICDE 2008).
+package urel
+
+import (
+	"fmt"
+	"sort"
+
+	"maybms/internal/lineage"
+	"maybms/internal/schema"
+	"maybms/internal/ws"
+)
+
+// Tuple pairs a data tuple with the world-set descriptor (condition)
+// under which it exists. A nil condition means the tuple exists in
+// every world.
+type Tuple struct {
+	Data schema.Tuple
+	Cond lineage.Cond
+}
+
+// Clone deep-copies the tuple.
+func (t Tuple) Clone() Tuple {
+	return Tuple{Data: t.Data.Clone(), Cond: t.Cond.Clone()}
+}
+
+// Rel is a U-relation: a schema plus conditioned tuples.
+type Rel struct {
+	Sch    *schema.Schema
+	Tuples []Tuple
+}
+
+// New returns an empty U-relation with the given schema.
+func New(sch *schema.Schema) *Rel { return &Rel{Sch: sch} }
+
+// Append adds a tuple.
+func (r *Rel) Append(t Tuple) { r.Tuples = append(r.Tuples, t) }
+
+// Len reports the number of (conditioned) tuples.
+func (r *Rel) Len() int { return len(r.Tuples) }
+
+// IsCertain reports whether every tuple's condition is TRUE, i.e. the
+// relation is typed-certain (t-certain).
+func (r *Rel) IsCertain() bool {
+	for _, t := range r.Tuples {
+		if len(t.Cond) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the sorted set of variables mentioned anywhere in the
+// relation's conditions.
+func (r *Rel) Vars() []ws.VarID {
+	seen := map[ws.VarID]bool{}
+	for _, t := range r.Tuples {
+		for _, l := range t.Cond {
+			seen[l.Var] = true
+		}
+	}
+	out := make([]ws.VarID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone deep-copies the relation.
+func (r *Rel) Clone() *Rel {
+	out := &Rel{Sch: r.Sch.Clone(), Tuples: make([]Tuple, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		out.Tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// InWorld materialises the certain relation this U-relation denotes in
+// the world given by a total assignment: the data tuples whose
+// conditions hold.
+func (r *Rel) InWorld(assign map[ws.VarID]int) []schema.Tuple {
+	var out []schema.Tuple
+	for _, t := range r.Tuples {
+		if t.Cond.Eval(assign) {
+			out = append(out, t.Data)
+		}
+	}
+	return out
+}
+
+// EnumerateWorlds calls fn for every possible world over the
+// relation's variables with the world's probability and instance.
+// Exponential; for tests.
+func (r *Rel) EnumerateWorlds(store *ws.Store, fn func(p float64, inst []schema.Tuple)) {
+	store.EnumerateWorlds(r.Vars(), func(assign map[ws.VarID]int, p float64) {
+		fn(p, r.InWorld(assign))
+	})
+}
+
+// TupleProb returns the marginal probability of tuple i's condition —
+// the tconf() of the tuple in isolation.
+func (r *Rel) TupleProb(i int, src ws.ProbSource) float64 {
+	return r.Tuples[i].Cond.Prob(src)
+}
+
+// Lineage collects, for each distinct data tuple, the DNF of the
+// conditions of its duplicates — the event that the tuple appears at
+// all. The result maps the canonical tuple key to its lineage and
+// representative data. Iteration order is the order of first
+// occurrence.
+func (r *Rel) Lineage() *LineageIndex {
+	idx := &LineageIndex{byKey: map[string]int{}}
+	for _, t := range r.Tuples {
+		k := t.Data.Key()
+		i, ok := idx.byKey[k]
+		if !ok {
+			i = len(idx.Entries)
+			idx.byKey[k] = i
+			idx.Entries = append(idx.Entries, LineageEntry{Data: t.Data})
+		}
+		idx.Entries[i].Event = append(idx.Entries[i].Event, t.Cond)
+	}
+	return idx
+}
+
+// LineageEntry is one distinct data tuple with its appearance event.
+type LineageEntry struct {
+	Data  schema.Tuple
+	Event lineage.DNF
+}
+
+// LineageIndex groups a U-relation's tuples by data value.
+type LineageIndex struct {
+	Entries []LineageEntry
+	byKey   map[string]int
+}
+
+// VerticalDecompose splits a relation with attribute-level uncertainty
+// into one U-relation per attribute, each carrying the tuple-id system
+// column followed by that attribute. tidCol names the tuple-id column,
+// which must exist in r and is excluded from the decomposition.
+// Recompose inverts the operation.
+func VerticalDecompose(r *Rel, tidCol string) (map[string]*Rel, error) {
+	tid, err := r.Sch.Resolve("", tidCol)
+	if err != nil {
+		return nil, fmt.Errorf("urel: vertical decomposition: %v", err)
+	}
+	out := map[string]*Rel{}
+	for i, c := range r.Sch.Cols {
+		if i == tid {
+			continue
+		}
+		sub := New(schema.New(r.Sch.Cols[tid], c))
+		for _, t := range r.Tuples {
+			sub.Append(Tuple{
+				Data: schema.Tuple{t.Data[tid], t.Data[i]},
+				Cond: t.Cond,
+			})
+		}
+		out[c.Name] = sub
+	}
+	return out, nil
+}
+
+// Recompose joins vertically decomposed per-attribute relations back
+// on the tuple id (the first column of each part), conjoining
+// conditions; inconsistent combinations vanish, exactly as the natural
+// join on U-relations prescribes. Column order follows cols.
+func Recompose(parts map[string]*Rel, cols []string) (*Rel, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("urel: recompose of zero attributes")
+	}
+	first, ok := parts[cols[0]]
+	if !ok {
+		return nil, fmt.Errorf("urel: recompose: missing attribute %q", cols[0])
+	}
+	// Seed with one unconditional stub per distinct tuple id, then
+	// natural-join each attribute part on the tid; alternative values
+	// of an attribute fan out into alternative tuples, and
+	// contradictory condition combinations vanish.
+	sch := schema.New(first.Sch.Cols[0])
+	acc := map[string][]Tuple{}
+	var order []string
+	for _, t := range first.Tuples {
+		k := t.Data[:1].Key()
+		if _, seen := acc[k]; !seen {
+			acc[k] = []Tuple{{Data: t.Data[:1].Clone()}}
+			order = append(order, k)
+		}
+	}
+	for _, name := range cols {
+		part, ok := parts[name]
+		if !ok {
+			return nil, fmt.Errorf("urel: recompose: missing attribute %q", name)
+		}
+		sch = sch.Concat(schema.New(part.Sch.Cols[1]))
+		byTid := map[string][]Tuple{}
+		for _, t := range part.Tuples {
+			k := t.Data[:1].Key()
+			byTid[k] = append(byTid[k], t)
+		}
+		next := map[string][]Tuple{}
+		for k, bases := range acc {
+			for _, base := range bases {
+				for _, t := range byTid[k] {
+					cond, consistent := base.Cond.And(t.Cond)
+					if !consistent {
+						continue
+					}
+					next[k] = append(next[k], Tuple{Data: base.Data.Concat(t.Data[1:]), Cond: cond})
+				}
+			}
+		}
+		acc = next
+	}
+	out := New(sch)
+	for _, k := range order {
+		for _, t := range acc[k] {
+			out.Append(t)
+		}
+	}
+	return out, nil
+}

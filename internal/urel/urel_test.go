@@ -1,0 +1,181 @@
+package urel
+
+import (
+	"math"
+	"testing"
+
+	"maybms/internal/lineage"
+	"maybms/internal/schema"
+	"maybms/internal/types"
+	"maybms/internal/ws"
+)
+
+func lit(v ws.VarID, val int) lineage.Lit { return lineage.Lit{Var: v, Val: val} }
+
+func cond(t *testing.T, lits ...lineage.Lit) lineage.Cond {
+	t.Helper()
+	c, ok := lineage.NewCond(lits...)
+	if !ok {
+		t.Fatal("inconsistent cond in test setup")
+	}
+	return c
+}
+
+func intTuple(vals ...int64) schema.Tuple {
+	out := make(schema.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = types.NewInt(v)
+	}
+	return out
+}
+
+func twoColSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Name: "tid", Kind: types.KindInt},
+		schema.Column{Name: "v", Kind: types.KindInt},
+	)
+}
+
+func TestIsCertainAndVars(t *testing.T) {
+	r := New(twoColSchema())
+	r.Append(Tuple{Data: intTuple(1, 10)})
+	if !r.IsCertain() {
+		t.Error("unconditioned relation is certain")
+	}
+	r.Append(Tuple{Data: intTuple(2, 20), Cond: cond(t, lit(3, 1))})
+	if r.IsCertain() {
+		t.Error("conditioned tuple makes it uncertain")
+	}
+	vars := r.Vars()
+	if len(vars) != 1 || vars[0] != 3 {
+		t.Errorf("vars: %v", vars)
+	}
+}
+
+func TestInWorldAndEnumerate(t *testing.T) {
+	store := ws.NewStore()
+	x, _ := store.NewVar([]float64{0.4, 0.6})
+	r := New(twoColSchema())
+	r.Append(Tuple{Data: intTuple(1, 10), Cond: cond(t, lit(x, 1))})
+	r.Append(Tuple{Data: intTuple(2, 20), Cond: cond(t, lit(x, 2))})
+	r.Append(Tuple{Data: intTuple(3, 30)}) // always present
+
+	inst := r.InWorld(map[ws.VarID]int{x: 1})
+	if len(inst) != 2 || inst[0][0].Int() != 1 || inst[1][0].Int() != 3 {
+		t.Errorf("world x=1: %v", inst)
+	}
+
+	totalP := 0.0
+	sizes := map[int]float64{}
+	r.EnumerateWorlds(store, func(p float64, inst []schema.Tuple) {
+		totalP += p
+		sizes[len(inst)] += p
+	})
+	if math.Abs(totalP-1) > 1e-12 {
+		t.Errorf("mass: %v", totalP)
+	}
+	if math.Abs(sizes[2]-1) > 1e-12 {
+		t.Errorf("every world has 2 tuples here: %v", sizes)
+	}
+}
+
+func TestTupleProbAndLineage(t *testing.T) {
+	store := ws.NewStore()
+	x, _ := store.NewBoolVar(0.3)
+	y, _ := store.NewBoolVar(0.5)
+	r := New(twoColSchema())
+	r.Append(Tuple{Data: intTuple(1, 10), Cond: cond(t, lit(x, 1))})
+	r.Append(Tuple{Data: intTuple(1, 10), Cond: cond(t, lit(y, 1))}) // duplicate data
+	r.Append(Tuple{Data: intTuple(2, 20), Cond: cond(t, lit(x, 2))})
+
+	if p := r.TupleProb(0, store); math.Abs(p-0.3) > 1e-12 {
+		t.Errorf("tuple prob: %v", p)
+	}
+	idx := r.Lineage()
+	if len(idx.Entries) != 2 {
+		t.Fatalf("lineage entries: %d", len(idx.Entries))
+	}
+	if len(idx.Entries[0].Event) != 2 {
+		t.Errorf("duplicate grouping: %v", idx.Entries[0].Event)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := New(twoColSchema())
+	r.Append(Tuple{Data: intTuple(1, 10), Cond: cond(t, lit(1, 1))})
+	c := r.Clone()
+	c.Tuples[0].Data[0] = types.NewInt(99)
+	if r.Tuples[0].Data[0].Int() == 99 {
+		t.Error("clone aliases data")
+	}
+}
+
+func TestVerticalDecomposition(t *testing.T) {
+	store := ws.NewStore()
+	x, _ := store.NewVar([]float64{0.5, 0.5})
+	sch := schema.New(
+		schema.Column{Name: "tid", Kind: types.KindInt},
+		schema.Column{Name: "name", Kind: types.KindText},
+		schema.Column{Name: "age", Kind: types.KindInt},
+	)
+	r := New(sch)
+	// Attribute-level uncertainty: tuple 1's age is 30 or 40 depending
+	// on x.
+	r.Append(Tuple{Data: schema.Tuple{types.NewInt(1), types.NewText("ann"), types.NewInt(30)}, Cond: cond(t, lit(x, 1))})
+	r.Append(Tuple{Data: schema.Tuple{types.NewInt(1), types.NewText("ann"), types.NewInt(40)}, Cond: cond(t, lit(x, 2))})
+	r.Append(Tuple{Data: schema.Tuple{types.NewInt(2), types.NewText("bob"), types.NewInt(25)}})
+
+	parts, err := VerticalDecompose(r, "tid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("parts: %v", parts)
+	}
+	if parts["age"].Len() != 3 || parts["age"].Sch.Len() != 2 {
+		t.Errorf("age part: %v", parts["age"])
+	}
+
+	back, err := Recompose(parts, []string{"name", "age"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recomposition joins on tid and conjoins conditions: the two ann
+	// alternatives survive with their original conditions; the cross
+	// combinations (x=1 ∧ x=2) vanish.
+	if back.Len() != 3 {
+		t.Fatalf("recomposed: %d rows", back.Len())
+	}
+	// In every world the recomposed relation matches the original.
+	origWorlds := map[string]float64{}
+	r.EnumerateWorlds(store, func(p float64, inst []schema.Tuple) {
+		key := ""
+		for _, tup := range inst {
+			key += tup.Key() + ";"
+		}
+		origWorlds[key] += p
+	})
+	backWorlds := map[string]float64{}
+	back.EnumerateWorlds(store, func(p float64, inst []schema.Tuple) {
+		key := ""
+		for _, tup := range inst {
+			key += tup.Project([]int{0, 1, 2}).Key() + ";"
+		}
+		backWorlds[key] += p
+	})
+	for k, p := range origWorlds {
+		if math.Abs(backWorlds[k]-p) > 1e-12 {
+			t.Errorf("world %q: %v vs %v", k, p, backWorlds[k])
+		}
+	}
+	// Errors.
+	if _, err := VerticalDecompose(r, "nope"); err == nil {
+		t.Error("unknown tid column should fail")
+	}
+	if _, err := Recompose(parts, []string{"name", "missing"}); err == nil {
+		t.Error("missing attribute should fail")
+	}
+	if _, err := Recompose(parts, nil); err == nil {
+		t.Error("empty recompose should fail")
+	}
+}

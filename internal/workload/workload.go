@@ -1,0 +1,167 @@
+// Package workload generates the synthetic evaluation workloads: the
+// TPC-H-shaped tuple-independent probabilistic tables behind the
+// SPROUT-style experiments (Olteanu, Huang, Koch — ICDE 2009 evaluated
+// on probabilistic TPC-H) and random DNF instances for the confidence
+// computation experiments of Koch & Olteanu (VLDB 2008).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"maybms/internal/lineage"
+	"maybms/internal/ws"
+)
+
+// TPCHConfig sizes the probabilistic TPC-H-shaped generator.
+type TPCHConfig struct {
+	// Customers is the number of customer rows.
+	Customers int
+	// OrdersPerCustomer is the mean orders per customer.
+	OrdersPerCustomer int
+	// ItemsPerOrder is the mean line items per order.
+	ItemsPerOrder int
+	// ProbMin and ProbMax bound per-tuple membership probabilities.
+	ProbMin, ProbMax float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultTPCH returns a laptop-scale configuration.
+func DefaultTPCH() TPCHConfig {
+	return TPCHConfig{Customers: 50, OrdersPerCustomer: 3, ItemsPerOrder: 4, ProbMin: 0.2, ProbMax: 0.9, Seed: 7}
+}
+
+var nations = []string{"FRANCE", "GERMANY", "JAPAN", "BRAZIL", "KENYA", "PERU", "CHINA", "INDIA"}
+var parts = []string{"bolt", "nut", "gear", "axle", "cog", "spring", "plate", "washer"}
+
+// TPCHScript renders CREATE TABLE plus INSERT statements for the
+// certain base tables carrying per-tuple probability columns:
+//
+//	customer (ck int, name text, nation text, p float)
+//	orders   (ok int, ck int, odate int, p float)
+//	lineitem (lk int, ok int, part text, qty int, p float)
+//
+// Turning them into tuple-independent probabilistic tables is then a
+// matter of `pick tuples from customer independently with probability p`.
+func TPCHScript(cfg TPCHConfig) string {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	prob := func() float64 {
+		return cfg.ProbMin + rng.Float64()*(cfg.ProbMax-cfg.ProbMin)
+	}
+	var b strings.Builder
+	b.WriteString(`create table customer (ck int, name text, nation text, p float);
+create table orders (ok int, ck int, odate int, p float);
+create table lineitem (lk int, ok int, part text, qty int, p float);
+`)
+	ok, lk := 0, 0
+	for ck := 1; ck <= cfg.Customers; ck++ {
+		fmt.Fprintf(&b, "insert into customer values (%d, 'cust%04d', '%s', %.4f);\n",
+			ck, ck, nations[rng.Intn(len(nations))], prob())
+		nOrders := 1 + rng.Intn(2*cfg.OrdersPerCustomer)
+		for o := 0; o < nOrders; o++ {
+			ok++
+			fmt.Fprintf(&b, "insert into orders values (%d, %d, %d, %.4f);\n",
+				ok, ck, 19920101+rng.Intn(2000), prob())
+			nItems := 1 + rng.Intn(2*cfg.ItemsPerOrder)
+			for i := 0; i < nItems; i++ {
+				lk++
+				fmt.Fprintf(&b, "insert into lineitem values (%d, %d, '%s', %d, %.4f);\n",
+					lk, ok, parts[rng.Intn(len(parts))], 1+rng.Intn(50), prob())
+			}
+		}
+	}
+	return b.String()
+}
+
+// DNFConfig shapes random DNF instances for the confidence
+// computation experiments.
+type DNFConfig struct {
+	// Vars is the number of distinct random variables.
+	Vars int
+	// MaxDomain bounds each variable's number of alternatives (≥2).
+	MaxDomain int
+	// Clauses is the number of DNF clauses.
+	Clauses int
+	// MaxWidth bounds literals per clause.
+	MaxWidth int
+}
+
+// RandomDNF draws a random DNF over fresh variables registered in
+// store, returning the event. The variable-to-clause ratio
+// cfg.Vars/cfg.Clauses is the knob the Koch-Olteanu experiment sweeps.
+func RandomDNF(rng *rand.Rand, store *ws.Store, cfg DNFConfig) lineage.DNF {
+	if cfg.MaxDomain < 2 {
+		cfg.MaxDomain = 2
+	}
+	vars := make([]ws.VarID, cfg.Vars)
+	doms := make([]int, cfg.Vars)
+	for i := range vars {
+		dom := 2
+		if cfg.MaxDomain > 2 {
+			dom += rng.Intn(cfg.MaxDomain - 1)
+		}
+		probs := make([]float64, dom)
+		rest := 1.0
+		for j := 0; j < dom-1; j++ {
+			probs[j] = rest * rng.Float64()
+			rest -= probs[j]
+		}
+		probs[dom-1] = rest
+		v, err := store.NewVar(probs)
+		if err != nil {
+			panic(err) // generator produces valid distributions by construction
+		}
+		vars[i] = v
+		doms[i] = dom
+	}
+	d := make(lineage.DNF, 0, cfg.Clauses)
+	for len(d) < cfg.Clauses {
+		w := 1 + rng.Intn(cfg.MaxWidth)
+		lits := make([]lineage.Lit, 0, w)
+		for j := 0; j < w; j++ {
+			k := rng.Intn(cfg.Vars)
+			lits = append(lits, lineage.Lit{Var: vars[k], Val: 1 + rng.Intn(doms[k])})
+		}
+		if c, ok := lineage.NewCond(lits...); ok {
+			d = append(d, c)
+		}
+	}
+	return d
+}
+
+// ReadOnceDNF draws a random read-once (hierarchical) DNF of the form
+// x·(y₁ ∨ y₂ ∨ ...) nested to the given depth over fresh boolean
+// variables, mimicking the lineage of hierarchical queries on
+// tuple-independent databases. fanout controls branching.
+func ReadOnceDNF(rng *rand.Rand, store *ws.Store, depth, fanout int) lineage.DNF {
+	var build func(depth int) lineage.DNF
+	freshLit := func() lineage.Lit {
+		v, err := store.NewBoolVar(0.1 + 0.8*rng.Float64())
+		if err != nil {
+			panic(err)
+		}
+		return lineage.Lit{Var: v, Val: 1}
+	}
+	build = func(depth int) lineage.DNF {
+		if depth <= 0 {
+			c, _ := lineage.NewCond(freshLit())
+			return lineage.DNF{c}
+		}
+		// Common factor x AND an OR of independent subtrees.
+		factor := freshLit()
+		var out lineage.DNF
+		n := 1 + rng.Intn(fanout)
+		for i := 0; i < n; i++ {
+			for _, c := range build(depth - 1) {
+				merged, ok := c.And(lineage.Cond{factor})
+				if ok {
+					out = append(out, merged)
+				}
+			}
+		}
+		return out
+	}
+	return build(depth)
+}

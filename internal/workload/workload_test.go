@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"maybms/internal/conf/exact"
+	"maybms/internal/conf/naive"
+	"maybms/internal/conf/sprout"
+	"maybms/internal/ws"
+)
+
+func TestTPCHScriptShape(t *testing.T) {
+	cfg := DefaultTPCH()
+	cfg.Customers = 5
+	s := TPCHScript(cfg)
+	if !strings.Contains(s, "create table customer") ||
+		!strings.Contains(s, "create table orders") ||
+		!strings.Contains(s, "create table lineitem") {
+		t.Fatal("missing DDL")
+	}
+	if strings.Count(s, "insert into customer") != 5 {
+		t.Errorf("customer rows: %d", strings.Count(s, "insert into customer"))
+	}
+	if strings.Count(s, "insert into orders") < 5 {
+		t.Error("each customer should have at least one order")
+	}
+	// Deterministic for a fixed seed.
+	if s != TPCHScript(cfg) {
+		t.Error("generator must be deterministic")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	if s == TPCHScript(cfg2) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRandomDNFProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		store := ws.NewStore()
+		cfg := DNFConfig{Vars: 4, MaxDomain: 3, Clauses: 5, MaxWidth: 3}
+		d := RandomDNF(rng, store, cfg)
+		if len(d) != cfg.Clauses {
+			t.Fatalf("clauses: %d", len(d))
+		}
+		for _, c := range d {
+			if len(c) == 0 || len(c) > cfg.MaxWidth {
+				t.Fatalf("clause width: %d", len(c))
+			}
+		}
+		if len(d.Vars()) > cfg.Vars {
+			t.Fatalf("vars: %d", len(d.Vars()))
+		}
+		// Probability is well-defined and in [0,1].
+		p := exact.Prob(d, store)
+		if p < 0 || p > 1 {
+			t.Fatalf("p=%v", p)
+		}
+	}
+}
+
+func TestReadOnceDNFIsReadOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		store := ws.NewStore()
+		d := ReadOnceDNF(rng, store, 2, 3)
+		if len(d) == 0 {
+			t.Fatal("empty read-once DNF")
+		}
+		p, ok := sprout.Prob(d, store)
+		if !ok {
+			t.Fatalf("trial %d: generator output not read-once: %v", trial, d)
+		}
+		if len(d.Vars()) <= 14 {
+			want := naive.Prob(d, store)
+			if math.Abs(p-want) > 1e-9 {
+				t.Fatalf("trial %d: sprout=%v naive=%v", trial, p, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package ws implements the world-set store: the registry of finite,
+// pairwise-independent random variables that U-relation condition
+// columns refer to. Each variable x has a finite domain {1..n} and a
+// probability for each alternative; a possible world is a total
+// assignment of all variables, and its probability is the product of
+// the chosen alternatives' probabilities (variables are independent).
+//
+// repair-key introduces one variable per key block (one alternative
+// per tuple in the block, weights normalised); pick-tuples introduces
+// one two-alternative variable per tuple.
+package ws
+
+import (
+	"fmt"
+	"math"
+)
+
+// VarID identifies a random variable in a Store. IDs are dense and
+// start at 0.
+type VarID int32
+
+// ProbSource is the read-only view of a world-set store that the
+// confidence-computation algorithms need.
+type ProbSource interface {
+	// Prob returns P(v = val). val is 1-based.
+	Prob(v VarID, val int) float64
+	// DomainSize returns the number of alternatives of v.
+	DomainSize(v VarID) int
+}
+
+// Store holds the variables of a U-relational database. Variables are
+// append-only: once created their domains and probabilities never
+// change, which makes snapshots (for transactions) a matter of
+// remembering the length.
+type Store struct {
+	// probs[v][i] = P(v = i+1).
+	probs [][]float64
+}
+
+// NewStore returns an empty world-set store.
+func NewStore() *Store { return &Store{} }
+
+// NumVars reports how many variables exist.
+func (s *Store) NumVars() int { return len(s.probs) }
+
+// NewVar creates a fresh variable whose domain has len(probs)
+// alternatives with the given probabilities. Probabilities must be
+// non-negative and sum to at most 1+1e-9; a deficit (sum < 1) is
+// permitted and represents an implicit "none" alternative, as produced
+// by repair-key over a weight column that does not sum to 1 after
+// normalisation is disabled. Most callers pass a normalised vector.
+func (s *Store) NewVar(probs []float64) (VarID, error) {
+	if len(probs) == 0 {
+		return -1, fmt.Errorf("ws: variable needs at least one alternative")
+	}
+	sum := 0.0
+	for i, p := range probs {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return -1, fmt.Errorf("ws: invalid probability %v for alternative %d", p, i+1)
+		}
+		sum += p
+	}
+	if sum > 1+1e-9 {
+		return -1, fmt.Errorf("ws: probabilities sum to %v > 1", sum)
+	}
+	cp := make([]float64, len(probs))
+	copy(cp, probs)
+	id := VarID(len(s.probs))
+	s.probs = append(s.probs, cp)
+	return id, nil
+}
+
+// NewBoolVar creates a two-alternative variable with P(v=1)=p and
+// P(v=2)=1-p. Alternative 1 conventionally means "tuple present".
+func (s *Store) NewBoolVar(p float64) (VarID, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return -1, fmt.Errorf("ws: probability %v out of [0,1]", p)
+	}
+	return s.NewVar([]float64{p, 1 - p})
+}
+
+// Prob returns P(v = val); val is 1-based. Out-of-range queries return 0.
+func (s *Store) Prob(v VarID, val int) float64 {
+	if int(v) < 0 || int(v) >= len(s.probs) {
+		return 0
+	}
+	d := s.probs[v]
+	if val < 1 || val > len(d) {
+		return 0
+	}
+	return d[val-1]
+}
+
+// DomainSize returns the number of alternatives of v (0 if unknown).
+func (s *Store) DomainSize(v VarID) int {
+	if int(v) < 0 || int(v) >= len(s.probs) {
+		return 0
+	}
+	return len(s.probs[v])
+}
+
+// Snapshot captures the current variable count for later rollback.
+func (s *Store) Snapshot() int { return len(s.probs) }
+
+// Rollback discards all variables created after the snapshot.
+func (s *Store) Rollback(snap int) {
+	if snap >= 0 && snap <= len(s.probs) {
+		s.probs = s.probs[:snap]
+	}
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	out := &Store{probs: make([][]float64, len(s.probs))}
+	for i, d := range s.probs {
+		cp := make([]float64, len(d))
+		copy(cp, d)
+		out.probs[i] = cp
+	}
+	return out
+}
+
+// Domains returns a copy of the probability table, indexed by VarID.
+// Intended for serialisation and world enumeration in tests.
+func (s *Store) Domains() [][]float64 {
+	out := make([][]float64, len(s.probs))
+	for i, d := range s.probs {
+		cp := make([]float64, len(d))
+		copy(cp, d)
+		out[i] = cp
+	}
+	return out
+}
+
+// Restore replaces the store contents with the given probability
+// table. Used when loading a persisted database.
+func (s *Store) Restore(domains [][]float64) {
+	s.probs = make([][]float64, len(domains))
+	for i, d := range domains {
+		cp := make([]float64, len(d))
+		copy(cp, d)
+		s.probs[i] = cp
+	}
+}
+
+// EnumerateWorlds calls fn once per total assignment of the given
+// variables with that world's probability. Assignments are delivered
+// as a map from variable to chosen alternative (1-based). The map is
+// reused between calls; callers must not retain it. Enumeration cost
+// is the product of domain sizes; intended for tests and tiny inputs.
+func (s *Store) EnumerateWorlds(vars []VarID, fn func(assign map[VarID]int, p float64)) {
+	assign := make(map[VarID]int, len(vars))
+	var rec func(i int, p float64)
+	rec = func(i int, p float64) {
+		if p == 0 {
+			return
+		}
+		if i == len(vars) {
+			fn(assign, p)
+			return
+		}
+		v := vars[i]
+		n := s.DomainSize(v)
+		covered := 0.0
+		for val := 1; val <= n; val++ {
+			pv := s.Prob(v, val)
+			covered += pv
+			assign[v] = val
+			rec(i+1, p*pv)
+		}
+		delete(assign, v)
+		// Implicit residual alternative when the domain is deficient.
+		if rest := 1 - covered; rest > 1e-12 {
+			assign[v] = n + 1
+			rec(i+1, p*rest)
+			delete(assign, v)
+		}
+	}
+	rec(0, 1)
+}

@@ -1,0 +1,138 @@
+package ws
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewVar(t *testing.T) {
+	s := NewStore()
+	v, err := s.NewVar([]float64{0.2, 0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 1 || v != 0 {
+		t.Errorf("NumVars=%d v=%d", s.NumVars(), v)
+	}
+	if s.DomainSize(v) != 3 {
+		t.Errorf("DomainSize=%d", s.DomainSize(v))
+	}
+	if s.Prob(v, 2) != 0.3 {
+		t.Errorf("Prob=%v", s.Prob(v, 2))
+	}
+	if s.Prob(v, 0) != 0 || s.Prob(v, 4) != 0 || s.Prob(99, 1) != 0 {
+		t.Error("out-of-range probabilities must be 0")
+	}
+}
+
+func TestNewVarValidation(t *testing.T) {
+	s := NewStore()
+	if _, err := s.NewVar(nil); err == nil {
+		t.Error("empty domain should fail")
+	}
+	if _, err := s.NewVar([]float64{-0.1, 1.1}); err == nil {
+		t.Error("negative probability should fail")
+	}
+	if _, err := s.NewVar([]float64{0.7, 0.7}); err == nil {
+		t.Error("sum > 1 should fail")
+	}
+	if _, err := s.NewVar([]float64{math.NaN()}); err == nil {
+		t.Error("NaN should fail")
+	}
+	// Deficient distributions are allowed.
+	if _, err := s.NewVar([]float64{0.4, 0.3}); err != nil {
+		t.Errorf("deficit should be allowed: %v", err)
+	}
+}
+
+func TestNewBoolVar(t *testing.T) {
+	s := NewStore()
+	v, err := s.NewBoolVar(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Prob(v, 1) != 0.25 || s.Prob(v, 2) != 0.75 {
+		t.Errorf("probs: %v %v", s.Prob(v, 1), s.Prob(v, 2))
+	}
+	if _, err := s.NewBoolVar(1.5); err == nil {
+		t.Error("p>1 should fail")
+	}
+}
+
+func TestSnapshotRollback(t *testing.T) {
+	s := NewStore()
+	s.NewBoolVar(0.5)
+	snap := s.Snapshot()
+	s.NewBoolVar(0.1)
+	s.NewBoolVar(0.2)
+	if s.NumVars() != 3 {
+		t.Fatalf("NumVars=%d", s.NumVars())
+	}
+	s.Rollback(snap)
+	if s.NumVars() != 1 {
+		t.Errorf("after rollback NumVars=%d", s.NumVars())
+	}
+}
+
+func TestCloneAndRestore(t *testing.T) {
+	s := NewStore()
+	s.NewVar([]float64{0.1, 0.9})
+	c := s.Clone()
+	c.NewBoolVar(0.5)
+	if s.NumVars() != 1 || c.NumVars() != 2 {
+		t.Error("clone must be independent")
+	}
+	r := NewStore()
+	r.Restore(s.Domains())
+	if r.NumVars() != 1 || r.Prob(0, 2) != 0.9 {
+		t.Error("restore mismatch")
+	}
+}
+
+func TestEnumerateWorlds(t *testing.T) {
+	s := NewStore()
+	x, _ := s.NewVar([]float64{0.3, 0.7})
+	y, _ := s.NewVar([]float64{0.5, 0.5})
+	total := 0.0
+	count := 0
+	s.EnumerateWorlds([]VarID{x, y}, func(a map[VarID]int, p float64) {
+		total += p
+		count++
+	})
+	if count != 4 {
+		t.Errorf("worlds=%d", count)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("probability mass %v != 1", total)
+	}
+}
+
+func TestEnumerateWorldsDeficit(t *testing.T) {
+	s := NewStore()
+	x, _ := s.NewVar([]float64{0.4, 0.3}) // 0.3 implicit residual
+	sum := 0.0
+	worlds := 0
+	s.EnumerateWorlds([]VarID{x}, func(a map[VarID]int, p float64) {
+		sum += p
+		worlds++
+		if a[x] == 3 && math.Abs(p-0.3) > 1e-12 {
+			t.Errorf("residual world prob %v", p)
+		}
+	})
+	if worlds != 3 {
+		t.Errorf("worlds=%d want 3 (2 explicit + residual)", worlds)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("mass=%v", sum)
+	}
+}
+
+func TestEnumerateWorldsZeroProbSkipped(t *testing.T) {
+	s := NewStore()
+	x, _ := s.NewVar([]float64{0, 1})
+	worlds := 0
+	s.EnumerateWorlds([]VarID{x}, func(a map[VarID]int, p float64) { worlds++ })
+	if worlds != 1 {
+		t.Errorf("zero-probability worlds must be skipped, got %d", worlds)
+	}
+}

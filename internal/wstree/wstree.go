@@ -1,0 +1,520 @@
+// Package wstree implements world-set trees (ws-trees), the
+// decomposition structure of Koch & Olteanu, "Conditioning
+// Probabilistic Databases" (VLDB 2008). A ws-tree represents a set of
+// possible worlds in factorised form:
+//
+//   - a product node ⊗ combines variable-disjoint subtrees (worlds
+//     compose freely: independence);
+//   - a choice node ⊕ splits on the alternatives of one variable
+//     (worlds partition: mutual exclusion);
+//   - a leaf is an unconstrained residual world set.
+//
+// The exact confidence algorithm in internal/conf/exact implicitly
+// explores this structure; building it explicitly supports the
+// operations conditioning needs beyond a single probability: world
+// counting, enumeration, marginal computation, and weighted sampling
+// of worlds satisfying an event — all in time linear in the tree.
+package wstree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"maybms/internal/lineage"
+	"maybms/internal/ws"
+)
+
+// Node is one node of a ws-tree. Exactly one of the fields below is
+// active, discriminated by Kind.
+type Node struct {
+	Kind Kind
+	// Prob is the total probability mass of the worlds in this
+	// subtree (within the subtree's own variables).
+	Prob float64
+	// Children of a Product node.
+	Children []*Node
+	// Var and Branches of a Choice node: Branches[i] is the subtree
+	// under Var = Vals[i], weighted by P(Var=Vals[i]).
+	Var      ws.VarID
+	Vals     []int
+	ValProbs []float64
+	Branches []*Node
+	// ResidualVals counts unmentioned alternatives folded into the
+	// final branch of a Choice node (0 when every alternative is
+	// explicit).
+	ResidualVals int
+}
+
+// Kind discriminates ws-tree nodes.
+type Kind uint8
+
+const (
+	// Leaf is an unconstrained world set (probability 1).
+	Leaf Kind = iota
+	// Product combines independent subtrees.
+	Product
+	// Choice splits on one variable's alternatives.
+	Choice
+	// Empty is the empty world set (probability 0).
+	Empty
+)
+
+// Build compiles the world set satisfying event d into a ws-tree.
+// The tree covers exactly the variables d mentions; all other
+// variables remain unconstrained (factored out as an implicit leaf).
+func Build(d lineage.DNF, src ws.ProbSource) *Node {
+	d = d.Simplify()
+	return build(d, src)
+}
+
+func build(d lineage.DNF, src ws.ProbSource) *Node {
+	if len(d) == 0 {
+		return &Node{Kind: Empty, Prob: 0}
+	}
+	if d.HasEmptyClause() {
+		return &Node{Kind: Leaf, Prob: 1}
+	}
+	// Product rule: the satisfying world set factors along literals
+	// common to every clause (an event A∨B over disjoint variables is
+	// a union, not a product, so only conjunctive structure factors).
+	if common, rest := factorCommon(d); len(common) > 0 {
+		children := make([]*Node, 0, len(common)+1)
+		prob := 1.0
+		for _, l := range common {
+			p := src.Prob(l.Var, l.Val)
+			child := &Node{
+				Kind: Choice, Var: l.Var,
+				Vals: []int{l.Val}, ValProbs: []float64{p},
+				Branches: []*Node{{Kind: Leaf, Prob: 1}},
+				Prob:     p,
+			}
+			children = append(children, child)
+			prob *= p
+		}
+		sub := build(rest, src)
+		if sub.Kind != Leaf || sub.Prob != 1 {
+			children = append(children, sub)
+			prob *= sub.Prob
+		}
+		if prob == 0 {
+			return &Node{Kind: Empty}
+		}
+		if len(children) == 1 {
+			return children[0]
+		}
+		return &Node{Kind: Product, Children: children, Prob: prob}
+	}
+	// Choice on the most frequent variable: partition the worlds by
+	// its value.
+	x := mostFrequentVar(d)
+	node := &Node{Kind: Choice, Var: x}
+	mentioned := map[int]bool{}
+	for _, c := range d {
+		if v, ok := c.Lookup(x); ok {
+			mentioned[v] = true
+		}
+	}
+	vals := make([]int, 0, len(mentioned))
+	for v := range mentioned {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	total := 0.0
+	covered := 0.0
+	for _, v := range vals {
+		pv := src.Prob(x, v)
+		covered += pv
+		sub := build(d.Condition(x, v).Simplify(), src)
+		node.Vals = append(node.Vals, v)
+		node.ValProbs = append(node.ValProbs, pv)
+		node.Branches = append(node.Branches, sub)
+		total += pv * sub.Prob
+	}
+	// Residual branch: all unmentioned alternatives share the event
+	// with x's clauses dropped.
+	if rest := 1 - covered; rest > 1e-15 {
+		residual := d.DropVar(x).Simplify()
+		sub := build(residual, src)
+		if sub.Kind != Empty {
+			node.Vals = append(node.Vals, 0) // 0 marks "any other value"
+			node.ValProbs = append(node.ValProbs, rest)
+			node.Branches = append(node.Branches, sub)
+			node.ResidualVals = residualCount(x, mentioned, src)
+			total += rest * sub.Prob
+		}
+	}
+	node.Prob = total
+	if total == 0 {
+		return &Node{Kind: Empty}
+	}
+	return node
+}
+
+// residualCount counts the explicit alternatives of x not mentioned.
+func residualCount(x ws.VarID, mentioned map[int]bool, src ws.ProbSource) int {
+	n := 0
+	for v := 1; v <= src.DomainSize(x); v++ {
+		if !mentioned[v] {
+			n++
+		}
+	}
+	return n
+}
+
+// factorCommon extracts literals present in every clause. rest is the
+// DNF with those literals removed (simplified).
+func factorCommon(d lineage.DNF) (lineage.Cond, lineage.DNF) {
+	if len(d) == 0 {
+		return nil, d
+	}
+	common := d[0]
+	for _, c := range d[1:] {
+		common = intersect(common, c)
+		if len(common) == 0 {
+			return nil, d
+		}
+	}
+	rest := make(lineage.DNF, 0, len(d))
+	for _, c := range d {
+		out := c
+		for _, l := range common {
+			out = out.Without(l.Var)
+		}
+		rest = append(rest, out)
+	}
+	return common, rest.Simplify()
+}
+
+func intersect(a, b lineage.Cond) lineage.Cond {
+	var out []lineage.Lit
+	for _, l := range a {
+		if v, ok := b.Lookup(l.Var); ok && v == l.Val {
+			out = append(out, l)
+		}
+	}
+	c, _ := lineage.NewCond(out...)
+	return c
+}
+
+func mostFrequentVar(d lineage.DNF) ws.VarID {
+	count := map[ws.VarID]int{}
+	for _, c := range d {
+		for _, l := range c {
+			count[l.Var]++
+		}
+	}
+	best, bestN := ws.VarID(-1), -1
+	for v, n := range count {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// Sample draws a world over the tree's variables, weighted by world
+// probability conditioned on the event the tree represents. Variables
+// the chosen branches leave unconstrained are drawn from their
+// priors. It reports ok=false on the empty tree.
+func (n *Node) Sample(rng *rand.Rand, src ws.ProbSource, out map[ws.VarID]int) bool {
+	if !n.sample(rng, src, out) {
+		return false
+	}
+	// Fill in variables the chosen path left unconstrained.
+	for _, v := range n.MentionedVars() {
+		if _, ok := out[v]; !ok {
+			out[v] = samplePrior(rng, src, v, nil)
+		}
+	}
+	return true
+}
+
+func (n *Node) sample(rng *rand.Rand, src ws.ProbSource, out map[ws.VarID]int) bool {
+	switch n.Kind {
+	case Empty:
+		return false
+	case Leaf:
+		return true
+	case Product:
+		for _, c := range n.Children {
+			if !c.sample(rng, src, out) {
+				return false
+			}
+		}
+		return true
+	case Choice:
+		// Choose a branch ∝ ValProbs[i] * Branches[i].Prob.
+		total := 0.0
+		for i := range n.Branches {
+			total += n.ValProbs[i] * n.Branches[i].Prob
+		}
+		if total <= 0 {
+			return false
+		}
+		u := rng.Float64() * total
+		acc := 0.0
+		for i := range n.Branches {
+			acc += n.ValProbs[i] * n.Branches[i].Prob
+			if u < acc || i == len(n.Branches)-1 {
+				if n.Vals[i] == 0 {
+					// Residual branch: draw an unmentioned value.
+					excluded := map[int]bool{}
+					for _, v := range n.Vals {
+						if v != 0 {
+							excluded[v] = true
+						}
+					}
+					out[n.Var] = samplePrior(rng, src, n.Var, excluded)
+				} else {
+					out[n.Var] = n.Vals[i]
+				}
+				return n.Branches[i].sample(rng, src, out)
+			}
+		}
+	}
+	return false
+}
+
+// samplePrior draws an alternative of v from its prior, skipping the
+// excluded values; the implicit deficit alternative is domain+1.
+func samplePrior(rng *rand.Rand, src ws.ProbSource, v ws.VarID, excluded map[int]bool) int {
+	nDom := src.DomainSize(v)
+	total := 0.0
+	for val := 1; val <= nDom; val++ {
+		if !excluded[val] {
+			total += src.Prob(v, val)
+		}
+	}
+	deficit := 1.0
+	for val := 1; val <= nDom; val++ {
+		deficit -= src.Prob(v, val)
+	}
+	if deficit > 1e-12 {
+		total += deficit
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for val := 1; val <= nDom; val++ {
+		if excluded[val] {
+			continue
+		}
+		acc += src.Prob(v, val)
+		if u < acc {
+			return val
+		}
+	}
+	return nDom + 1
+}
+
+// MentionedVars returns the sorted variables the tree constrains.
+func (n *Node) MentionedVars() []ws.VarID {
+	seen := map[ws.VarID]bool{}
+	n.collectVars(seen)
+	out := make([]ws.VarID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (n *Node) collectVars(seen map[ws.VarID]bool) {
+	switch n.Kind {
+	case Choice:
+		seen[n.Var] = true
+		for _, b := range n.Branches {
+			b.collectVars(seen)
+		}
+	case Product:
+		for _, c := range n.Children {
+			c.collectVars(seen)
+		}
+	}
+}
+
+// CountWorlds returns the number of distinct assignments of the given
+// variable scope that satisfy the event (probability-zero alternatives
+// included). Pass the event's variable set, e.g. d.Vars().
+func (n *Node) CountWorlds(scope []ws.VarID, src ws.ProbSource) float64 {
+	inScope := map[ws.VarID]bool{}
+	for _, v := range scope {
+		inScope[v] = true
+	}
+	return n.countWorlds(inScope, src)
+}
+
+func (n *Node) countWorlds(scope map[ws.VarID]bool, src ws.ProbSource) float64 {
+	free := func(covered map[ws.VarID]bool) float64 {
+		mult := 1.0
+		for v := range scope {
+			if !covered[v] {
+				mult *= float64(src.DomainSize(v))
+			}
+		}
+		return mult
+	}
+	switch n.Kind {
+	case Empty:
+		return 0
+	case Leaf:
+		return free(nil)
+	case Product:
+		covered := map[ws.VarID]bool{}
+		total := 1.0
+		for _, c := range n.Children {
+			childScope := map[ws.VarID]bool{}
+			for _, v := range c.MentionedVars() {
+				childScope[v] = true
+				covered[v] = true
+			}
+			total *= c.countWorlds(childScope, src)
+		}
+		return total * free(covered)
+	case Choice:
+		branchScope := map[ws.VarID]bool{}
+		for v := range scope {
+			if v != n.Var {
+				branchScope[v] = true
+			}
+		}
+		total := 0.0
+		for i, b := range n.Branches {
+			mult := 1.0
+			if n.Vals[i] == 0 {
+				mult = float64(n.ResidualVals)
+			}
+			// The branch constrains only its own mentioned vars; the
+			// rest of branchScope stays free within this branch.
+			sub := map[ws.VarID]bool{}
+			covered := map[ws.VarID]bool{n.Var: true}
+			for _, v := range b.MentionedVars() {
+				if branchScope[v] {
+					sub[v] = true
+					covered[v] = true
+				}
+			}
+			freeMult := 1.0
+			for v := range branchScope {
+				if !sub[v] {
+					freeMult *= float64(src.DomainSize(v))
+				}
+			}
+			total += mult * freeMult * b.countWorlds(sub, src)
+		}
+		return total
+	}
+	return 0
+}
+
+// Marginal returns P(v = val | event) by traversing the tree; the
+// variable must appear in the tree (otherwise its prior is returned
+// via src).
+func (n *Node) Marginal(v ws.VarID, val int, src ws.ProbSource) float64 {
+	if n.Prob == 0 {
+		return 0
+	}
+	return n.restrict(v, val, src) / n.Prob
+}
+
+// restrict computes the unnormalised mass of worlds in the subtree
+// with v = val.
+func (n *Node) restrict(v ws.VarID, val int, src ws.ProbSource) float64 {
+	switch n.Kind {
+	case Empty:
+		return 0
+	case Leaf:
+		// v unconstrained here: prior factor.
+		return src.Prob(v, val)
+	case Product:
+		total := n.Prob
+		found := false
+		for _, c := range n.Children {
+			if c.mentions(v) {
+				total = total / c.Prob * c.restrict(v, val, src)
+				found = true
+				break
+			}
+		}
+		if !found {
+			total *= src.Prob(v, val)
+		}
+		return total
+	case Choice:
+		if n.Var == v {
+			for i, bv := range n.Vals {
+				if bv == val {
+					return n.ValProbs[i] * n.Branches[i].Prob
+				}
+			}
+			// val may be folded into the residual branch.
+			for i, bv := range n.Vals {
+				if bv == 0 {
+					return src.Prob(v, val) * n.Branches[i].Prob
+				}
+			}
+			return 0
+		}
+		total := 0.0
+		for i, b := range n.Branches {
+			total += n.ValProbs[i] * b.restrict(v, val, src)
+		}
+		return total
+	}
+	return 0
+}
+
+// mentions reports whether the subtree constrains v.
+func (n *Node) mentions(v ws.VarID) bool {
+	switch n.Kind {
+	case Choice:
+		if n.Var == v {
+			return true
+		}
+		for _, b := range n.Branches {
+			if b.mentions(v) {
+				return true
+			}
+		}
+	case Product:
+		for _, c := range n.Children {
+			if c.mentions(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the tree as an indented outline for debugging.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case Empty:
+		fmt.Fprintf(b, "%s∅\n", ind)
+	case Leaf:
+		fmt.Fprintf(b, "%s⊤\n", ind)
+	case Product:
+		fmt.Fprintf(b, "%s⊗ p=%.6g\n", ind, n.Prob)
+		for _, c := range n.Children {
+			c.render(b, depth+1)
+		}
+	case Choice:
+		fmt.Fprintf(b, "%s⊕ x%d p=%.6g\n", ind, n.Var, n.Prob)
+		for i, br := range n.Branches {
+			if n.Vals[i] == 0 {
+				fmt.Fprintf(b, "%s  [other, w=%.6g]\n", ind, n.ValProbs[i])
+			} else {
+				fmt.Fprintf(b, "%s  [=%d, w=%.6g]\n", ind, n.Vals[i], n.ValProbs[i])
+			}
+			br.render(b, depth+2)
+		}
+	}
+}

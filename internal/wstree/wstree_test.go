@@ -1,0 +1,167 @@
+package wstree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"maybms/internal/conf/exact"
+	"maybms/internal/conf/naive"
+	"maybms/internal/lineage"
+	"maybms/internal/workload"
+	"maybms/internal/ws"
+)
+
+func lit(v ws.VarID, val int) lineage.Lit { return lineage.Lit{Var: v, Val: val} }
+
+func mkCond(t *testing.T, lits ...lineage.Lit) lineage.Cond {
+	t.Helper()
+	c, ok := lineage.NewCond(lits...)
+	if !ok {
+		t.Fatal("inconsistent condition in test")
+	}
+	return c
+}
+
+func TestBuildEdgeCases(t *testing.T) {
+	store := ws.NewStore()
+	if n := Build(nil, store); n.Kind != Empty || n.Prob != 0 {
+		t.Errorf("empty: %+v", n)
+	}
+	if n := Build(lineage.DNF{lineage.TrueCond()}, store); n.Kind != Leaf || n.Prob != 1 {
+		t.Errorf("true: %+v", n)
+	}
+	// Zero-probability literal gives the empty world set.
+	x, _ := store.NewVar([]float64{0, 1})
+	d := lineage.DNF{mkCond(t, lit(x, 1))}
+	if n := Build(d, store); n.Kind != Empty {
+		t.Errorf("zero-prob: %+v", n)
+	}
+}
+
+// TestProbMatchesExact: the tree's root mass equals the exact event
+// probability on random DNFs.
+func TestProbMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		store := ws.NewStore()
+		d := workload.RandomDNF(rng, store, workload.DNFConfig{
+			Vars: 2 + rng.Intn(5), MaxDomain: 3, Clauses: 1 + rng.Intn(5), MaxWidth: 3,
+		})
+		tree := Build(d, store)
+		want := exact.Prob(d, store)
+		if math.Abs(tree.Prob-want) > 1e-9 {
+			t.Fatalf("trial %d: tree=%v exact=%v\n%s", trial, tree.Prob, want, tree)
+		}
+	}
+}
+
+// TestCountWorldsMatchesEnumeration on small boolean instances.
+func TestCountWorldsMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 100; trial++ {
+		store := ws.NewStore()
+		d := workload.RandomDNF(rng, store, workload.DNFConfig{
+			Vars: 4, MaxDomain: 2, Clauses: 1 + rng.Intn(4), MaxWidth: 2,
+		})
+		tree := Build(d, store)
+		// Brute force: count satisfying assignments over d's vars.
+		vars := d.Vars()
+		count := 0
+		var rec func(i int, assign map[ws.VarID]int)
+		rec = func(i int, assign map[ws.VarID]int) {
+			if i == len(vars) {
+				if d.Eval(assign) {
+					count++
+				}
+				return
+			}
+			for v := 1; v <= store.DomainSize(vars[i]); v++ {
+				assign[vars[i]] = v
+				rec(i+1, assign)
+			}
+			delete(assign, vars[i])
+		}
+		rec(0, map[ws.VarID]int{})
+		if got := tree.CountWorlds(vars, store); math.Abs(got-float64(count)) > 1e-9 {
+			t.Fatalf("trial %d: CountWorlds=%v brute=%d\nDNF=%v\n%s", trial, got, count, d, tree)
+		}
+	}
+}
+
+// TestMarginalMatchesConditioning: tree marginals equal P(v=val|event)
+// computed from first principles.
+func TestMarginalMatchesConditioning(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		store := ws.NewStore()
+		d := workload.RandomDNF(rng, store, workload.DNFConfig{
+			Vars: 4, MaxDomain: 3, Clauses: 1 + rng.Intn(4), MaxWidth: 2,
+		})
+		pd := naive.Prob(d, store)
+		if pd == 0 {
+			continue
+		}
+		tree := Build(d, store)
+		for _, v := range d.Vars() {
+			for val := 1; val <= store.DomainSize(v); val++ {
+				got := tree.Marginal(v, val, store)
+				// Ground truth by enumeration.
+				joint := 0.0
+				store.EnumerateWorlds(d.Vars(), func(assign map[ws.VarID]int, p float64) {
+					if d.Eval(assign) && assign[v] == val {
+						joint += p
+					}
+				})
+				want := joint / pd
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d: P(x%d=%d|e)=%v want %v\nDNF=%v\n%s",
+						trial, v, val, got, want, d, tree)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleDistribution: sampled worlds follow the conditional
+// distribution.
+func TestSampleDistribution(t *testing.T) {
+	store := ws.NewStore()
+	x, _ := store.NewBoolVar(0.5)
+	y, _ := store.NewBoolVar(0.5)
+	// Event: x ∨ y; conditional world distribution:
+	// (1,1):1/3 (1,2):1/3 (2,1):1/3.
+	d := lineage.DNF{mkCond(t, lit(x, 1)), mkCond(t, lit(y, 1))}
+	tree := Build(d, store)
+	rng := rand.New(rand.NewSource(20))
+	counts := map[[2]int]int{}
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		out := map[ws.VarID]int{}
+		if !tree.Sample(rng, store, out) {
+			t.Fatal("sample failed on non-empty tree")
+		}
+		counts[[2]int{out[x], out[y]}]++
+	}
+	if counts[[2]int{2, 2}] > 0 {
+		t.Errorf("sampled an excluded world %d times", counts[[2]int{2, 2}])
+	}
+	for _, w := range [][2]int{{1, 1}, {1, 2}, {2, 1}} {
+		frac := float64(counts[w]) / trials
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Errorf("world %v frequency %v want ~1/3", w, frac)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	store := ws.NewStore()
+	x, _ := store.NewBoolVar(0.5)
+	y, _ := store.NewBoolVar(0.4)
+	d := lineage.DNF{mkCond(t, lit(x, 1), lit(y, 1))}
+	s := Build(d, store).String()
+	if !strings.Contains(s, "⊗") && !strings.Contains(s, "⊕") {
+		t.Errorf("rendering: %s", s)
+	}
+}

@@ -1,0 +1,423 @@
+// Package maybms is a probabilistic database management system in pure
+// Go, reproducing "MayBMS: A Probabilistic Database Management System"
+// (Huang, Antova, Koch, Olteanu — SIGMOD 2009).
+//
+// MayBMS stores uncertain data in U-relations — relations extended
+// with condition columns over finite independent random variables —
+// and exposes an extension of SQL with uncertainty-aware constructs:
+//
+//   - repair key ... in ... weight by ...   (key repair → uncertainty)
+//   - pick tuples from ... with probability (subset distribution)
+//   - conf(), aconf(ε,δ), tconf()           (confidence computation)
+//   - possible                              (certain answers filter)
+//   - esum(e), ecount()                     (expected aggregates)
+//   - argmax(arg, value)                    (maximising arguments)
+//
+// Confidence computation uses SPROUT-style read-once factorisation
+// for tractable lineage, the Koch-Olteanu exact d-tree algorithm in
+// general, and Karp-Luby Monte Carlo estimation with the
+// Dagum-Karp-Luby-Ross optimal stopping rule for aconf.
+//
+// Quickstart:
+//
+//	db := maybms.Open()
+//	db.MustExec(`create table coin (face text, w float)`)
+//	db.MustExec(`insert into coin values ('heads', 1), ('tails', 1)`)
+//	rows := db.MustQuery(`select face, conf() p from (repair key in coin weight by w) c group by face`)
+//	fmt.Println(rows)
+package maybms
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"maybms/internal/condition"
+	"maybms/internal/db"
+	"maybms/internal/lineage"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+	"maybms/internal/ws"
+)
+
+// DB is a MayBMS database handle. It is safe for concurrent use;
+// statements are serialised internally.
+type DB struct {
+	inner *db.Database
+}
+
+// Open creates a new empty in-memory database.
+func Open() *DB { return &DB{inner: db.New()} }
+
+// OpenFile loads a database snapshot previously written by SaveFile.
+func OpenFile(path string) (*DB, error) {
+	d := Open()
+	if err := d.inner.LoadFile(path); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SaveFile writes a snapshot of the database to path.
+func (d *DB) SaveFile(path string) error { return d.inner.SaveFile(path) }
+
+// SetSeed fixes the random source behind aconf's Monte Carlo sampling,
+// making approximate results reproducible.
+func (d *DB) SetSeed(seed int64) {
+	d.inner.SetRng(rand.New(rand.NewSource(seed)))
+}
+
+// Result reports the outcome of a statement.
+type Result struct {
+	// RowsAffected counts rows changed by DML.
+	RowsAffected int
+	// Msg describes DDL and transaction outcomes.
+	Msg string
+}
+
+// Exec runs a script of one or more semicolon-separated statements and
+// discards any rows, returning the last statement's summary.
+func (d *DB) Exec(src string) (Result, error) {
+	r, err := d.inner.Run(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{RowsAffected: r.RowsAffected, Msg: r.Msg}, nil
+}
+
+// MustExec is Exec that panics on error; for examples and tests.
+func (d *DB) MustExec(src string) Result {
+	r, err := d.Exec(src)
+	if err != nil {
+		panic(fmt.Sprintf("maybms: %v", err))
+	}
+	return r
+}
+
+// Rows is a materialised query result. For uncertain results, Lineage
+// holds one world-set descriptor per row (empty string for
+// unconditional tuples) and Certain is false.
+type Rows struct {
+	// Columns are the output column names.
+	Columns []string
+	// Data holds one slice per row; cell values are nil (NULL), int64,
+	// float64, string, or bool.
+	Data [][]interface{}
+	// Certain reports whether the result is a t-certain table.
+	Certain bool
+	// Lineage holds the per-row condition rendering for uncertain
+	// results; empty otherwise.
+	Lineage []string
+}
+
+// Len reports the number of rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// String renders the result as an aligned text table.
+func (r *Rows) String() string {
+	var b strings.Builder
+	widths := make([]int, len(r.Columns))
+	cells := make([][]string, len(r.Data))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for i, row := range r.Data {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = renderCell(v)
+			if len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range r.Columns {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for i := range cells {
+		for j, cell := range cells[i] {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], cell)
+		}
+		if !r.Certain && r.Lineage[i] != "" {
+			b.WriteString("   [" + r.Lineage[i] + "]")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func renderCell(v interface{}) string {
+	if v == nil {
+		return "NULL"
+	}
+	switch v := v.(type) {
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Query runs a single query statement and materialises its result.
+func (d *DB) Query(src string) (*Rows, error) {
+	r, err := d.inner.Run(src)
+	if err != nil {
+		return nil, err
+	}
+	if r.Rel == nil {
+		return nil, fmt.Errorf("maybms: statement returned no rows (use Exec)")
+	}
+	return fromRel(r.Rel), nil
+}
+
+// MustQuery is Query that panics on error; for examples and tests.
+func (d *DB) MustQuery(src string) *Rows {
+	r, err := d.Query(src)
+	if err != nil {
+		panic(fmt.Sprintf("maybms: %v", err))
+	}
+	return r
+}
+
+func fromRel(rel *urel.Rel) *Rows {
+	out := &Rows{Certain: rel.IsCertain()}
+	for _, c := range rel.Sch.Cols {
+		out.Columns = append(out.Columns, c.Name)
+	}
+	for _, t := range rel.Tuples {
+		row := make([]interface{}, len(t.Data))
+		for i, v := range t.Data {
+			row[i] = toIface(v)
+		}
+		out.Data = append(out.Data, row)
+	}
+	if !out.Certain {
+		out.Lineage = make([]string, len(rel.Tuples))
+		for i, t := range rel.Tuples {
+			if len(t.Cond) > 0 {
+				out.Lineage[i] = t.Cond.String()
+			}
+		}
+	}
+	return out
+}
+
+func toIface(v types.Value) interface{} {
+	switch v.Kind() {
+	case types.KindInt:
+		return v.Int()
+	case types.KindFloat:
+		return v.Float()
+	case types.KindText:
+		return v.Text()
+	case types.KindBool:
+		return v.Bool()
+	default:
+		return nil
+	}
+}
+
+// QueryFloat runs a query expected to return a single numeric cell.
+func (d *DB) QueryFloat(src string) (float64, error) {
+	rows, err := d.Query(src)
+	if err != nil {
+		return 0, err
+	}
+	if rows.Len() != 1 || len(rows.Columns) != 1 {
+		return 0, fmt.Errorf("maybms: expected a single cell, got %dx%d", rows.Len(), len(rows.Columns))
+	}
+	switch v := rows.Data[0][0].(type) {
+	case int64:
+		return float64(v), nil
+	case float64:
+		return v, nil
+	default:
+		return 0, fmt.Errorf("maybms: expected a numeric cell, got %T", v)
+	}
+}
+
+// Tables lists the stored tables.
+func (d *DB) Tables() []string { return d.inner.TableNames() }
+
+// ImportCSV bulk-loads CSV data (with a header row naming the columns)
+// into an existing table. Values are parsed according to the table's
+// column types; empty cells load as NULL.
+func (d *DB) ImportCSV(table string, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("maybms: csv header: %v", err)
+	}
+	count := 0
+	var stmt strings.Builder
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return count, fmt.Errorf("maybms: csv row %d: %v", count+1, err)
+		}
+		stmt.Reset()
+		stmt.WriteString("insert into ")
+		stmt.WriteString(table)
+		stmt.WriteString(" (")
+		stmt.WriteString(strings.Join(header, ", "))
+		stmt.WriteString(") values (")
+		for i, cell := range rec {
+			if i > 0 {
+				stmt.WriteString(", ")
+			}
+			stmt.WriteString(csvLiteral(cell))
+		}
+		stmt.WriteString(")")
+		if _, err := d.Exec(stmt.String()); err != nil {
+			return count, fmt.Errorf("maybms: csv row %d: %v", count+1, err)
+		}
+		count++
+	}
+	return count, nil
+}
+
+// csvLiteral renders a CSV cell as a SQL literal, preferring numeric
+// interpretation.
+func csvLiteral(cell string) string {
+	trimmed := strings.TrimSpace(cell)
+	if trimmed == "" {
+		return "NULL"
+	}
+	if _, err := strconv.ParseInt(trimmed, 10, 64); err == nil {
+		return trimmed
+	}
+	if _, err := strconv.ParseFloat(trimmed, 64); err == nil {
+		return trimmed
+	}
+	return "'" + strings.ReplaceAll(trimmed, "'", "''") + "'"
+}
+
+// ExportCSV writes a query result as CSV with a header row.
+func (d *DB) ExportCSV(w io.Writer, query string) error {
+	rows, err := d.Query(query)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rows.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(rows.Columns))
+	for _, row := range rows.Data {
+		for i, v := range row {
+			if v == nil {
+				rec[i] = ""
+			} else {
+				rec[i] = renderCell(v)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MustQueryRel runs a query and returns the raw U-relation result,
+// exposing per-tuple conditions. Intended for the experiment harness
+// and advanced inspection; most callers want Query.
+func (d *DB) MustQueryRel(src string) *urel.Rel {
+	r, err := d.inner.Run(src)
+	if err != nil || r.Rel == nil {
+		panic(fmt.Sprintf("maybms: %v", err))
+	}
+	return r.Rel
+}
+
+// WorldStore exposes the database's world-set store (the registry of
+// random variables), for the experiment harness and for computing
+// marginals of raw conditions.
+func (d *DB) WorldStore() *ws.Store { return d.inner.Store() }
+
+// RunScript executes a script of statements and returns the last
+// statement's rows (nil when it produced none, e.g. DDL) along with
+// its summary. This is what interactive frontends want: one call that
+// handles both queries and commands.
+func (d *DB) RunScript(src string) (*Rows, Result, error) {
+	r, err := d.inner.Run(src)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	var rows *Rows
+	if r.Rel != nil {
+		rows = fromRel(r.Rel)
+	}
+	return rows, Result{RowsAffected: r.RowsAffected, Msg: r.Msg}, nil
+}
+
+// Posterior is a view of the database conditioned on evidence — the
+// event that some query returned at least one answer (Koch & Olteanu,
+// "Conditioning Probabilistic Databases", VLDB 2008). Posterior
+// probabilities are exact, computed as P(A ∧ B)/P(B) by the d-tree
+// solver.
+type Posterior struct {
+	db   *DB
+	cond *condition.Conditioned
+}
+
+// ConditionOn conditions the database on the evidence that the given
+// query has a non-empty answer. It fails when the evidence has
+// probability zero.
+func (d *DB) ConditionOn(evidenceQuery string) (*Posterior, error) {
+	r, err := d.inner.Run(evidenceQuery)
+	if err != nil {
+		return nil, err
+	}
+	if r.Rel == nil {
+		return nil, fmt.Errorf("maybms: evidence must be a query")
+	}
+	event := make(lineage.DNF, 0, r.Rel.Len())
+	for _, t := range r.Rel.Tuples {
+		event = append(event, t.Cond)
+	}
+	c, err := condition.New(d.inner.Store(), event)
+	if err != nil {
+		return nil, err
+	}
+	return &Posterior{db: d, cond: c}, nil
+}
+
+// EvidenceProb returns the prior probability of the evidence event.
+func (p *Posterior) EvidenceProb() float64 { return p.cond.EvidenceProb() }
+
+// Prob returns the posterior probability that the given query has a
+// non-empty answer, given the evidence.
+func (p *Posterior) Prob(query string) (float64, error) {
+	r, err := p.db.inner.Run(query)
+	if err != nil {
+		return 0, err
+	}
+	if r.Rel == nil {
+		return 0, fmt.Errorf("maybms: expected a query")
+	}
+	event := make(lineage.DNF, 0, r.Rel.Len())
+	for _, t := range r.Rel.Tuples {
+		event = append(event, t.Cond)
+	}
+	return p.cond.Prob(event), nil
+}
