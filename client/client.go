@@ -1,0 +1,187 @@
+// Package client is a thin network client for the MayBMS server
+// (internal/server): client.DB mirrors the embedded maybms.DB API —
+// Query, Exec, QueryFloat, ImportCSV — over HTTP/JSON, so switching a
+// program between the embedded engine and a shared server is a
+// one-line change.
+//
+//	db, err := client.Open("http://localhost:8094")
+//	defer db.Close()
+//	rows, err := db.Query(`select face, conf() p from coins group by face`)
+//
+// Open creates a server session, so transactions (BEGIN/COMMIT/
+// ROLLBACK through Exec) are scoped to this client. A DB is safe for
+// concurrent use; statements from concurrent goroutines are
+// parallelised by the server when they are read-only. Reads are
+// READ UNCOMMITTED with respect to other sessions' open transactions
+// (the server's storage is single-version).
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"maybms"
+	"maybms/internal/wire"
+)
+
+// DB is a connection to a MayBMS server. Create with Open.
+type DB struct {
+	base  string
+	http  *http.Client
+	token string
+}
+
+// Option configures Open.
+type Option func(*DB)
+
+// WithHTTPClient substitutes the underlying HTTP client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(c *http.Client) Option {
+	return func(d *DB) { d.http = c }
+}
+
+// Open connects to a MayBMS server at baseURL (e.g.
+// "http://localhost:8094") and opens a session.
+func Open(baseURL string, opts ...Option) (*DB, error) {
+	d := &DB{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 60 * time.Second},
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	var sr wire.SessionResponse
+	if err := d.call("POST", "/v1/session", nil, "", &sr); err != nil {
+		return nil, err
+	}
+	d.token = sr.Token
+	return d, nil
+}
+
+// Close releases the server session. The DB is unusable afterwards.
+func (d *DB) Close() error {
+	return d.call("DELETE", "/v1/session", nil, "", &struct{}{})
+}
+
+// Error is a server-reported failure.
+type Error struct {
+	// Status is the HTTP status code.
+	Status int
+	// Msg is the server's error message.
+	Msg string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// call performs one HTTP round trip with JSON bodies.
+func (d *DB) call(method, path string, body io.Reader, contentType string, out interface{}) error {
+	req, err := http.NewRequest(method, d.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %v", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if d.token != "" {
+		req.Header.Set(wire.SessionHeader, d.token)
+	}
+	resp, err := d.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er wire.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			return &Error{Status: resp.StatusCode, Msg: er.Error}
+		}
+		return &Error{Status: resp.StatusCode, Msg: fmt.Sprintf("client: server returned %s", resp.Status)}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: bad response: %v", err)
+	}
+	return nil
+}
+
+func (d *DB) post(path, src string, out interface{}) error {
+	body, err := json.Marshal(wire.Request{SQL: src})
+	if err != nil {
+		return fmt.Errorf("client: %v", err)
+	}
+	return d.call("POST", path, bytes.NewReader(body), "application/json", out)
+}
+
+// Query runs a script whose last statement returns rows and
+// materialises the result, exactly as the embedded maybms.DB.Query
+// does.
+func (d *DB) Query(src string) (*maybms.Rows, error) {
+	var qr wire.QueryResponse
+	if err := d.post("/v1/query", src, &qr); err != nil {
+		return nil, err
+	}
+	rows := &maybms.Rows{
+		Columns: qr.Columns,
+		Data:    wire.DecodeRows(qr.Rows),
+		Certain: qr.Certain,
+		Lineage: qr.Lineage,
+	}
+	if !rows.Certain && rows.Lineage == nil {
+		rows.Lineage = make([]string, len(rows.Data))
+	}
+	return rows, nil
+}
+
+// MustQuery is Query that panics on error; for examples and tests.
+func (d *DB) MustQuery(src string) *maybms.Rows {
+	rows, err := d.Query(src)
+	if err != nil {
+		panic(fmt.Sprintf("client: %v", err))
+	}
+	return rows
+}
+
+// Exec runs a script and discards any rows, returning the last
+// statement's summary.
+func (d *DB) Exec(src string) (maybms.Result, error) {
+	var er wire.ExecResponse
+	if err := d.post("/v1/exec", src, &er); err != nil {
+		return maybms.Result{}, err
+	}
+	return maybms.Result{RowsAffected: er.RowsAffected, Msg: er.Msg}, nil
+}
+
+// MustExec is Exec that panics on error; for examples and tests.
+func (d *DB) MustExec(src string) maybms.Result {
+	r, err := d.Exec(src)
+	if err != nil {
+		panic(fmt.Sprintf("client: %v", err))
+	}
+	return r
+}
+
+// QueryFloat runs a query expected to return a single numeric cell.
+func (d *DB) QueryFloat(src string) (float64, error) {
+	rows, err := d.Query(src)
+	if err != nil {
+		return 0, err
+	}
+	return rows.Float()
+}
+
+// ImportCSV bulk-loads CSV data (with a header row naming the
+// columns) into an existing table, streaming the file to the server
+// in one request. It returns the number of rows loaded.
+func (d *DB) ImportCSV(table string, r io.Reader) (int, error) {
+	var ir wire.ImportResponse
+	path := "/v1/import?table=" + url.QueryEscape(table)
+	if err := d.call("POST", path, r, "text/csv", &ir); err != nil {
+		return 0, err
+	}
+	return ir.Count, nil
+}

@@ -4,10 +4,16 @@
 // Usage:
 //
 //	maybms [-db snapshot.mdb] [-f script.sql]
+//	maybms serve [-listen :8094] [-db snapshot.mdb] [-max-sessions N] [-session-idle 5m]
 //
 // With -db, the snapshot is loaded on start (if it exists) and saved
 // on \q. With -f, the script runs before the prompt appears (or the
 // shell exits if stdin is not wanted; combine with -batch).
+//
+// The serve subcommand exposes the database over HTTP/JSON (see
+// internal/server for the API and the client package for the Go
+// client); with -db, the snapshot is loaded on start and saved on
+// SIGINT/SIGTERM shutdown.
 //
 // Shell commands:
 //
@@ -29,6 +35,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveCmd(os.Args[2:])
+		return
+	}
 	dbPath := flag.String("db", "", "snapshot file to load on start and save on exit")
 	script := flag.String("f", "", "SQL script to execute before the prompt")
 	batch := flag.Bool("batch", false, "exit after -f script (no prompt)")
@@ -36,7 +46,8 @@ func main() {
 
 	db := maybms.Open()
 	if *dbPath != "" {
-		if _, err := os.Stat(*dbPath); err == nil {
+		switch _, err := os.Stat(*dbPath); {
+		case err == nil:
 			loaded, err := maybms.OpenFile(*dbPath)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "maybms: %v\n", err)
@@ -44,6 +55,11 @@ func main() {
 			}
 			db = loaded
 			fmt.Printf("loaded %s\n", *dbPath)
+		case !os.IsNotExist(err):
+			// Don't silently start empty and save over the snapshot
+			// on \q when the stat failure was transient.
+			fmt.Fprintf(os.Stderr, "maybms: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if *script != "" {

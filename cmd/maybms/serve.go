@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"maybms"
+	"maybms/internal/server"
+)
+
+// serveCmd runs `maybms serve`: the HTTP/JSON network service.
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", ":8094", "address to listen on")
+	dbPath := fs.String("db", "", "snapshot file to load on start and save on shutdown")
+	maxSessions := fs.Int("max-sessions", 128, "maximum concurrently open sessions")
+	sessionIdle := fs.Duration("session-idle", 5*time.Minute, "idle timeout before a session (and its transaction) is dropped")
+	fs.Parse(args)
+
+	db := maybms.Open()
+	if *dbPath != "" {
+		switch _, err := os.Stat(*dbPath); {
+		case err == nil:
+			loaded, err := maybms.OpenFile(*dbPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "maybms serve: %v\n", err)
+				os.Exit(1)
+			}
+			db = loaded
+			fmt.Printf("loaded %s\n", *dbPath)
+		case !os.IsNotExist(err):
+			// A stat failure that is not "absent" (permissions, I/O)
+			// must not silently start an empty database that the
+			// shutdown save would then write over the real snapshot.
+			fmt.Fprintf(os.Stderr, "maybms serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := server.New(db, server.Options{
+		MaxSessions: *maxSessions,
+		SessionIdle: *sessionIdle,
+	})
+	defer srv.Close()
+
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("maybms server listening on %s\n", *listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "maybms serve: %v\n", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("received %s, shutting down\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "maybms serve: shutdown: %v\n", err)
+	}
+	// Drop sessions (rolling back any abandoned transaction) before
+	// snapshotting — a save during an open transaction is refused.
+	srv.Close()
+	saveIfNeeded(db, *dbPath)
+}

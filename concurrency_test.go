@@ -1,0 +1,227 @@
+package maybms
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// confDB builds a database with a prebuilt uncertain table heavy
+// enough that conf() queries do real work: nBlocks repair-key blocks
+// of three alternatives each.
+func confDB(nBlocks int) *DB {
+	db := Open()
+	db.MustExec(`create table base (k int, v int, w float)`)
+	for k := 0; k < nBlocks; k++ {
+		db.MustExec(fmt.Sprintf(
+			`insert into base values (%d, 1, 5), (%d, 2, 3), (%d, 3, 2)`, k, k, k))
+	}
+	db.MustExec(`create table rep as repair key k in base weight by w`)
+	return db
+}
+
+// confQuery is the read-only hot path: a self-join over the uncertain
+// table followed by exact confidence computation.
+const confQuery = `
+	select conf() from rep r1, rep r2
+	where r1.k + 1 = r2.k and r1.v = 1 and r2.v = 1`
+
+// TestConcurrentQueryExec backs the "safe for concurrent use" claim
+// with a stress mix of parallel reads (conf over the shared-lock
+// path) and writes (DML behind the exclusive lock), meant to run
+// under -race.
+func TestConcurrentQueryExec(t *testing.T) {
+	db := confDB(10)
+	db.MustExec(`create table log (g int, i int)`)
+	want, err := db.QueryFloat(confQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const rounds = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if g%2 == 0 {
+					// Reader: exact confidence must be stable no matter
+					// what the writers do to other tables.
+					got, err := db.QueryFloat(confQuery)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if math.Abs(got-want) > 1e-12 {
+						errs <- fmt.Errorf("conf drifted under concurrency: %v vs %v", got, want)
+						return
+					}
+				} else {
+					if _, err := db.Exec(fmt.Sprintf(
+						`insert into log values (%d, %d)`, g, i)); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := db.Exec(fmt.Sprintf(
+						`update log set i = i + 0 where g = %d`, g)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	n, err := db.QueryFloat(`select count(*) from log`)
+	if err != nil || int(n) != goroutines/2*rounds {
+		t.Fatalf("writes lost: count=%v err=%v", n, err)
+	}
+}
+
+// TestConcurrentAconf exercises the shared, internally locked Monte
+// Carlo source from parallel readers (the path a plain rand.Rand
+// would race on).
+func TestConcurrentAconf(t *testing.T) {
+	db := confDB(8)
+	db.SetSeed(7)
+	exact, err := db.QueryFloat(`select conf() from rep where v = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				p, err := db.QueryFloat(`select aconf(0.2, 0.2) from rep where v = 1`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Karp-Luby gives a relative-error estimate, so values
+				// slightly above 1 are legitimate near P=1; only gross
+				// divergence indicates corruption of the shared source.
+				if math.Abs(p-exact) > 0.5 {
+					errs <- fmt.Errorf("aconf %v diverged from exact %v", p, exact)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// measureThroughput runs the conf workload from workers goroutines
+// for roughly the given duration and reports queries/second. When
+// serialise is set, every query additionally funnels through one
+// mutex — the pre-RWMutex baseline.
+func measureThroughput(tb testing.TB, db *DB, workers int, d time.Duration, serialise bool) float64 {
+	var funnel sync.Mutex
+	var wg sync.WaitGroup
+	var count int64
+	var mu sync.Mutex
+	deadline := time.Now().Add(d)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for time.Now().Before(deadline) {
+				if serialise {
+					funnel.Lock()
+				}
+				_, err := db.QueryFloat(confQuery)
+				if serialise {
+					funnel.Unlock()
+				}
+				if err != nil {
+					tb.Error(err)
+					return
+				}
+				local++
+			}
+			mu.Lock()
+			count += int64(local)
+			mu.Unlock()
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	return float64(count) / time.Since(start).Seconds()
+}
+
+// TestParallelConfThroughput is the acceptance check for the RWMutex
+// refactor: read-only conf() queries from 8 parallel clients must
+// beat the serialised-mutex baseline by more than 2x. It needs real
+// parallelism, so it skips on small machines and under -race (see
+// BenchmarkParallelConf* for the measurement form).
+func TestParallelConfThroughput(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector skews the parallel/serial ratio")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup, have %d", runtime.GOMAXPROCS(0))
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	db := confDB(30)
+	// Warm up once so first-use costs are off the clock.
+	db.MustQuery(confQuery)
+	serial := measureThroughput(t, db, 8, 600*time.Millisecond, true)
+	parallel := measureThroughput(t, db, 8, 600*time.Millisecond, false)
+	t.Logf("8 workers: parallel %.0f q/s vs serialised %.0f q/s (%.2fx)", parallel, serial, parallel/serial)
+	if parallel <= 2*serial {
+		t.Errorf("parallel reads %.0f q/s not > 2x serialised %.0f q/s", parallel, serial)
+	}
+}
+
+// BenchmarkParallelConfRWMutex measures read-only conf() throughput
+// with 8 workers sharing the engine's read lock.
+func BenchmarkParallelConfRWMutex(b *testing.B) {
+	benchmarkParallelConf(b, false)
+}
+
+// BenchmarkParallelConfSerialised is the baseline: the same workload
+// funnelled through a single mutex, as the engine behaved before the
+// RWMutex refactor.
+func BenchmarkParallelConfSerialised(b *testing.B) {
+	benchmarkParallelConf(b, true)
+}
+
+func benchmarkParallelConf(b *testing.B, serialise bool) {
+	db := confDB(30)
+	db.MustQuery(confQuery)
+	var funnel sync.Mutex
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if serialise {
+				funnel.Lock()
+			}
+			if _, err := db.QueryFloat(confQuery); err != nil {
+				b.Error(err)
+			}
+			if serialise {
+				funnel.Unlock()
+			}
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package maybms
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCSVEdgeCases covers the tricky csvLiteral renderings: NULLs,
+// quoted strings containing commas and apostrophes, numeric-looking
+// text, and int vs float columns.
+func TestCSVEdgeCases(t *testing.T) {
+	db := Open()
+	db.MustExec(`create table t (name text, age int, score float, ok bool)`)
+	in := strings.Join([]string{
+		`name,age,score,ok`,
+		`"o'hara, carol",40,2.25,true`, // comma and apostrophe inside quotes
+		`ann,,1,false`,                 // NULL int; integral float stays float
+		`007,25,,true`,                 // numeric-looking text; NULL float
+		`"it's ""quoted""",0,-1.5,false`,
+		``,
+	}, "\n")
+	n, err := db.ImportCSV("t", strings.NewReader(in))
+	if err != nil || n != 4 {
+		t.Fatalf("import: %d %v", n, err)
+	}
+	rows := db.MustQuery(`select name, age, score, ok from t order by name`)
+	if rows.Len() != 4 {
+		t.Fatalf("rows: %v", rows)
+	}
+	// order by name: 007, ann, it's "quoted", o'hara, carol
+	if got := rows.Data[0][0].(string); got != "007" {
+		t.Errorf("numeric-looking text must stay text: %q", got)
+	}
+	if rows.Data[0][2] != nil {
+		t.Errorf("empty float cell must be NULL: %v", rows.Data[0])
+	}
+	if rows.Data[1][1] != nil {
+		t.Errorf("empty int cell must be NULL: %v", rows.Data[1])
+	}
+	if got := rows.Data[1][2].(float64); got != 1 {
+		t.Errorf("integral literal in float column must load as float64: %T %v", rows.Data[1][2], got)
+	}
+	if got := rows.Data[2][0].(string); got != `it's "quoted"` {
+		t.Errorf("escaped quotes: %q", got)
+	}
+	if got := rows.Data[3][0].(string); got != "o'hara, carol" {
+		t.Errorf("comma+apostrophe: %q", got)
+	}
+	if rows.Data[3][1].(int64) != 40 || rows.Data[3][2].(float64) != 2.25 {
+		t.Errorf("int vs float: %v", rows.Data[3])
+	}
+	if rows.Data[0][3].(bool) != true || rows.Data[1][3].(bool) != false {
+		t.Errorf("bools: %v %v", rows.Data[0], rows.Data[1])
+	}
+
+	// Export → reimport round trip preserves the data exactly.
+	var buf bytes.Buffer
+	if err := db.ExportCSV(&buf, `select name, age, score, ok from t order by name`); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`create table t2 (name text, age int, score float, ok bool)`)
+	if _, err := db.ImportCSV("t2", bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	again := db.MustQuery(`select name, age, score, ok from t2 order by name`)
+	if again.String() != rows.String() {
+		t.Errorf("round trip drifted:\nfirst:\n%s\nsecond:\n%s", rows, again)
+	}
+	for i := range rows.Data {
+		for j := range rows.Data[i] {
+			a, b := rows.Data[i][j], again.Data[i][j]
+			if a != b {
+				t.Errorf("cell [%d][%d]: %T(%v) vs %T(%v)", i, j, a, a, b, b)
+			}
+		}
+	}
+
+	// Errors are reported cleanly.
+	if _, err := db.ImportCSV("t", strings.NewReader("name,nosuch\nx,1\n")); err == nil {
+		t.Error("unknown header column should fail")
+	}
+	if _, err := db.ImportCSV("t", strings.NewReader("age\nnot-a-number\n")); err == nil {
+		t.Error("unparseable int should fail")
+	}
+	// ParseFloat accepts NaN/Inf but SQL has no such literals; they
+	// must surface as a type error, not a parser error.
+	if _, err := db.ImportCSV("t", strings.NewReader("score\nNaN\n")); err == nil ||
+		!strings.Contains(err.Error(), "cannot store") {
+		t.Errorf("NaN in float column should be a type error, got %v", err)
+	}
+	if _, err := db.ImportCSV("t", strings.NewReader("")); err == nil {
+		t.Error("missing header should fail")
+	}
+}

@@ -23,11 +23,18 @@ import (
 )
 
 // Database is a MayBMS database instance: tables, world-set store, and
-// executor. Statement execution is serialised by an internal mutex
-// (single-writer concurrency control; the paper notes the purely
-// relational representation makes this unremarkable).
+// executor. Concurrency control is single-writer / multi-reader: each
+// statement is classified before locking (sql.ReadOnly), writes —
+// DDL, DML, transactions, and queries containing the
+// uncertainty-introducing repair-key / pick-tuples operators (which
+// allocate world-set variables) — take an exclusive lock, while
+// read-only queries, including conf()/aconf() confidence computation,
+// share a read lock and execute in parallel. The paper notes the
+// purely relational representation makes concurrency control
+// unremarkable; the classifier is what keeps the confidence hot path
+// out of the writer funnel.
 type Database struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	tables map[string]*storage.Table
 	store  *ws.Store
 	exec   *exec.Executor
@@ -61,21 +68,53 @@ func New() *Database {
 func (d *Database) Store() *ws.Store { return d.store }
 
 // SetConfMethod overrides the strategy used by conf().
-func (d *Database) SetConfMethod(m conf.Method) { d.exec.ConfMethod = m }
+func (d *Database) SetConfMethod(m conf.Method) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.exec.ConfMethod = m
+}
+
+// SetSeed reseeds the random source driving Monte Carlo estimation.
+// The installed source is internally locked, so concurrent read-only
+// aconf() queries may share it safely.
+func (d *Database) SetSeed(seed int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.exec.Rng = exec.NewLockedRand(seed)
+}
 
 // SetRng injects the random source driving Monte Carlo estimation.
-func (d *Database) SetRng(r *rand.Rand) { d.exec.Rng = r }
+// Unlike SetSeed, the caller's source is used as-is; unless it is
+// internally synchronised, concurrent aconf() queries will race on
+// it. Prefer SetSeed. A nil r restores the locked default source.
+func (d *Database) SetRng(r *rand.Rand) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r == nil {
+		r = exec.NewLockedRand(1)
+	}
+	d.exec.Rng = r
+}
 
 // TableNames lists the stored tables in sorted order.
 func (d *Database) TableNames() []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	names := make([]string, 0, len(d.tables))
 	for n := range d.tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// SchemaOf returns the schema of a stored table, taking the read lock
+// (unlike the plan.Catalog methods, which run inside a statement's
+// lock scope).
+func (d *Database) SchemaOf(name string) (*schema.Schema, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.TableSchema(name)
 }
 
 // TableSchema implements plan.Catalog.
@@ -127,11 +166,38 @@ func (d *Database) Run(src string) (*Result, error) {
 	return last, nil
 }
 
-// RunStatement executes a parsed statement.
+// RunStatement executes a parsed statement. Read-only statements
+// (per sql.ReadOnly) run under a shared lock, concurrently with each
+// other; everything else is serialised behind the exclusive lock.
 func (d *Database) RunStatement(s sql.Statement) (*Result, error) {
+	if sql.ReadOnly(s) {
+		return d.runRead(s)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.runLocked(s)
+}
+
+// runRead executes a statement already classified read-only under the
+// shared lock.
+func (d *Database) runRead(s sql.Statement) (*Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	switch s := s.(type) {
+	case *sql.QueryStmt:
+		rel, err := d.query(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Rel: rel}, nil
+	case *sql.ExplainStmt:
+		return d.explain(s)
+	default:
+		// Unreachable as long as the classifier only marks query and
+		// explain statements read-only; fail loudly rather than run a
+		// write under the shared lock.
+		return nil, fmt.Errorf("db: internal: %T misclassified as read-only", s)
+	}
 }
 
 func (d *Database) runLocked(s sql.Statement) (*Result, error) {
@@ -190,19 +256,24 @@ func (d *Database) runLocked(s sql.Statement) (*Result, error) {
 		return &Result{Rel: rel}, nil
 
 	case *sql.ExplainStmt:
-		n, err := plan.Build(s.Query, d)
-		if err != nil {
-			return nil, err
-		}
-		out := urel.New(schema.New(schema.Column{Name: "plan", Kind: types.KindText}))
-		for _, line := range strings.Split(strings.TrimRight(plan.Explain(n), "\n"), "\n") {
-			out.Append(urel.Tuple{Data: schema.Tuple{types.NewText(line)}})
-		}
-		return &Result{Rel: out}, nil
+		return d.explain(s)
 
 	default:
 		return nil, fmt.Errorf("db: unsupported statement %T", s)
 	}
+}
+
+// explain builds the plan and renders its outline.
+func (d *Database) explain(s *sql.ExplainStmt) (*Result, error) {
+	n, err := plan.Build(s.Query, d)
+	if err != nil {
+		return nil, err
+	}
+	out := urel.New(schema.New(schema.Column{Name: "plan", Kind: types.KindText}))
+	for _, line := range strings.Split(strings.TrimRight(plan.Explain(n), "\n"), "\n") {
+		out.Append(urel.Tuple{Data: schema.Tuple{types.NewText(line)}})
+	}
+	return &Result{Rel: out}, nil
 }
 
 // query plans and runs a query.

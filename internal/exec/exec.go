@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"maybms/internal/conf"
 	"maybms/internal/lineage"
@@ -33,14 +34,52 @@ type Executor struct {
 	ConfMethod conf.Method
 }
 
-// New returns an executor with default settings.
+// New returns an executor with default settings. The default random
+// source is internally locked so read-only queries running in parallel
+// (the database's shared-lock path) may draw from it concurrently.
 func New(cat plan.Catalog, store *ws.Store) *Executor {
-	return &Executor{Cat: cat, Store: store}
+	return &Executor{Cat: cat, Store: store, Rng: NewLockedRand(1)}
 }
 
+// lockedSource serialises access to a rand.Source64 so a single
+// *rand.Rand can be shared by concurrent query executions.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}
+
+// NewLockedRand returns a seeded *rand.Rand safe for concurrent use
+// (the source is mutex-guarded; rand.Rand itself keeps no other state
+// on the methods the engine uses).
+func NewLockedRand(seed int64) *rand.Rand {
+	return rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)})
+}
+
+// rng returns the executor's random source. New always installs one;
+// a nil Rng (an executor built by hand) gets a fresh locked source
+// per call rather than a lazy field write, which would race under the
+// database's shared read lock.
 func (e *Executor) rng() *rand.Rand {
 	if e.Rng == nil {
-		e.Rng = rand.New(rand.NewSource(1))
+		return NewLockedRand(1)
 	}
 	return e.Rng
 }

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"maybms"
+	"maybms/client"
+)
+
+// benchServer starts a server over a database preloaded with the
+// conf() workload: 30 repair-key blocks and a self-join confidence
+// query as the read-only hot path.
+func benchServer(b *testing.B) (string, func()) {
+	b.Helper()
+	mdb := maybms.Open()
+	mdb.MustExec(`create table base (k int, v int, w float)`)
+	for k := 0; k < 30; k++ {
+		mdb.MustExec(fmt.Sprintf(
+			`insert into base values (%d, 1, 5), (%d, 2, 3), (%d, 3, 2)`, k, k, k))
+	}
+	mdb.MustExec(`create table rep as repair key k in base weight by w`)
+	srv := New(mdb, Options{MaxSessions: 64})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	return "http://" + l.Addr().String(), func() {
+		srv.Close()
+		l.Close()
+	}
+}
+
+const benchQuery = `
+	select conf() from rep r1, rep r2
+	where r1.k + 1 = r2.k and r1.v = 1 and r2.v = 1`
+
+// BenchmarkServerConf8Clients measures read-only conf() throughput
+// from 8 concurrent network clients, each with its own session — the
+// configuration the RWMutex refactor targets.
+func BenchmarkServerConf8Clients(b *testing.B) {
+	base, stop := benchServer(b)
+	defer stop()
+	const clients = 8
+	var wg sync.WaitGroup
+	each := b.N / clients
+	b.ResetTimer()
+	for i := 0; i < clients; i++ {
+		n := each
+		if i == 0 {
+			n += b.N % clients
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c, err := client.Open(base)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < n; j++ {
+				if _, err := c.QueryFloat(benchQuery); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServerConf1Client is the sequential baseline: the same
+// b.N queries issued by a single client, one at a time.
+func BenchmarkServerConf1Client(b *testing.B) {
+	base, stop := benchServer(b)
+	defer stop()
+	c, err := client.Open(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.QueryFloat(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,513 @@
+// Package server exposes a MayBMS database over HTTP/JSON, turning
+// the embedded engine into a shared network service. The API surface:
+//
+//	POST   /v1/session  open a session; returns a token
+//	DELETE /v1/session  close the session named by X-Maybms-Session
+//	POST   /v1/query    run a script; last statement must return rows
+//	POST   /v1/exec     run a script; returns the last summary
+//	POST   /v1/import   bulk-load CSV (?table=name) into a table
+//	GET    /healthz     liveness and basic stats
+//	GET    /metrics     Prometheus-style counters
+//
+// Sessions carry transaction state: the engine has one transaction
+// slot, and a session's BEGIN claims it until COMMIT/ROLLBACK, close,
+// or idle expiry (which rolls back). While a transaction is open,
+// write statements from other sessions are rejected with 409 rather
+// than silently entangling their changes in a foreign undo log;
+// read-only statements keep flowing and run concurrently on the
+// engine's shared read lock. The storage is single-version, so those
+// reads are READ UNCOMMITTED: they observe the open transaction's
+// uncommitted writes, which vanish again if it rolls back. Clients
+// needing isolation from a concurrent loader should take the
+// transaction slot themselves.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maybms"
+	dbpkg "maybms/internal/db"
+	sqlpkg "maybms/internal/sql"
+	"maybms/internal/wire"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxSessions caps concurrently open sessions (default 128).
+	MaxSessions int
+	// SessionIdle is the idle timeout after which a session (and any
+	// transaction it holds) is discarded (default 5 minutes).
+	SessionIdle time.Duration
+}
+
+func (o *Options) fill() {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 128
+	}
+	if o.SessionIdle <= 0 {
+		o.SessionIdle = 5 * time.Minute
+	}
+}
+
+// Server serves a MayBMS database over HTTP. Create with New; it is
+// safe for concurrent use by any number of in-flight requests.
+type Server struct {
+	db   *maybms.DB
+	eng  *dbpkg.Database
+	opts Options
+
+	// txnMu serialises transaction-control statements (BEGIN, COMMIT,
+	// ROLLBACK, abandoned-transaction rollback) end to end, so a
+	// failed BEGIN can restore the previous owner without racing a
+	// concurrent claim. Lock order: txnMu before mu, never the
+	// reverse.
+	txnMu sync.Mutex
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	// cond is signalled when writers returns to zero (BEGIN waits for
+	// in-flight one-shot writes to drain).
+	cond *sync.Cond
+	// txnOwner is the token of the session holding (or about to hold)
+	// the engine's transaction slot; empty when no transaction is
+	// open.
+	txnOwner string
+	// writers counts one-shot writes (statements and imports)
+	// currently executing outside any transaction. While writers > 0
+	// no transaction may open, so those writes cannot retroactively
+	// land in a transaction's undo log.
+	writers int
+
+	done chan struct{}
+
+	start           time.Time
+	queriesTotal    atomic.Int64
+	execsTotal      atomic.Int64
+	importsTotal    atomic.Int64
+	readStmtsTotal  atomic.Int64
+	writeStmtsTotal atomic.Int64
+	errorsTotal     atomic.Int64
+	sessionsTotal   atomic.Int64
+	sessionsExpired atomic.Int64
+	txnConflicts    atomic.Int64
+}
+
+// New wraps an embedded database in a network server. The database
+// may be shared with in-process callers; both sides go through the
+// same engine locks.
+func New(mdb *maybms.DB, opts Options) *Server {
+	opts.fill()
+	s := &Server{
+		db:       mdb,
+		eng:      mdb.Engine(),
+		opts:     opts,
+		sessions: map[string]*session{},
+		done:     make(chan struct{}),
+		start:    time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	interval := opts.SessionIdle / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	go s.janitor(interval)
+	return s
+}
+
+// maxImportBytes caps one CSV upload (64 MiB).
+const maxImportBytes = 64 << 20
+
+// Close stops background work and drops every session, rolling back
+// any transaction a session still holds — so a subsequent snapshot
+// save cannot fail on an abandoned transaction. In-flight requests
+// finish normally.
+func (s *Server) Close() {
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	s.mu.Lock()
+	var abandoned []string
+	for _, sess := range s.sessions {
+		if s.dropLocked(sess) {
+			abandoned = append(abandoned, sess.token)
+		}
+	}
+	s.mu.Unlock()
+	for _, tok := range abandoned {
+		s.rollbackAbandoned(tok)
+	}
+}
+
+// Handler returns the HTTP handler implementing the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/session", s.handleOpenSession)
+	mux.HandleFunc("DELETE /v1/session", s.handleCloseSession)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/exec", s.handleExec)
+	mux.HandleFunc("POST /v1/import", s.handleImport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Serve accepts connections on l until it is closed.
+func (s *Server) Serve(l net.Listener) error {
+	return (&http.Server{Handler: s.Handler()}).Serve(l)
+}
+
+// httpError is an error with an HTTP status.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+var (
+	errTooManySessions = &httpError{code: http.StatusServiceUnavailable, msg: "server: session limit reached"}
+	errNoSession       = &httpError{code: http.StatusUnauthorized, msg: "server: unknown or expired session token"}
+	errTxnHeld         = &httpError{code: http.StatusConflict, msg: "server: another session holds the open transaction"}
+	errTxnNeedsSession = &httpError{code: http.StatusBadRequest, msg: "server: transactions require a session (POST /v1/session)"}
+)
+
+func statusOf(err error) int {
+	if he, ok := err.(*httpError); ok {
+		return he.code
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.errorsTotal.Add(1)
+	writeJSON(w, statusOf(err), wire.ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.openSession(time.Now())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.SessionResponse{
+		Token:       sess.token,
+		IdleSeconds: s.opts.SessionIdle.Seconds(),
+	})
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	tok := r.Header.Get(wire.SessionHeader)
+	if tok == "" {
+		s.writeError(w, errNoSession)
+		return
+	}
+	if err := s.closeSession(tok); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// maxRequestBytes caps one statement-request body (16 MiB of SQL).
+const maxRequestBytes = 16 << 20
+
+// decodeRequest reads the (size-capped) JSON body and resolves the
+// session header.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*session, string, error) {
+	var req wire.Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		return nil, "", fmt.Errorf("server: bad request body: %v", err)
+	}
+	sess, err := s.touchSession(r.Header.Get(wire.SessionHeader), time.Now())
+	if err != nil {
+		return nil, "", err
+	}
+	return sess, req.SQL, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.queriesTotal.Add(1)
+	sess, src, err := s.decodeRequest(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.releaseSession(sess)
+	res, err := s.runScript(sess, src)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if res.Rel == nil {
+		s.writeError(w, fmt.Errorf("maybms: statement returned no rows (use exec)"))
+		return
+	}
+	rows := maybms.RowsFromRel(res.Rel)
+	cells, err := wire.EncodeRows(rows.Data)
+	if err != nil {
+		s.writeError(w, &httpError{code: http.StatusInternalServerError, msg: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.QueryResponse{
+		Columns: rows.Columns,
+		Rows:    cells,
+		Certain: rows.Certain,
+		Lineage: rows.Lineage,
+	})
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	s.execsTotal.Add(1)
+	sess, src, err := s.decodeRequest(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.releaseSession(sess)
+	res, err := s.runScript(sess, src)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.ExecResponse{RowsAffected: res.RowsAffected, Msg: res.Msg})
+}
+
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	s.importsTotal.Add(1)
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		s.writeError(w, fmt.Errorf("server: missing ?table= parameter"))
+		return
+	}
+	sess, err := s.touchSession(r.Header.Get(wire.SessionHeader), time.Now())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.releaseSession(sess)
+	// Buffer the upload before touching the server lock: holding s.mu
+	// across network reads would let one slow client stall every
+	// other request (session touch, health, metrics).
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxImportBytes))
+	if err != nil {
+		s.writeError(w, fmt.Errorf("server: reading csv body: %v", err))
+		return
+	}
+	// CSV import is a stream of inserts: a write, admitted like any
+	// other (conflicts with foreign transactions, or registers as a
+	// writer so no transaction can open and capture its rows
+	// mid-import). The engine locks per row; nothing server-wide is
+	// held for the import's duration.
+	release, err := s.claimWrite(sess)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Deferred so a panic inside the engine cannot leak the writer
+	// slot (net/http recovers per-connection; a stuck writer count
+	// would wedge every future BEGIN).
+	defer release()
+	n, err := s.db.ImportCSV(table, bytes.NewReader(body))
+	s.writeStmtsTotal.Add(int64(n))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.ImportResponse{Count: n})
+}
+
+// runScript parses and executes a script on behalf of sess (nil for
+// the anonymous context), returning the last statement's result.
+func (s *Server) runScript(sess *session, src string) (*dbpkg.Result, error) {
+	stmts, err := sqlpkg.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *dbpkg.Result
+	for _, st := range stmts {
+		r, err := s.runStatement(sess, st)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	if last == nil {
+		return &dbpkg.Result{Msg: "empty script"}, nil
+	}
+	return last, nil
+}
+
+// runStatement executes one statement, enforcing the session/
+// transaction policy around the engine's own locking. s.mu is never
+// held across engine execution — it guards only the slot bookkeeping,
+// so session management, health, and metrics stay responsive during
+// long statements.
+func (s *Server) runStatement(sess *session, st sqlpkg.Statement) (*dbpkg.Result, error) {
+	switch st.(type) {
+	case *sqlpkg.Begin:
+		if sess == nil {
+			return nil, errTxnNeedsSession
+		}
+		s.txnMu.Lock()
+		defer s.txnMu.Unlock()
+		s.mu.Lock()
+		// The session was validated at request decode, but may have
+		// been closed since; granting the transaction slot to a dead
+		// token would wedge writes until restart. (If it dies while
+		// we wait below, its closer's rollbackAbandoned is queued on
+		// txnMu and cleans up right after us.)
+		if _, live := s.sessions[sess.token]; !live {
+			s.mu.Unlock()
+			return nil, errNoSession
+		}
+		if s.txnOwner != "" && s.txnOwner != sess.token {
+			s.mu.Unlock()
+			s.txnConflicts.Add(1)
+			return nil, errTxnHeld
+		}
+		// Claim the slot BEFORE draining writers: from here on
+		// claimWrite rejects new foreign one-shot writes, so writers
+		// strictly decreases and the wait terminates even under
+		// sustained write traffic. txnMu serialises transaction
+		// control, so on failure prev is still the truth (a duplicate
+		// BEGIN restores the session's own ownership, not a stale
+		// empty slot).
+		prev := s.txnOwner
+		s.txnOwner = sess.token
+		// In-flight writes checked the slot before the transaction
+		// existed and must not be captured by its undo log.
+		for s.writers > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		r, err := s.eng.RunStatement(st)
+		if err != nil {
+			s.mu.Lock()
+			s.txnOwner = prev
+			s.mu.Unlock()
+			return nil, err
+		}
+		return r, nil
+
+	case *sqlpkg.Commit, *sqlpkg.Rollback:
+		if sess == nil {
+			return nil, errTxnNeedsSession
+		}
+		s.txnMu.Lock()
+		defer s.txnMu.Unlock()
+		s.mu.Lock()
+		if s.txnOwner != "" && s.txnOwner != sess.token {
+			s.mu.Unlock()
+			s.txnConflicts.Add(1)
+			return nil, errTxnHeld
+		}
+		s.mu.Unlock()
+		r, err := s.eng.RunStatement(st)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.txnOwner = ""
+		s.mu.Unlock()
+		return r, nil
+
+	default:
+		if sqlpkg.ReadOnly(st) {
+			// Read-only statements bypass the server lock entirely:
+			// the engine's RWMutex lets them run in parallel, which is
+			// the whole point of the classifier.
+			s.readStmtsTotal.Add(1)
+			return s.eng.RunStatement(st)
+		}
+		s.writeStmtsTotal.Add(1)
+		release, err := s.claimWrite(sess)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return s.eng.RunStatement(st)
+	}
+}
+
+// claimWrite admits a one-shot write (statement or import) on behalf
+// of sess. It conflicts with a foreign session's open transaction;
+// otherwise it either runs inside the session's own transaction or
+// registers as an out-of-transaction writer, blocking BEGIN until it
+// completes. The returned func must be called when the write
+// finishes.
+func (s *Server) claimWrite(sess *session) (func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.txnOwner != "" {
+		if sess == nil || s.txnOwner != sess.token {
+			s.txnConflicts.Add(1)
+			return nil, errTxnHeld
+		}
+		// Inside the session's own transaction: the undo log is
+		// theirs, nothing to register.
+		return func() {}, nil
+	}
+	s.writers++
+	return func() {
+		s.mu.Lock()
+		s.writers--
+		if s.writers == 0 {
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+	}, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	nsess := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":         "ok",
+		"tables":         len(s.db.Tables()),
+		"sessions":       nsess,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	nsess := len(s.sessions)
+	txnOpen := 0
+	if s.txnOwner != "" {
+		txnOpen = 1
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "maybms_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(w, "maybms_sessions_active %d\n", nsess)
+	fmt.Fprintf(w, "maybms_sessions_created_total %d\n", s.sessionsTotal.Load())
+	fmt.Fprintf(w, "maybms_sessions_expired_total %d\n", s.sessionsExpired.Load())
+	fmt.Fprintf(w, "maybms_txn_open %d\n", txnOpen)
+	fmt.Fprintf(w, "maybms_txn_conflicts_total %d\n", s.txnConflicts.Load())
+	fmt.Fprintf(w, "maybms_requests_total{endpoint=\"query\"} %d\n", s.queriesTotal.Load())
+	fmt.Fprintf(w, "maybms_requests_total{endpoint=\"exec\"} %d\n", s.execsTotal.Load())
+	fmt.Fprintf(w, "maybms_requests_total{endpoint=\"import\"} %d\n", s.importsTotal.Load())
+	fmt.Fprintf(w, "maybms_statements_total{kind=\"read\"} %d\n", s.readStmtsTotal.Load())
+	fmt.Fprintf(w, "maybms_statements_total{kind=\"write\"} %d\n", s.writeStmtsTotal.Load())
+	fmt.Fprintf(w, "maybms_errors_total %d\n", s.errorsTotal.Load())
+}

@@ -1,0 +1,490 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"maybms"
+	"maybms/client"
+)
+
+// startServer runs a Server over a fresh embedded database on an
+// ephemeral port, returning the base URL, the shared database, and
+// the server itself.
+func startServer(t *testing.T, opts Options) (string, *maybms.DB, *Server) {
+	t.Helper()
+	mdb := maybms.Open()
+	srv := New(mdb, opts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		srv.Close()
+		l.Close()
+	})
+	return "http://" + l.Addr().String(), mdb, srv
+}
+
+// quickstart is the repair-key/conf workflow both engines run.
+const quickstartSetup = `
+	create table weather (outlook text, w float);
+	insert into weather values ('sun', 6), ('rain', 3), ('snow', 1);
+	create table forecast as repair key in weather weight by w`
+
+var quickstartQueries = []string{
+	`select conf() from forecast where outlook <> 'snow'`,
+	`select conf() from forecast where outlook <> 'sun'`,
+	`select conf() from forecast where outlook = 'sun' or outlook = 'snow'`,
+	`select tconf() from forecast where outlook = 'rain'`,
+}
+
+// TestEndToEndConcurrentClients is the acceptance workflow: the
+// quickstart repair-key/conf() flow runs through the client package
+// from several concurrent goroutines, and every result must be
+// identical to the embedded engine's.
+func TestEndToEndConcurrentClients(t *testing.T) {
+	// Embedded reference.
+	ref := maybms.Open()
+	ref.MustExec(quickstartSetup)
+	want := make([]float64, len(quickstartQueries))
+	for i, q := range quickstartQueries {
+		v, err := ref.QueryFloat(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+
+	base, _, _ := startServer(t, Options{})
+	setup, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	setup.MustExec(quickstartSetup)
+
+	const goroutines = 6
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Open(base)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for r := 0; r < rounds; r++ {
+				for i, q := range quickstartQueries {
+					got, err := c.QueryFloat(q)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if math.Abs(got-want[i]) > 1e-12 {
+						errs <- fmt.Errorf("query %q: got %v over the wire, embedded %v", q, got, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRowsRoundTripTypes checks type fidelity through the wire
+// protocol: int64 stays int64, float64 stays float64 even at integral
+// values, NULLs and lineage survive.
+func TestRowsRoundTripTypes(t *testing.T) {
+	base, mdb, _ := startServer(t, Options{})
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MustExec(`create table t (a int, b float, s text, f bool);
+		insert into t values (1, 1, 'x,''y', true), (2, 0.5, NULL, false)`)
+
+	want := mdb.MustQuery(`select a, b, s, f from t order by a`)
+	got := c.MustQuery(`select a, b, s, f from t order by a`)
+	if got.String() != want.String() {
+		t.Errorf("rendered rows differ:\nwire:\n%s\nembedded:\n%s", got, want)
+	}
+	for i, row := range want.Data {
+		for j, v := range row {
+			g := got.Data[i][j]
+			if fmt.Sprintf("%T:%v", g, g) != fmt.Sprintf("%T:%v", v, v) {
+				t.Errorf("cell [%d][%d]: wire %T(%v) vs embedded %T(%v)", i, j, g, g, v, v)
+			}
+		}
+	}
+
+	// Uncertain results carry lineage over the wire.
+	c.MustExec(`create table c (face text, w float); insert into c values ('h',1),('t',1);
+		create table flip as repair key in c weight by w`)
+	wr := c.MustQuery(`select face from flip`)
+	er := mdb.MustQuery(`select face from flip`)
+	if wr.Certain || len(wr.Lineage) != wr.Len() {
+		t.Fatalf("wire lineage: certain=%v lineage=%v", wr.Certain, wr.Lineage)
+	}
+	if strings.Join(wr.Lineage, ";") != strings.Join(er.Lineage, ";") {
+		t.Errorf("lineage differs: %v vs %v", wr.Lineage, er.Lineage)
+	}
+}
+
+func TestSessionTransactions(t *testing.T) {
+	base, _, _ := startServer(t, Options{})
+	a, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a.MustExec(`create table t (x int)`)
+	a.MustExec(`begin; insert into t values (1)`)
+
+	// Another session's write conflicts while the transaction is open.
+	if _, err := b.Exec(`insert into t values (2)`); err == nil {
+		t.Fatal("write from another session should conflict with open transaction")
+	} else if ce, ok := err.(*client.Error); !ok || ce.Status != http.StatusConflict {
+		t.Fatalf("want 409 conflict, got %v", err)
+	}
+	// Reads keep flowing.
+	if _, err := b.Query(`select x from t`); err != nil {
+		t.Fatalf("read during foreign transaction: %v", err)
+	}
+	// Another session cannot commit the owner's transaction.
+	if _, err := b.Exec(`commit`); err == nil {
+		t.Fatal("foreign commit should conflict")
+	}
+
+	a.MustExec(`rollback`)
+	n, err := a.QueryFloat(`select count(*) from t`)
+	if err != nil || n != 0 {
+		t.Fatalf("rollback: count=%v err=%v", n, err)
+	}
+
+	// After rollback, b can write again.
+	b.MustExec(`insert into t values (3)`)
+
+	// Transactions require a session: anonymous requests are refused.
+	if _, err := anonExec(base, `begin`); err == nil {
+		t.Fatal("anonymous begin should fail")
+	}
+}
+
+// anonExec posts to /v1/exec without a session token.
+func anonExec(base, src string) (*http.Response, error) {
+	resp, err := http.Post(base+"/v1/exec", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"sql":%q}`, src)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return resp, nil
+}
+
+func TestAnonymousQueriesAllowed(t *testing.T) {
+	base, mdb, _ := startServer(t, Options{})
+	mdb.MustExec(`create table t (x int); insert into t values (7)`)
+	if _, err := anonExec(base, `insert into t values (8)`); err != nil {
+		t.Fatalf("anonymous write: %v", err)
+	}
+	resp, err := http.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"sql":"select count(*) from t"}`))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous query: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+}
+
+func TestSessionCloseRollsBackTransaction(t *testing.T) {
+	base, mdb, _ := startServer(t, Options{})
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustExec(`create table t (x int)`)
+	c.MustExec(`begin; insert into t values (1)`)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := mdb.QueryFloat(`select count(*) from t`)
+	if err != nil || n != 0 {
+		t.Fatalf("close should roll back: count=%v err=%v", n, err)
+	}
+	// The token is dead now.
+	if _, err := c.Query(`select x from t`); err == nil {
+		t.Fatal("closed session token should be rejected")
+	}
+}
+
+// TestBeginOnDeadSessionDoesNotWedge covers the race where a session
+// is closed between request validation and the BEGIN statement: the
+// dead token must not be granted the transaction slot, which nothing
+// could ever release.
+func TestBeginOnDeadSessionDoesNotWedge(t *testing.T) {
+	base, _, srv := startServer(t, Options{})
+	sess, err := srv.openSession(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.closeSession(sess.token); err != nil {
+		t.Fatal(err)
+	}
+	// Stale handle, as runStatement would hold it mid-request.
+	if _, err := srv.runScript(sess, `begin`); err == nil {
+		t.Fatal("begin on a closed session must fail")
+	}
+	srv.mu.Lock()
+	owner := srv.txnOwner
+	srv.mu.Unlock()
+	if owner != "" {
+		t.Fatalf("transaction slot leaked to dead token %q", owner)
+	}
+	// Writes still flow.
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MustExec(`create table t (x int); insert into t values (1)`)
+}
+
+// TestCloseRollsBackOpenTransactions: Server.Close drops every
+// session, so a snapshot save right after (the serve subcommand's
+// shutdown path) cannot be refused for an open transaction.
+func TestCloseRollsBackOpenTransactions(t *testing.T) {
+	base, mdb, srv := startServer(t, Options{})
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustExec(`create table t (x int); begin; insert into t values (1)`)
+	srv.Close()
+	n, err := mdb.QueryFloat(`select count(*) from t`)
+	if err != nil || n != 0 {
+		t.Fatalf("close should roll back: count=%v err=%v", n, err)
+	}
+	// The engine is free again for in-process use (e.g. SaveFile).
+	mdb.MustExec(`insert into t values (2)`)
+}
+
+func TestSessionIdleExpiry(t *testing.T) {
+	base, mdb, srv := startServer(t, Options{SessionIdle: 50 * time.Millisecond})
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustExec(`create table t (x int); begin; insert into t values (1)`)
+	// Expire by hand (the janitor tick is 1s at minimum), following
+	// the janitor's contract: prune under the lock, roll back after.
+	time.Sleep(80 * time.Millisecond)
+	srv.mu.Lock()
+	abandoned := srv.expireLocked(time.Now())
+	srv.mu.Unlock()
+	for _, tok := range abandoned {
+		srv.rollbackAbandoned(tok)
+	}
+	if _, err := c.Query(`select x from t`); err == nil {
+		t.Fatal("expired session token should be rejected")
+	}
+	n, err := mdb.QueryFloat(`select count(*) from t`)
+	if err != nil || n != 0 {
+		t.Fatalf("expiry should roll back the session's transaction: count=%v err=%v", n, err)
+	}
+}
+
+func TestMaxSessions(t *testing.T) {
+	base, _, _ := startServer(t, Options{MaxSessions: 2})
+	a, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Open(base); err == nil {
+		t.Fatal("third session should exceed the cap")
+	} else if ce, ok := err.(*client.Error); !ok || ce.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want 503, got %v", err)
+	}
+	// Closing one frees a slot.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := client.Open(base)
+	if err != nil {
+		t.Fatalf("slot should be free after close: %v", err)
+	}
+	d.Close()
+}
+
+func TestImportCSVOverWire(t *testing.T) {
+	base, mdb, _ := startServer(t, Options{})
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MustExec(`create table people (name text, age int, score float)`)
+	n, err := c.ImportCSV("people", strings.NewReader(
+		"name,age,score\n\"o'hara, carol\",40,2.25\n007,25,\n"))
+	if err != nil || n != 2 {
+		t.Fatalf("import: %d %v", n, err)
+	}
+	rows := mdb.MustQuery(`select name, age, score from people order by age`)
+	if rows.Data[0][0].(string) != "007" || rows.Data[0][2] != nil {
+		t.Errorf("numeric-looking text / NULL: %v", rows.Data[0])
+	}
+	if rows.Data[1][0].(string) != "o'hara, carol" {
+		t.Errorf("quoted comma+apostrophe: %v", rows.Data[1])
+	}
+	// Missing table errors cleanly.
+	if _, err := c.ImportCSV("missing", strings.NewReader("a\n1\n")); err == nil {
+		t.Error("missing table should fail")
+	}
+}
+
+// TestImportTransactionInterplay pins down the sentinel semantics:
+// imports conflict with foreign transactions, and while an import
+// holds the slot, BEGIN conflicts but one-shot writes interleave.
+func TestImportTransactionInterplay(t *testing.T) {
+	base, _, srv := startServer(t, Options{})
+	a, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.MustExec(`create table t (x int)`)
+
+	// Import while a foreign transaction is open → 409.
+	a.MustExec(`begin`)
+	b, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.ImportCSV("t", strings.NewReader("x\n1\n")); err == nil {
+		t.Fatal("import during foreign transaction should conflict")
+	}
+	// The owner itself may import inside its transaction; rollback
+	// takes the imported rows with it.
+	if n, err := a.ImportCSV("t", strings.NewReader("x\n1\n2\n")); err != nil || n != 2 {
+		t.Fatalf("owner import: %d %v", n, err)
+	}
+	a.MustExec(`rollback`)
+	if n, err := a.QueryFloat(`select count(*) from t`); err != nil || n != 0 {
+		t.Fatalf("rollback should drop imported rows: %v %v", n, err)
+	}
+
+	// While a one-shot write (e.g. a long import) is in flight,
+	// BEGIN waits for it to drain; other one-shot writes interleave
+	// freely.
+	srv.mu.Lock()
+	srv.writers = 1 // simulate an import mid-execution
+	srv.mu.Unlock()
+	if _, err := a.Exec(`insert into t values (3)`); err != nil {
+		t.Fatalf("one-shot write during import should interleave: %v", err)
+	}
+	begun := make(chan error, 1)
+	go func() {
+		_, err := a.Exec(`begin`)
+		begun <- err
+	}()
+	select {
+	case err := <-begun:
+		t.Fatalf("begin completed while a write was in flight (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	srv.mu.Lock()
+	srv.writers = 0
+	srv.cond.Broadcast()
+	srv.mu.Unlock()
+	if err := <-begun; err != nil {
+		t.Fatalf("begin after writes drained: %v", err)
+	}
+	a.MustExec(`rollback`)
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	base, mdb, _ := startServer(t, Options{})
+	mdb.MustExec(`create table t (x int)`)
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MustQuery(`select x from t`)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v %v", resp, err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"maybms_sessions_active 1",
+		`maybms_requests_total{endpoint="query"} 1`,
+		`maybms_statements_total{kind="read"} 1`,
+		"maybms_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestQueryErrorsOverWire(t *testing.T) {
+	base, _, _ := startServer(t, Options{})
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(`select * from missing`); err == nil {
+		t.Error("missing table should fail")
+	}
+	if _, err := c.Query(`create table t (a int)`); err == nil {
+		t.Error("DDL through Query should fail")
+	}
+	if _, err := c.Exec(`not sql at all`); err == nil {
+		t.Error("garbage should fail")
+	}
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	sqlpkg "maybms/internal/sql"
+)
+
+// rollbackStmt is the statement rollbackAbandoned feeds the engine.
+var rollbackStmt = sqlpkg.Rollback{}
+
+// session is one token-identified client context. Transaction
+// ownership is not stored here: the engine has a single transaction
+// slot, and Server.txnOwner records which token holds it.
+type session struct {
+	token    string
+	created  time.Time
+	lastUsed time.Time
+	// active counts in-flight requests; the janitor never expires a
+	// busy session (expiry mid-request would roll back its
+	// transaction between the statements of a running script).
+	active int
+}
+
+// newToken mints a 128-bit random session token.
+func newToken() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: token: %v", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// openSession registers a new session, enforcing the session cap
+// after pruning expired ones.
+func (s *Server) openSession(now time.Time) (*session, error) {
+	s.mu.Lock()
+	abandoned := s.expireLocked(now)
+	var sess *session
+	var err error
+	if len(s.sessions) >= s.opts.MaxSessions {
+		err = errTooManySessions
+	} else {
+		var tok string
+		tok, err = newToken()
+		if err == nil {
+			sess = &session{token: tok, created: now, lastUsed: now}
+			s.sessions[tok] = sess
+			s.sessionsTotal.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	for _, tok := range abandoned {
+		s.rollbackAbandoned(tok)
+	}
+	return sess, err
+}
+
+// touchSession validates a token, refreshes its idle clock, and marks
+// it busy until releaseSession. An empty token is valid and denotes
+// the anonymous (session-less) context, returned as nil.
+func (s *Server) touchSession(token string, now time.Time) (*session, error) {
+	if token == "" {
+		return nil, nil
+	}
+	s.mu.Lock()
+	abandoned := s.expireLocked(now)
+	sess, ok := s.sessions[token]
+	if ok {
+		sess.lastUsed = now
+		sess.active++
+	}
+	s.mu.Unlock()
+	for _, tok := range abandoned {
+		s.rollbackAbandoned(tok)
+	}
+	if !ok {
+		return nil, errNoSession
+	}
+	return sess, nil
+}
+
+// releaseSession ends a request begun by touchSession; the idle clock
+// restarts now that the work is done. nil (anonymous) is a no-op.
+func (s *Server) releaseSession(sess *session) {
+	if sess == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess.active--
+	sess.lastUsed = time.Now()
+}
+
+// closeSession removes a session, rolling back its transaction if it
+// holds one.
+func (s *Server) closeSession(token string) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[token]
+	if !ok {
+		s.mu.Unlock()
+		return errNoSession
+	}
+	abandoned := s.dropLocked(sess)
+	s.mu.Unlock()
+	if abandoned {
+		s.rollbackAbandoned(token)
+	}
+	return nil
+}
+
+// expireLocked prunes idle sessions, returning the tokens of dropped
+// sessions that held the transaction slot — the caller must pass each
+// to rollbackAbandoned AFTER releasing s.mu (the engine rollback must
+// not run under the control-plane lock). A session with an in-flight
+// request is never expired, no matter how long the request runs.
+// Callers hold s.mu.
+func (s *Server) expireLocked(now time.Time) []string {
+	var abandoned []string
+	for _, sess := range s.sessions {
+		if sess.active == 0 && now.Sub(sess.lastUsed) > s.opts.SessionIdle {
+			if s.dropLocked(sess) {
+				abandoned = append(abandoned, sess.token)
+			}
+			s.sessionsExpired.Add(1)
+		}
+	}
+	return abandoned
+}
+
+// dropLocked removes a session, reporting whether it held the
+// transaction slot (the caller then owes a rollbackAbandoned once
+// s.mu is released). Callers hold s.mu.
+func (s *Server) dropLocked(sess *session) (abandoned bool) {
+	delete(s.sessions, sess.token)
+	return s.txnOwner == sess.token
+}
+
+// rollbackAbandoned aborts the open transaction after its owner
+// vanished (session close or expiry). Until the engine rollback
+// completes, the dead token keeps the slot, so no write can slip into
+// the doomed undo log. Must be called WITHOUT s.mu held: the engine
+// rollback waits for the exclusive engine lock, which can take as
+// long as the longest in-flight statement.
+func (s *Server) rollbackAbandoned(token string) {
+	s.txnMu.Lock()
+	defer s.txnMu.Unlock()
+	s.mu.Lock()
+	stillOwner := s.txnOwner == token
+	s.mu.Unlock()
+	if !stillOwner {
+		return
+	}
+	// Engine errors here mean the undo log itself failed; nothing
+	// better to do than clear ownership so the engine is usable.
+	s.eng.RunStatement(&rollbackStmt)
+	s.mu.Lock()
+	if s.txnOwner == token {
+		s.txnOwner = ""
+	}
+	s.mu.Unlock()
+}
+
+// janitor periodically expires idle sessions until the server closes.
+func (s *Server) janitor(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case now := <-t.C:
+			s.mu.Lock()
+			abandoned := s.expireLocked(now)
+			s.mu.Unlock()
+			for _, tok := range abandoned {
+				s.rollbackAbandoned(tok)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sql
+
+// Statement classification for concurrency control. The database
+// serialises writers behind an exclusive lock but lets read-only
+// statements share a read lock; classification must therefore be
+// conservative: anything that can mutate the catalog, stored tuples,
+// transaction state, or the world-set store is a write.
+//
+// The subtlety is that MayBMS queries are not automatically read-only:
+// repair-key and pick-tuples allocate fresh world-set variables while
+// executing (the uncertainty-introducing operators of the parsimonious
+// translation), so a SELECT whose FROM clause contains either construct
+// mutates the shared store and must take the exclusive path.
+
+// ReadOnly reports whether executing s cannot modify any shared
+// database state, so it is safe to run under a shared (read) lock
+// concurrently with other read-only statements.
+func ReadOnly(s Statement) bool {
+	switch s := s.(type) {
+	case *QueryStmt:
+		return QueryReadOnly(s.Query)
+	case *ExplainStmt:
+		// EXPLAIN only builds the plan; the uncertainty-introducing
+		// operators allocate variables at execution time, not planning
+		// time, so even an EXPLAIN of a repair-key query is read-only.
+		return true
+	default:
+		// DDL, DML, and transaction control are writes.
+		return false
+	}
+}
+
+// QueryReadOnly reports whether evaluating q cannot modify shared
+// state, i.e. no repair-key or pick-tuples construct appears anywhere
+// in the query tree (including FROM subqueries, union arms, and
+// subqueries nested in scalar expressions).
+func QueryReadOnly(q Query) bool {
+	switch q := q.(type) {
+	case nil:
+		return true
+	case *Select:
+		for _, f := range q.From {
+			if f.Subquery != nil && !QueryReadOnly(f.Subquery) {
+				return false
+			}
+		}
+		for _, it := range q.Items {
+			if !exprReadOnly(it.Expr) {
+				return false
+			}
+		}
+		if !exprReadOnly(q.Where) || !exprReadOnly(q.Having) {
+			return false
+		}
+		for _, g := range q.GroupBy {
+			if !exprReadOnly(g) {
+				return false
+			}
+		}
+		for _, o := range q.OrderBy {
+			if !exprReadOnly(o.Expr) {
+				return false
+			}
+		}
+		return true
+	case *Union:
+		return QueryReadOnly(q.Left) && QueryReadOnly(q.Right)
+	case *RepairKey, *PickTuples:
+		return false
+	default:
+		// Unknown query forms are conservatively writes.
+		return false
+	}
+}
+
+// exprReadOnly walks a scalar expression looking for subqueries that
+// contain uncertainty-introducing constructs.
+func exprReadOnly(e Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case ColRef, Lit:
+		return true
+	case *Unary:
+		return exprReadOnly(e.E)
+	case *Binary:
+		return exprReadOnly(e.L) && exprReadOnly(e.R)
+	case *FuncCall:
+		for _, a := range e.Args {
+			if !exprReadOnly(a) {
+				return false
+			}
+		}
+		return true
+	case *InList:
+		if !exprReadOnly(e.E) {
+			return false
+		}
+		for _, x := range e.List {
+			if !exprReadOnly(x) {
+				return false
+			}
+		}
+		return true
+	case *InSubquery:
+		return exprReadOnly(e.E) && QueryReadOnly(e.Query)
+	case *Exists:
+		return QueryReadOnly(e.Query)
+	case *IsNull:
+		return exprReadOnly(e.E)
+	case *Between:
+		return exprReadOnly(e.E) && exprReadOnly(e.Lo) && exprReadOnly(e.Hi)
+	case *Cast:
+		return exprReadOnly(e.E)
+	default:
+		return false
+	}
+}

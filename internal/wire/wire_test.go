@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestCellRoundTrip(t *testing.T) {
+	rows := [][]interface{}{
+		{int64(1), float64(1), "x", true, nil},
+		{int64(-7), 0.25, "a,'b\"c", false, nil},
+		{int64(0), float64(0), "", true, nil},
+	}
+	cells, err := EncodeRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back [][]Cell
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeRows(back)
+	for i := range rows {
+		for j := range rows[i] {
+			w, g := rows[i][j], got[i][j]
+			if wt, gt := typeName(w), typeName(g); wt != gt || w != g {
+				t.Errorf("[%d][%d]: want %s(%v), got %s(%v)", i, j, wt, w, gt, g)
+			}
+		}
+	}
+}
+
+func typeName(v interface{}) string {
+	switch v.(type) {
+	case nil:
+		return "nil"
+	case int64:
+		return "int64"
+	case float64:
+		return "float64"
+	case string:
+		return "string"
+	case bool:
+		return "bool"
+	default:
+		return "other"
+	}
+}
+
+// The whole reason cells are tagged: float64(1) and int64(1) must not
+// collapse into the same wire representation.
+func TestCellIntFloatFidelity(t *testing.T) {
+	ci, _ := json.Marshal(Cell{V: int64(1)})
+	cf, _ := json.Marshal(Cell{V: float64(1)})
+	if string(ci) == string(cf) {
+		t.Fatalf("int and float encode identically: %s", ci)
+	}
+	var back Cell
+	if err := json.Unmarshal(cf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.V.(float64); !ok {
+		t.Errorf("float64(1) decoded as %T", back.V)
+	}
+}
+
+// Non-finite floats cannot ride in JSON numbers; they get their own
+// tag so a query that overflows still round-trips instead of
+// becoming an HTTP 500.
+func TestCellNonFiniteFloats(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		data, err := json.Marshal(Cell{V: v})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		var back Cell
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%v: %v (wire %s)", v, err, data)
+		}
+		f, ok := back.V.(float64)
+		if !ok {
+			t.Fatalf("%v decoded as %T", v, back.V)
+		}
+		if math.IsNaN(v) != math.IsNaN(f) || (!math.IsNaN(v) && v != f) {
+			t.Errorf("%v round-tripped to %v (wire %s)", v, f, data)
+		}
+	}
+	var c Cell
+	if err := c.UnmarshalJSON([]byte(`{"nf":"bogus"}`)); err == nil {
+		t.Error("bad non-finite tag must fail to decode")
+	}
+}
+
+func TestCellErrors(t *testing.T) {
+	if _, err := (Cell{V: struct{}{}}).MarshalJSON(); err == nil {
+		t.Error("unsupported type must fail to encode")
+	}
+	var c Cell
+	if err := c.UnmarshalJSON([]byte(`{}`)); err == nil {
+		t.Error("empty object is ambiguous and must fail to decode")
+	}
+	if err := c.UnmarshalJSON([]byte(`null`)); err != nil || c.V != nil {
+		t.Errorf("null must decode to nil: %v %v", c.V, err)
+	}
+}

@@ -31,7 +31,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"math/rand"
+	"math"
 	"strconv"
 	"strings"
 
@@ -65,10 +65,18 @@ func OpenFile(path string) (*DB, error) {
 func (d *DB) SaveFile(path string) error { return d.inner.SaveFile(path) }
 
 // SetSeed fixes the random source behind aconf's Monte Carlo sampling,
-// making approximate results reproducible.
+// making approximate results reproducible. The source is internally
+// synchronised, so seeded databases remain safe for concurrent use
+// (though interleaving of concurrent aconf() calls is of course not
+// deterministic).
 func (d *DB) SetSeed(seed int64) {
-	d.inner.SetRng(rand.New(rand.NewSource(seed)))
+	d.inner.SetSeed(seed)
 }
+
+// Engine exposes the underlying database engine for in-process
+// frontends (the network server, the experiment harness). Most callers
+// should stay on the DB API.
+func (d *DB) Engine() *db.Database { return d.inner }
 
 // Result reports the outcome of a statement.
 type Result struct {
@@ -218,6 +226,11 @@ func fromRel(rel *urel.Rel) *Rows {
 	return out
 }
 
+// RowsFromRel materialises a raw U-relation result as Rows. Intended
+// for in-process frontends (the network server, the shell); most
+// callers want Query.
+func RowsFromRel(rel *urel.Rel) *Rows { return fromRel(rel) }
+
 func toIface(v types.Value) interface{} {
 	switch v.Kind() {
 	case types.KindInt:
@@ -233,16 +246,14 @@ func toIface(v types.Value) interface{} {
 	}
 }
 
-// QueryFloat runs a query expected to return a single numeric cell.
-func (d *DB) QueryFloat(src string) (float64, error) {
-	rows, err := d.Query(src)
-	if err != nil {
-		return 0, err
+// Float interprets the result as a single numeric cell. Both the
+// embedded and network QueryFloat delegate here, so the two fronts
+// cannot drift.
+func (r *Rows) Float() (float64, error) {
+	if r.Len() != 1 || len(r.Columns) != 1 {
+		return 0, fmt.Errorf("maybms: expected a single cell, got %dx%d", r.Len(), len(r.Columns))
 	}
-	if rows.Len() != 1 || len(rows.Columns) != 1 {
-		return 0, fmt.Errorf("maybms: expected a single cell, got %dx%d", rows.Len(), len(rows.Columns))
-	}
-	switch v := rows.Data[0][0].(type) {
+	switch v := r.Data[0][0].(type) {
 	case int64:
 		return float64(v), nil
 	case float64:
@@ -252,17 +263,40 @@ func (d *DB) QueryFloat(src string) (float64, error) {
 	}
 }
 
+// QueryFloat runs a query expected to return a single numeric cell.
+func (d *DB) QueryFloat(src string) (float64, error) {
+	rows, err := d.Query(src)
+	if err != nil {
+		return 0, err
+	}
+	return rows.Float()
+}
+
 // Tables lists the stored tables.
 func (d *DB) Tables() []string { return d.inner.TableNames() }
 
 // ImportCSV bulk-loads CSV data (with a header row naming the columns)
-// into an existing table. Values are parsed according to the table's
-// column types; empty cells load as NULL.
+// into an existing table. Cells are rendered as literals of the target
+// column's type, so a numeric-looking string loads into a TEXT column
+// as text; empty cells load as NULL (CSV cannot distinguish "" from
+// absent).
 func (d *DB) ImportCSV(table string, r io.Reader) (int, error) {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
 		return 0, fmt.Errorf("maybms: csv header: %v", err)
+	}
+	sch, err := d.inner.SchemaOf(table)
+	if err != nil {
+		return 0, fmt.Errorf("maybms: csv import: %v", err)
+	}
+	kinds := make([]types.Kind, len(header))
+	for i, col := range header {
+		idx, err := sch.Resolve("", strings.TrimSpace(col))
+		if err != nil {
+			return 0, fmt.Errorf("maybms: csv import: %v", err)
+		}
+		kinds[i] = sch.Cols[idx].Kind
 	}
 	count := 0
 	var stmt strings.Builder
@@ -284,7 +318,7 @@ func (d *DB) ImportCSV(table string, r io.Reader) (int, error) {
 			if i > 0 {
 				stmt.WriteString(", ")
 			}
-			stmt.WriteString(csvLiteral(cell))
+			stmt.WriteString(csvLiteral(cell, kinds[i]))
 		}
 		stmt.WriteString(")")
 		if _, err := d.Exec(stmt.String()); err != nil {
@@ -295,18 +329,32 @@ func (d *DB) ImportCSV(table string, r io.Reader) (int, error) {
 	return count, nil
 }
 
-// csvLiteral renders a CSV cell as a SQL literal, preferring numeric
-// interpretation.
-func csvLiteral(cell string) string {
+// csvLiteral renders a CSV cell as a SQL literal of the target column
+// kind, falling back to a quoted string when the cell does not parse
+// as that kind (the insert then reports the type error).
+func csvLiteral(cell string, kind types.Kind) string {
 	trimmed := strings.TrimSpace(cell)
 	if trimmed == "" {
 		return "NULL"
 	}
-	if _, err := strconv.ParseInt(trimmed, 10, 64); err == nil {
-		return trimmed
-	}
-	if _, err := strconv.ParseFloat(trimmed, 64); err == nil {
-		return trimmed
+	switch kind {
+	case types.KindInt:
+		if _, err := strconv.ParseInt(trimmed, 10, 64); err == nil {
+			return trimmed
+		}
+	case types.KindFloat:
+		// ParseFloat accepts "NaN"/"Inf", which are not SQL literals;
+		// those fall through to the quoted fallback and surface as a
+		// type error rather than a parser error.
+		if f, err := strconv.ParseFloat(trimmed, 64); err == nil &&
+			!math.IsNaN(f) && !math.IsInf(f, 0) {
+			return trimmed
+		}
+	case types.KindBool:
+		switch strings.ToLower(trimmed) {
+		case "true", "false":
+			return strings.ToLower(trimmed)
+		}
 	}
 	return "'" + strings.ReplaceAll(trimmed, "'", "''") + "'"
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package maybms
+
+// raceEnabled reports whether the race detector is compiled in; the
+// throughput assertion is skipped under -race, where its uniform
+// slowdown distorts the parallel/serial ratio.
+const raceEnabled = false
