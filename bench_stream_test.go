@@ -1,0 +1,37 @@
+package maybms
+
+import "testing"
+
+// Benchmarks comparing the two executor paths — the recursive
+// materialiser and the Volcano-style streaming pipeline — on the
+// workloads the streaming refactor targets: a wide scan-filter-project
+// over a 100k-row table, and a LIMIT 10 over a large repair-key
+// (uncertain) table where early termination should make the query
+// O(k + batch). Results are recorded in BENCH_streaming.json.
+
+// wideQuery projects every column plus computed expressions over most
+// of the table: the pipeline carries wide tuples end to end.
+const wideQuery = `select id, grp, name, price, price * 2 + grp as adj from big where id % 10 <> 0`
+
+// limitQuery pulls ten conditioned tuples off a 100k-row repair-key
+// table; the streaming path must stop the scan after one batch.
+const limitQuery = `select id, name from bigu limit 10`
+
+func benchQueryRel(b *testing.B, q string, materialised bool) {
+	eng := bigDB().Engine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, err := eng.QueryRel(q, materialised)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rel
+	}
+}
+
+func BenchmarkScanFilterProjectMaterialised(b *testing.B) { benchQueryRel(b, wideQuery, true) }
+func BenchmarkScanFilterProjectStreaming(b *testing.B)    { benchQueryRel(b, wideQuery, false) }
+
+func BenchmarkLimit10RepairKeyMaterialised(b *testing.B) { benchQueryRel(b, limitQuery, true) }
+func BenchmarkLimit10RepairKeyStreaming(b *testing.B)    { benchQueryRel(b, limitQuery, false) }

@@ -174,6 +174,155 @@ func (d *DB) QueryFloat(src string) (float64, error) {
 	return rows.Float()
 }
 
+// Rows is a streaming cursor over a query result, read row by row off
+// the server's NDJSON /v1/query/stream response: the first rows are
+// available before the server finishes the scan, and closing the
+// cursor early abandons the rest of the stream. Use it like
+// database/sql rows:
+//
+//	rows, err := db.QueryRows(`select * from big where a > 10`)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    cells := rows.Row()
+//	    ...
+//	}
+//	err = rows.Err()
+//
+// A Rows is not safe for concurrent use.
+type Rows struct {
+	columns []string
+	certain bool
+	body    io.ReadCloser
+	dec     *json.Decoder
+
+	rows    [][]interface{}
+	lineage []string
+	idx     int // current row within the batch (idx-1 after Next)
+	done    bool
+	total   int64
+	err     error
+}
+
+// QueryRows runs a single query statement on the server's streaming
+// endpoint and returns a row cursor over the result.
+func (d *DB) QueryRows(src string) (*Rows, error) {
+	body, err := json.Marshal(wire.Request{SQL: src})
+	if err != nil {
+		return nil, fmt.Errorf("client: %v", err)
+	}
+	req, err := http.NewRequest("POST", d.base+"/v1/query/stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if d.token != "" {
+		req.Header.Set(wire.SessionHeader, d.token)
+	}
+	resp, err := d.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var er wire.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			return nil, &Error{Status: resp.StatusCode, Msg: er.Error}
+		}
+		return nil, &Error{Status: resp.StatusCode, Msg: fmt.Sprintf("client: server returned %s", resp.Status)}
+	}
+	r := &Rows{body: resp.Body, dec: json.NewDecoder(resp.Body)}
+	var f wire.StreamFrame
+	if err := r.dec.Decode(&f); err != nil || f.Header == nil {
+		resp.Body.Close()
+		if err == nil {
+			err = fmt.Errorf("client: stream did not start with a header frame")
+		}
+		return nil, fmt.Errorf("client: bad stream: %v", err)
+	}
+	r.columns = f.Header.Columns
+	r.certain = f.Header.Certain
+	return r, nil
+}
+
+// Columns are the output column names.
+func (r *Rows) Columns() []string { return r.columns }
+
+// Certain reports whether the result is statically known t-certain.
+func (r *Rows) Certain() bool { return r.certain }
+
+// Next advances to the next row, fetching batches from the stream as
+// needed. It returns false at the end of the result or on error;
+// check Err afterwards.
+func (r *Rows) Next() bool {
+	if r.err != nil || r.done {
+		return false
+	}
+	for r.idx >= len(r.rows) {
+		var f wire.StreamFrame
+		if err := r.dec.Decode(&f); err != nil {
+			r.fail(fmt.Errorf("client: stream truncated: %v", err))
+			return false
+		}
+		switch {
+		case f.Batch != nil:
+			r.rows = wire.DecodeRows(f.Batch.Rows)
+			r.lineage = f.Batch.Lineage
+			r.idx = 0
+		case f.Done != nil:
+			r.total = f.Done.RowsStreamed
+			r.done = true
+			r.body.Close()
+			return false
+		case f.Error != "":
+			r.fail(&Error{Status: http.StatusOK, Msg: f.Error})
+			return false
+		default:
+			r.fail(fmt.Errorf("client: bad stream frame"))
+			return false
+		}
+	}
+	r.idx++
+	return true
+}
+
+// Row returns the current row's cells (valid after Next returned
+// true): nil, int64, float64, string, or bool — the same dynamic
+// types maybms.Rows uses.
+func (r *Rows) Row() []interface{} { return r.rows[r.idx-1] }
+
+// RowLineage returns the current row's world-set descriptor rendering
+// ("" for unconditional tuples or certain results).
+func (r *Rows) RowLineage() string {
+	if r.lineage == nil || r.idx-1 >= len(r.lineage) {
+		return ""
+	}
+	return r.lineage[r.idx-1]
+}
+
+// RowsStreamed reports the server's total row count, available after
+// Next returned false with a nil Err.
+func (r *Rows) RowsStreamed() int64 { return r.total }
+
+// Err returns the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+func (r *Rows) fail(err error) {
+	r.err = err
+	r.done = true
+	r.body.Close()
+}
+
+// Close abandons the cursor; safe to call at any point and more than
+// once. Closing mid-stream drops the connection, which tells the
+// server to stop producing rows.
+func (r *Rows) Close() error {
+	if r.done {
+		return nil
+	}
+	r.done = true
+	return r.body.Close()
+}
+
 // ImportCSV bulk-loads CSV data (with a header row naming the
 // columns) into an existing table, streaming the file to the server
 // in one request. It returns the number of rows loaded.

@@ -19,6 +19,9 @@
 //
 //	\d          list tables
 //	\d NAME     describe a table
+//	\stream Q;  run query Q on the streaming cursor, printing rows
+//	            as they are produced (constant memory, LIMIT stops
+//	            the scan early)
 //	\save PATH  snapshot the database
 //	\load PATH  restore a snapshot
 //	\q          quit (saving if -db was given)
@@ -28,6 +31,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -145,6 +149,50 @@ func runInput(db *maybms.DB, src string) error {
 	return nil
 }
 
+// streamQuery runs one query on the streaming cursor and prints rows
+// tab-separated as each batch arrives — constant memory however large
+// the result, and a LIMIT stops the underlying scan early.
+func streamQuery(db *maybms.DB, src string) error {
+	cur, err := db.QueryRows(strings.TrimSuffix(strings.TrimSpace(src), ";"))
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, strings.Join(cur.Columns, "\t"))
+	n := 0
+	for {
+		page, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for i, row := range page.Data {
+			for j, v := range row {
+				if j > 0 {
+					w.WriteByte('\t')
+				}
+				if v == nil {
+					w.WriteString("NULL")
+				} else {
+					fmt.Fprint(w, v)
+				}
+			}
+			if !page.Certain && page.Lineage[i] != "" {
+				fmt.Fprintf(w, "\t[%s]", page.Lineage[i])
+			}
+			w.WriteByte('\n')
+			n++
+		}
+		w.Flush()
+	}
+	fmt.Fprintf(w, "(%d rows streamed)\n", n)
+	return nil
+}
+
 func metaCommand(db *maybms.DB, cmd, dbPath string) (quit bool) {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
@@ -164,6 +212,15 @@ func metaCommand(db *maybms.DB, cmd, dbPath string) (quit bool) {
 			return false
 		}
 		fmt.Printf("table %s: %s\n", fields[1], strings.Join(rows.Columns, ", "))
+	case "\\stream":
+		src := strings.TrimSpace(strings.TrimPrefix(cmd, "\\stream"))
+		if src == "" {
+			fmt.Fprintln(os.Stderr, "usage: \\stream SELECT ...;")
+			return false
+		}
+		if err := streamQuery(db, src); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
 	case "\\save":
 		if len(fields) != 2 {
 			fmt.Fprintln(os.Stderr, "usage: \\save PATH")

@@ -1,0 +1,130 @@
+package db
+
+import (
+	"fmt"
+	"io"
+
+	"maybms/internal/plan"
+	"maybms/internal/schema"
+	"maybms/internal/sql"
+	"maybms/internal/urel"
+)
+
+// Cursor is a streaming query result: batches are pulled on demand and
+// the full result is never materialised (except behind pipeline
+// breakers). A cursor over a read-only query pins the engine's shared
+// read lock from OpenQuery until Close, so the batches observe a
+// stable database; concurrent reads still run in parallel, but writers
+// wait. Close is idempotent and is called automatically when Next
+// returns io.EOF or an error — but callers must still Close on every
+// other path (defer it), or writers block until the cursor is
+// garbage... forever: there is no finalizer. Do not execute ANY
+// statement on the goroutine holding an open cursor — not just
+// writes: once a writer is queued behind the cursor's read lock,
+// sync.RWMutex blocks new read acquisitions too, so even a read from
+// that goroutine deadlocks against the waiting writer. A Cursor is
+// not safe for concurrent use.
+type Cursor struct {
+	it      urel.Iterator
+	sch     *schema.Schema
+	certain bool
+	unlock  func()
+	closed  bool
+}
+
+// OpenQuery opens a streaming cursor over a single query statement.
+// Read-only queries (no repair-key / pick-tuples anywhere in the tree)
+// stream under the shared read lock, held until the cursor is closed.
+// Anything else — the uncertainty-introducing operators allocate
+// world-set variables — is executed to completion under the exclusive
+// lock first, and the cursor serves the materialised result with no
+// lock held.
+func (d *Database) OpenQuery(src string) (*Cursor, error) {
+	stmts, err := sql.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("db: a streaming query must be a single statement, got %d", len(stmts))
+	}
+	qs, ok := stmts[0].(*sql.QueryStmt)
+	if !ok {
+		return nil, fmt.Errorf("db: a streaming query must be a query statement")
+	}
+	return d.OpenQueryStmt(qs)
+}
+
+// OpenQueryStmt is OpenQuery over an already-parsed statement, for
+// frontends that parse and classify the script themselves (the
+// network server's streaming endpoint).
+func (d *Database) OpenQueryStmt(qs *sql.QueryStmt) (*Cursor, error) {
+	if !sql.ReadOnly(qs) {
+		res, err := d.RunStatement(qs)
+		if err != nil {
+			return nil, err
+		}
+		return NewRelCursor(res.Rel), nil
+	}
+	d.mu.RLock()
+	n, err := plan.Build(qs.Query, d)
+	if err != nil {
+		d.mu.RUnlock()
+		return nil, err
+	}
+	it, err := d.exec.Open(n)
+	if err != nil {
+		d.mu.RUnlock()
+		return nil, err
+	}
+	return &Cursor{it: it, sch: n.Sch(), certain: n.Certain(), unlock: d.mu.RUnlock}, nil
+}
+
+// NewRelCursor wraps an already-materialised relation in a cursor (the
+// write-statement fallback, and frontends that stream a stored
+// result). No lock is held.
+func NewRelCursor(rel *urel.Rel) *Cursor {
+	return &Cursor{
+		it:      urel.NewRelIterator(rel, urel.DefaultBatchSize),
+		sch:     rel.Sch,
+		certain: rel.IsCertain(),
+	}
+}
+
+// Sch is the result schema.
+func (c *Cursor) Sch() *schema.Schema { return c.sch }
+
+// Certain reports whether the result is statically known t-certain.
+// (The materialised path reports certainty of the actual rows; a
+// streaming cursor cannot know the future, so a plan that is not
+// statically certain streams with per-tuple conditions even if every
+// condition turns out empty.)
+func (c *Cursor) Certain() bool { return c.certain }
+
+// Next returns the next batch of tuples, or (nil, io.EOF) when the
+// result is exhausted. On io.EOF or error the cursor closes itself
+// (releasing the read lock); the batch is owned by the caller.
+func (c *Cursor) Next() (*urel.Batch, error) {
+	if c.closed {
+		return nil, io.EOF
+	}
+	b, err := c.it.Next()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// Close releases the cursor's resources and read lock; idempotent.
+func (c *Cursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	err := c.it.Close()
+	if c.unlock != nil {
+		c.unlock()
+		c.unlock = nil
+	}
+	return err
+}

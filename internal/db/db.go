@@ -145,6 +145,20 @@ func (d *Database) TableCertain(name string) (bool, error) {
 	return t.Certain(), nil
 }
 
+// TableBatches implements exec.BatchCatalog: a streaming scan that
+// pulls tuples straight out of the heap, batch by batch, without
+// materialising the table. Like the other catalog methods it runs
+// inside a statement's lock scope; the returned iterator is valid only
+// while that lock is held (a Cursor pins the read lock for exactly
+// this reason).
+func (d *Database) TableBatches(name string, size int) (urel.Iterator, error) {
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", name)
+	}
+	return t.Batches(nil, size), nil
+}
+
 // Run parses and executes a script of one or more statements,
 // returning the result of the last one.
 func (d *Database) Run(src string) (*Result, error) {
@@ -276,9 +290,51 @@ func (d *Database) explain(s *sql.ExplainStmt) (*Result, error) {
 	return &Result{Rel: out}, nil
 }
 
-// query plans and runs a query.
+// query plans and runs a query through the streaming executor,
+// draining the iterator pipeline into a materialised result. Running
+// inside the statement's lock scope, the drain is complete before the
+// lock is released. A LIMIT near the root stops pulling early, so the
+// full input is never computed.
 func (d *Database) query(q sql.Query) (*urel.Rel, error) {
 	n, err := plan.Build(q, d)
+	if err != nil {
+		return nil, err
+	}
+	it, err := d.exec.Open(n)
+	if err != nil {
+		return nil, err
+	}
+	return urel.Drain(it)
+}
+
+// QueryRel plans and executes a single query statement through either
+// the streaming engine (materialised=false) or the recursive
+// reference path (materialised=true), under the appropriate lock.
+// The two must return identical rows; tests and benchmarks compare
+// them.
+func (d *Database) QueryRel(src string, materialised bool) (*urel.Rel, error) {
+	stmts, err := sql.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("db: QueryRel requires a single statement, got %d", len(stmts))
+	}
+	qs, ok := stmts[0].(*sql.QueryStmt)
+	if !ok {
+		return nil, fmt.Errorf("db: QueryRel requires a query statement, got %T", stmts[0])
+	}
+	if sql.ReadOnly(qs) {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	} else {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
+	if !materialised {
+		return d.query(qs.Query)
+	}
+	n, err := plan.Build(qs.Query, d)
 	if err != nil {
 		return nil, err
 	}

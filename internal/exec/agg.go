@@ -22,6 +22,11 @@ func (e *Executor) runAggregate(n *plan.Aggregate) (*urel.Rel, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.applyAggregate(n, in)
+}
+
+// applyAggregate groups a materialised input and computes aggregates.
+func (e *Executor) applyAggregate(n *plan.Aggregate, in *urel.Rel) (*urel.Rel, error) {
 	ctx := e.evalCtx()
 
 	// Bucket input rows.

@@ -88,15 +88,21 @@ func (e *Executor) evalCtx() *plan.EvalCtx {
 	return &plan.EvalCtx{Store: e.Store, Run: e.Run, Rng: e.rng()}
 }
 
-// Run executes a plan, materialising its result U-relation.
+// Run executes a plan recursively, materialising every operator's
+// full output. It remains the reference implementation (and the
+// runner behind scalar subqueries); the engine's primary path is the
+// streaming Open. The two must return identical rows for every plan.
 func (e *Executor) Run(n plan.Node) (*urel.Rel, error) {
 	switch n := n.(type) {
 	case *plan.Scan:
-		base, err := e.Cat.TableRel(n.Table)
+		// Share the iterator scan so both paths have the same explicit
+		// copy-out-of-storage semantics: the result never aliases the
+		// table's live backing slice.
+		it, err := e.openScan(n)
 		if err != nil {
 			return nil, err
 		}
-		return &urel.Rel{Sch: n.Sch(), Tuples: base.Tuples}, nil
+		return urel.Drain(it)
 
 	case *plan.Dual:
 		out := urel.New(n.Sch())
@@ -153,16 +159,7 @@ func (e *Executor) Run(n plan.Node) (*urel.Rel, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := urel.New(n.Sch())
-		seen := map[string]bool{}
-		for _, t := range in.Tuples {
-			k := t.Data.Key()
-			if !seen[k] {
-				seen[k] = true
-				out.Append(t)
-			}
-		}
-		return out, nil
+		return e.applyDistinct(n, in)
 
 	case *plan.Possible:
 		return e.runPossible(n)
@@ -190,6 +187,21 @@ func (e *Executor) Run(n plan.Node) (*urel.Rel, error) {
 	default:
 		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 	}
+}
+
+// applyDistinct removes duplicate data tuples from a materialised
+// input, keeping first occurrences.
+func (e *Executor) applyDistinct(n *plan.Distinct, in *urel.Rel) (*urel.Rel, error) {
+	out := urel.New(n.Sch())
+	seen := map[string]bool{}
+	for _, t := range in.Tuples {
+		k := t.Data.Key()
+		if !seen[k] {
+			seen[k] = true
+			out.Append(t)
+		}
+	}
+	return out, nil
 }
 
 func (e *Executor) runProduct(n *plan.Product) (*urel.Rel, error) {
@@ -344,6 +356,12 @@ func (e *Executor) runPossible(n *plan.Possible) (*urel.Rel, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.applyPossible(n, in)
+}
+
+// applyPossible computes the possible-tuples filter over a
+// materialised input.
+func (e *Executor) applyPossible(n *plan.Possible, in *urel.Rel) (*urel.Rel, error) {
 	out := urel.New(n.Sch())
 	idx := in.Lineage()
 	for _, entry := range idx.Entries {
@@ -369,6 +387,11 @@ func (e *Executor) runSort(n *plan.Sort) (*urel.Rel, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.applySort(n, in)
+}
+
+// applySort orders a materialised input by the sort keys.
+func (e *Executor) applySort(n *plan.Sort, in *urel.Rel) (*urel.Rel, error) {
 	ctx := e.evalCtx()
 	type keyed struct {
 		t    urel.Tuple
@@ -411,6 +434,12 @@ func (e *Executor) runRepairKey(n *plan.RepairKey) (*urel.Rel, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.applyRepairKey(n, in)
+}
+
+// applyRepairKey turns a materialised t-certain input into a
+// block-independent uncertain relation, allocating world-set vars.
+func (e *Executor) applyRepairKey(n *plan.RepairKey, in *urel.Rel) (*urel.Rel, error) {
 	ctx := e.evalCtx()
 	type block struct {
 		tuples  []urel.Tuple
@@ -484,6 +513,12 @@ func (e *Executor) runPickTuples(n *plan.PickTuples) (*urel.Rel, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.applyPickTuples(n, in)
+}
+
+// applyPickTuples maps a materialised t-certain input to the
+// distribution over its subsets, allocating world-set vars.
+func (e *Executor) applyPickTuples(n *plan.PickTuples, in *urel.Rel) (*urel.Rel, error) {
 	ctx := e.evalCtx()
 	out := urel.New(n.Sch())
 	for _, t := range in.Tuples {

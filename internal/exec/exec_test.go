@@ -66,7 +66,7 @@ func fixture() (*memCatalog, *ws.Store, ws.VarID) {
 	return &memCatalog{rels: map[string]*urel.Rel{"t": t, "u": u}}, store, x
 }
 
-func runSQL(t *testing.T, cat *memCatalog, store *ws.Store, src string) (*urel.Rel, error) {
+func runSQL(t *testing.T, cat plan.Catalog, store *ws.Store, src string) (*urel.Rel, error) {
 	t.Helper()
 	st, err := sql.Parse(src)
 	if err != nil {

@@ -1,0 +1,667 @@
+package exec
+
+// Volcano-style streaming execution: Open compiles a plan into a tree
+// of pull iterators exchanging batches (urel.Iterator). Tuples flow
+// from storage to the consumer without materialising intermediate
+// relations, so a LIMIT k over a large scan touches O(k + batch)
+// tuples. Pipeline breakers — sort, aggregate, repair-key,
+// pick-tuples, distinct, possible — need their whole input and are
+// isolated behind an explicit materialise boundary (matIter), reusing
+// the same apply functions as the recursive reference path, so the
+// two paths cannot drift.
+
+import (
+	"fmt"
+	"io"
+
+	"maybms/internal/lineage"
+	"maybms/internal/plan"
+	"maybms/internal/schema"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+)
+
+// BatchCatalog is an optional Catalog extension giving the executor
+// batched access to stored tuples without materialising the table
+// first. The returned iterator reads live storage lazily; it is valid
+// only while the engine lock covering the table is held.
+type BatchCatalog interface {
+	plan.Catalog
+	TableBatches(name string, size int) (urel.Iterator, error)
+}
+
+// Open compiles a plan into a streaming iterator. The caller must
+// Close the iterator; pulling it to exhaustion with urel.Drain yields
+// exactly the rows Run materialises.
+func (e *Executor) Open(n plan.Node) (urel.Iterator, error) {
+	switch n := n.(type) {
+	case *plan.Scan:
+		return e.openScan(n)
+
+	case *plan.Dual:
+		out := urel.New(n.Sch())
+		out.Append(urel.Tuple{Data: schema.Tuple{}})
+		return urel.NewRelIterator(out, 1), nil
+
+	case *plan.Rename:
+		in, err := e.Open(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &renameIter{in: in, sch: n.Sch()}, nil
+
+	case *plan.Product:
+		l, err := e.Open(n.L)
+		if err != nil {
+			return nil, err
+		}
+		return &productIter{e: e, n: n, left: l}, nil
+
+	case *plan.HashJoin:
+		l, err := e.Open(n.L)
+		if err != nil {
+			return nil, err
+		}
+		return &hashJoinIter{e: e, n: n, left: l}, nil
+
+	case *plan.Filter:
+		in, err := e.Open(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{in: in, pred: n.Pred, ctx: e.evalCtx(), sch: n.Sch()}, nil
+
+	case *plan.SemiJoinIn:
+		in, err := e.Open(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &semiJoinIter{e: e, n: n, in: in}, nil
+
+	case *plan.Project:
+		in, err := e.Open(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{e: e, n: n, in: in, ctx: e.evalCtx()}, nil
+
+	case *plan.UnionAll:
+		return &unionIter{e: e, n: n}, nil
+
+	case *plan.Limit:
+		in, err := e.Open(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{in: in, sch: n.Sch(), skip: n.Offset, left: n.N}, nil
+
+	// Pipeline breakers: the whole input is materialised behind the
+	// boundary, then the operator's result streams out.
+	case *plan.Sort:
+		return e.breaker(n.In, n.Sch(), func(in *urel.Rel) (*urel.Rel, error) { return e.applySort(n, in) }), nil
+	case *plan.Aggregate:
+		return e.breaker(n.In, n.Sch(), func(in *urel.Rel) (*urel.Rel, error) { return e.applyAggregate(n, in) }), nil
+	case *plan.Distinct:
+		return e.breaker(n.In, n.Sch(), func(in *urel.Rel) (*urel.Rel, error) { return e.applyDistinct(n, in) }), nil
+	case *plan.Possible:
+		return e.breaker(n.In, n.Sch(), func(in *urel.Rel) (*urel.Rel, error) { return e.applyPossible(n, in) }), nil
+	case *plan.RepairKey:
+		return e.breaker(n.In, n.Sch(), func(in *urel.Rel) (*urel.Rel, error) { return e.applyRepairKey(n, in) }), nil
+	case *plan.PickTuples:
+		return e.breaker(n.In, n.Sch(), func(in *urel.Rel) (*urel.Rel, error) { return e.applyPickTuples(n, in) }), nil
+
+	default:
+		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+	}
+}
+
+// openScan opens a streaming scan over a stored table. With a
+// BatchCatalog the scan pulls straight from storage, copying tuple
+// structs out of the heap batch by batch; otherwise the catalog's
+// materialised relation is snapshotted once and batched. Either way
+// the batches never alias the table's live backing slice, so
+// downstream operators cannot observe or corrupt the heap under a
+// later writer.
+func (e *Executor) openScan(n *plan.Scan) (urel.Iterator, error) {
+	if bc, ok := e.Cat.(BatchCatalog); ok {
+		it, err := bc.TableBatches(n.Table, urel.DefaultBatchSize)
+		if err != nil {
+			return nil, err
+		}
+		return &renameIter{in: it, sch: n.Sch()}, nil
+	}
+	base, err := e.Cat.TableRel(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	snap := make([]urel.Tuple, len(base.Tuples))
+	copy(snap, base.Tuples)
+	return urel.NewRelIterator(&urel.Rel{Sch: n.Sch(), Tuples: snap}, urel.DefaultBatchSize), nil
+}
+
+// breaker wraps a child plan behind a materialise boundary: on first
+// pull the child streams to completion, apply computes the operator's
+// full result, and the result is streamed out in batches.
+func (e *Executor) breaker(child plan.Node, sch *schema.Schema, apply func(*urel.Rel) (*urel.Rel, error)) urel.Iterator {
+	return &matIter{e: e, child: child, sch: sch, apply: apply}
+}
+
+type matIter struct {
+	e     *Executor
+	child plan.Node
+	sch   *schema.Schema
+	apply func(*urel.Rel) (*urel.Rel, error)
+	src   urel.Iterator
+	done  bool
+}
+
+func (it *matIter) Sch() *schema.Schema { return it.sch }
+
+func (it *matIter) Next() (*urel.Batch, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	if it.src == nil {
+		cit, err := it.e.Open(it.child)
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+		in, err := urel.Drain(cit)
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+		out, err := it.apply(in)
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+		it.src = urel.NewRelIterator(out, urel.DefaultBatchSize)
+	}
+	b, err := it.src.Next()
+	if err != nil {
+		it.done = true
+	}
+	return b, err
+}
+
+func (it *matIter) Close() error {
+	it.done = true
+	if it.src != nil {
+		return it.src.Close()
+	}
+	return nil
+}
+
+// renameIter relabels the schema of its input (FROM-alias Rename and
+// the scan's alias qualifier); tuples pass through untouched.
+type renameIter struct {
+	in  urel.Iterator
+	sch *schema.Schema
+}
+
+func (it *renameIter) Sch() *schema.Schema        { return it.sch }
+func (it *renameIter) Next() (*urel.Batch, error) { return it.in.Next() }
+func (it *renameIter) Close() error               { return it.in.Close() }
+
+// filterIter keeps tuples whose predicate holds.
+type filterIter struct {
+	in   urel.Iterator
+	pred *plan.Compiled
+	ctx  *plan.EvalCtx
+	sch  *schema.Schema
+	done bool
+}
+
+func (it *filterIter) Sch() *schema.Schema { return it.sch }
+
+func (it *filterIter) Next() (*urel.Batch, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	for {
+		b, err := it.in.Next()
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+		out := make([]urel.Tuple, 0, len(b.Tuples))
+		for _, t := range b.Tuples {
+			v, err := it.pred.Eval(it.ctx, t.Data)
+			if err != nil {
+				it.done = true
+				return nil, err
+			}
+			if !v.IsNull() && v.Truth() {
+				out = append(out, t)
+			}
+		}
+		if len(out) > 0 {
+			return &urel.Batch{Tuples: out}, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() error {
+	it.done = true
+	return it.in.Close()
+}
+
+// projectIter computes the select list per tuple; tconf() items map
+// conditions to marginal probabilities exactly as the materialised
+// projection does.
+type projectIter struct {
+	e    *Executor
+	n    *plan.Project
+	in   urel.Iterator
+	ctx  *plan.EvalCtx
+	done bool
+}
+
+func (it *projectIter) Sch() *schema.Schema { return it.n.Sch() }
+
+func (it *projectIter) Next() (*urel.Batch, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	b, err := it.in.Next()
+	if err != nil {
+		it.done = true
+		return nil, err
+	}
+	out := make([]urel.Tuple, 0, len(b.Tuples))
+	for _, t := range b.Tuples {
+		row := make(schema.Tuple, len(it.n.Items))
+		for i, item := range it.n.Items {
+			if item.IsTconf {
+				row[i] = types.NewFloat(t.Cond.Prob(it.e.Store))
+				continue
+			}
+			v, err := item.Expr.Eval(it.ctx, t.Data)
+			if err != nil {
+				it.done = true
+				return nil, err
+			}
+			row[i] = v
+		}
+		cond := t.Cond
+		if it.n.HasTconf {
+			cond = nil
+		}
+		out = append(out, urel.Tuple{Data: row, Cond: cond})
+	}
+	return &urel.Batch{Tuples: out}, nil
+}
+
+func (it *projectIter) Close() error {
+	it.done = true
+	return it.in.Close()
+}
+
+// limitIter skips Offset tuples, emits the next N, then stops pulling
+// and closes its input early — the operator that makes LIMIT k over a
+// large input O(k + batch).
+type limitIter struct {
+	in   urel.Iterator
+	sch  *schema.Schema
+	skip int
+	left int
+	done bool
+}
+
+func (it *limitIter) Sch() *schema.Schema { return it.sch }
+
+func (it *limitIter) Next() (*urel.Batch, error) {
+	if it.done || it.left <= 0 {
+		it.finish()
+		return nil, io.EOF
+	}
+	for {
+		b, err := it.in.Next()
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+		ts := b.Tuples
+		if it.skip > 0 {
+			if it.skip >= len(ts) {
+				it.skip -= len(ts)
+				continue
+			}
+			ts = ts[it.skip:]
+			it.skip = 0
+		}
+		if len(ts) > it.left {
+			ts = ts[:it.left]
+		}
+		it.left -= len(ts)
+		if it.left <= 0 {
+			// Exhausted the quota: release the upstream pipeline now so
+			// no further batches are computed.
+			it.finish()
+		}
+		return &urel.Batch{Tuples: ts}, nil
+	}
+}
+
+func (it *limitIter) finish() {
+	if !it.done {
+		it.done = true
+		it.in.Close()
+	}
+}
+
+func (it *limitIter) Close() error {
+	it.done = true
+	return it.in.Close()
+}
+
+// unionIter streams the left input to exhaustion, then the right.
+// Children are opened lazily, one at a time.
+type unionIter struct {
+	e    *Executor
+	n    *plan.UnionAll
+	cur  urel.Iterator // open child, nil between children
+	next int           // index into {L, R} of the next child to open
+	done bool
+}
+
+func (it *unionIter) Sch() *schema.Schema { return it.n.Sch() }
+
+func (it *unionIter) Next() (*urel.Batch, error) {
+	for !it.done {
+		if it.cur == nil {
+			children := [2]plan.Node{it.n.L, it.n.R}
+			if it.next >= len(children) {
+				it.done = true
+				break
+			}
+			c, err := it.e.Open(children[it.next])
+			if err != nil {
+				it.done = true
+				return nil, err
+			}
+			it.cur, it.next = c, it.next+1
+		}
+		b, err := it.cur.Next()
+		if err == io.EOF {
+			it.cur.Close()
+			it.cur = nil
+			continue
+		}
+		if err != nil {
+			it.done = true
+		}
+		return b, err
+	}
+	return nil, io.EOF
+}
+
+func (it *unionIter) Close() error {
+	it.done = true
+	if it.cur != nil {
+		err := it.cur.Close()
+		it.cur = nil
+		return err
+	}
+	return nil
+}
+
+// productIter streams the left input against a right side materialised
+// on first pull (the right side is the product's inner loop and is
+// revisited once per left tuple).
+type productIter struct {
+	e     *Executor
+	n     *plan.Product
+	left  urel.Iterator
+	right *urel.Rel
+	lb    []urel.Tuple // current left batch
+	li    int          // next left tuple
+	ri    int          // next right tuple for lb[li]
+	done  bool
+}
+
+func (it *productIter) Sch() *schema.Schema { return it.n.Sch() }
+
+func (it *productIter) Next() (*urel.Batch, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	if it.right == nil {
+		rit, err := it.e.Open(it.n.R)
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+		it.right, err = urel.Drain(rit)
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+	}
+	out := make([]urel.Tuple, 0, urel.DefaultBatchSize)
+	for {
+		if it.li >= len(it.lb) {
+			b, err := it.left.Next()
+			if err == io.EOF {
+				it.done = true
+				if len(out) > 0 {
+					return &urel.Batch{Tuples: out}, nil
+				}
+				return nil, io.EOF
+			}
+			if err != nil {
+				it.done = true
+				return nil, err
+			}
+			it.lb, it.li, it.ri = b.Tuples, 0, 0
+		}
+		lt := it.lb[it.li]
+		for ; it.ri < len(it.right.Tuples); it.ri++ {
+			rt := it.right.Tuples[it.ri]
+			cond, ok := lt.Cond.And(rt.Cond)
+			if !ok {
+				continue // contradictory conditions: pair exists in no world
+			}
+			out = append(out, urel.Tuple{Data: lt.Data.Concat(rt.Data), Cond: cond})
+			if len(out) >= urel.DefaultBatchSize {
+				it.ri++
+				return &urel.Batch{Tuples: out}, nil
+			}
+		}
+		it.li++
+		it.ri = 0
+	}
+}
+
+func (it *productIter) Close() error {
+	it.done = true
+	return it.left.Close()
+}
+
+// hashJoinIter builds a hash table over the right input on first pull
+// and probes it with the streaming left input.
+type hashJoinIter struct {
+	e       *Executor
+	n       *plan.HashJoin
+	left    urel.Iterator
+	build   map[string][]urel.Tuple
+	lb      []urel.Tuple
+	li      int
+	probing bool         // bkt holds lb[li]'s matches (possibly none)
+	bkt     []urel.Tuple // matches for lb[li]
+	bi      int
+	done    bool
+}
+
+func (it *hashJoinIter) Sch() *schema.Schema { return it.n.Sch() }
+
+func (it *hashJoinIter) Next() (*urel.Batch, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	if it.build == nil {
+		rit, err := it.e.Open(it.n.R)
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+		r, err := urel.Drain(rit)
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+		it.build = make(map[string][]urel.Tuple, len(r.Tuples))
+		for _, rt := range r.Tuples {
+			k := rt.Data.Project(it.n.RKeys).Key()
+			it.build[k] = append(it.build[k], rt)
+		}
+	}
+	out := make([]urel.Tuple, 0, urel.DefaultBatchSize)
+	for {
+		if !it.probing {
+			if it.li >= len(it.lb) {
+				b, err := it.left.Next()
+				if err == io.EOF {
+					it.done = true
+					if len(out) > 0 {
+						return &urel.Batch{Tuples: out}, nil
+					}
+					return nil, io.EOF
+				}
+				if err != nil {
+					it.done = true
+					return nil, err
+				}
+				it.lb, it.li = b.Tuples, 0
+			}
+			key := it.lb[it.li].Data.Project(it.n.LKeys)
+			// SQL join semantics: NULL keys match nothing.
+			hasNull := false
+			for _, v := range key {
+				if v.IsNull() {
+					hasNull = true
+					break
+				}
+			}
+			if hasNull {
+				it.li++
+				continue
+			}
+			it.probing, it.bkt, it.bi = true, it.build[key.Key()], 0
+		}
+		lt := it.lb[it.li]
+		for ; it.bi < len(it.bkt); it.bi++ {
+			rt := it.bkt[it.bi]
+			cond, ok := lt.Cond.And(rt.Cond)
+			if !ok {
+				continue
+			}
+			out = append(out, urel.Tuple{Data: lt.Data.Concat(rt.Data), Cond: cond})
+			if len(out) >= urel.DefaultBatchSize {
+				it.bi++
+				return &urel.Batch{Tuples: out}, nil
+			}
+		}
+		it.probing, it.bkt, it.bi = false, nil, 0
+		it.li++
+	}
+}
+
+func (it *hashJoinIter) Close() error {
+	it.done = true
+	return it.left.Close()
+}
+
+// semiJoinIter materialises the IN-subquery on first pull, then
+// streams the outer input, emitting one tuple per matching subquery
+// tuple with conjoined conditions (multiset semantics, exactly as the
+// materialised path).
+type semiJoinIter struct {
+	e       *Executor
+	n       *plan.SemiJoinIn
+	in      urel.Iterator
+	ctx     *plan.EvalCtx
+	matches map[string][]lineage.Cond
+	lb      []urel.Tuple
+	li      int
+	probing bool // bkt holds lb[li]'s matches (possibly none)
+	bkt     []lineage.Cond
+	bi      int
+	done    bool
+}
+
+func (it *semiJoinIter) Sch() *schema.Schema { return it.n.Sch() }
+
+func (it *semiJoinIter) Next() (*urel.Batch, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	if it.matches == nil {
+		sit, err := it.e.Open(it.n.Sub)
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+		sub, err := urel.Drain(sit)
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+		it.matches = make(map[string][]lineage.Cond, len(sub.Tuples))
+		for _, st := range sub.Tuples {
+			it.matches[st.Data.Key()] = append(it.matches[st.Data.Key()], st.Cond)
+		}
+		it.ctx = it.e.evalCtx()
+	}
+	out := make([]urel.Tuple, 0, urel.DefaultBatchSize)
+	for {
+		if !it.probing {
+			if it.li >= len(it.lb) {
+				b, err := it.in.Next()
+				if err == io.EOF {
+					it.done = true
+					if len(out) > 0 {
+						return &urel.Batch{Tuples: out}, nil
+					}
+					return nil, io.EOF
+				}
+				if err != nil {
+					it.done = true
+					return nil, err
+				}
+				it.lb, it.li = b.Tuples, 0
+			}
+			v, err := it.n.Expr.Eval(it.ctx, it.lb[it.li].Data)
+			if err != nil {
+				it.done = true
+				return nil, err
+			}
+			if v.IsNull() {
+				it.li++
+				continue
+			}
+			it.probing, it.bkt, it.bi = true, it.matches[(schema.Tuple{v}).Key()], 0
+		}
+		t := it.lb[it.li]
+		for ; it.bi < len(it.bkt); it.bi++ {
+			cond, ok := t.Cond.And(it.bkt[it.bi])
+			if !ok {
+				continue
+			}
+			out = append(out, urel.Tuple{Data: t.Data, Cond: cond})
+			if len(out) >= urel.DefaultBatchSize {
+				it.bi++
+				return &urel.Batch{Tuples: out}, nil
+			}
+		}
+		it.probing, it.bkt, it.bi = false, nil, 0
+		it.li++
+	}
+}
+
+func (it *semiJoinIter) Close() error {
+	it.done = true
+	return it.in.Close()
+}

@@ -121,6 +121,22 @@ func opName(n Node) string {
 	}
 }
 
+// PipelineBreaker reports whether the operator needs its whole input
+// before producing any output. The streaming executor materialises
+// breaker inputs behind an explicit boundary; everything else pulls
+// batches end to end. Sort, aggregation, duplicate elimination,
+// possible (lineage grouping), and the uncertainty-introducing
+// repair-key / pick-tuples operators break the pipeline; scans,
+// filters, projections, joins (probe side), unions, and limit stream.
+func PipelineBreaker(n Node) bool {
+	switch n.(type) {
+	case *Sort, *Aggregate, *Distinct, *Possible, *RepairKey, *PickTuples:
+		return true
+	default:
+		return false
+	}
+}
+
 func aggName(k AggKind) string {
 	switch k {
 	case AggConf:

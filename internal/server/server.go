@@ -4,6 +4,7 @@
 //	POST   /v1/session  open a session; returns a token
 //	DELETE /v1/session  close the session named by X-Maybms-Session
 //	POST   /v1/query    run a script; last statement must return rows
+//	POST   /v1/query/stream  run one query; NDJSON batches, flushed
 //	POST   /v1/exec     run a script; returns the last summary
 //	POST   /v1/import   bulk-load CSV (?table=name) into a table
 //	GET    /healthz     liveness and basic stats
@@ -90,6 +91,8 @@ type Server struct {
 
 	start           time.Time
 	queriesTotal    atomic.Int64
+	streamsTotal    atomic.Int64
+	rowsStreamed    atomic.Int64
 	execsTotal      atomic.Int64
 	importsTotal    atomic.Int64
 	readStmtsTotal  atomic.Int64
@@ -157,6 +160,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/session", s.handleOpenSession)
 	mux.HandleFunc("DELETE /v1/session", s.handleCloseSession)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
 	mux.HandleFunc("POST /v1/exec", s.handleExec)
 	mux.HandleFunc("POST /v1/import", s.handleImport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -230,6 +234,11 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 // maxRequestBytes caps one statement-request body (16 MiB of SQL).
 const maxRequestBytes = 16 << 20
 
+// streamWriteTimeout bounds how long a streaming response waits for
+// the client to drain one batch before the connection is dropped and
+// the cursor's read lock released.
+const streamWriteTimeout = 30 * time.Second
+
 // decodeRequest reads the (size-capped) JSON body and resolves the
 // session header.
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*session, string, error) {
@@ -273,6 +282,120 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Certain: rows.Certain,
 		Lineage: rows.Lineage,
 	})
+}
+
+// handleQueryStream serves POST /v1/query/stream: a single query
+// statement whose result is written as NDJSON stream frames (header,
+// batches, done/error — see wire.StreamFrame), flushed per batch so
+// the client sees the first rows before the scan completes. Read-only
+// queries stream straight off the engine's iterator pipeline under the
+// shared read lock; repair-key / pick-tuples queries are writes and
+// run to completion under the usual admission policy before their
+// stored result is streamed.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	s.streamsTotal.Add(1)
+	sess, src, err := s.decodeRequest(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.releaseSession(sess)
+	stmts, err := sqlpkg.ParseAll(src)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	st, ok := singleQueryStmt(stmts)
+	if !ok {
+		s.writeError(w, fmt.Errorf("server: streaming requires a single query statement"))
+		return
+	}
+	var cur *maybms.RowsCursor
+	if sqlpkg.ReadOnly(st) {
+		s.readStmtsTotal.Add(1)
+		ecur, err := s.eng.OpenQueryStmt(st)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		cur = maybms.NewRowsCursor(ecur)
+	} else {
+		s.writeStmtsTotal.Add(1)
+		release, err := s.claimWrite(sess)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		res, err := s.eng.RunStatement(st)
+		release()
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		cur = maybms.RowsCursorFromRel(res.Rel)
+	}
+	defer cur.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	// A read-only cursor pins the engine's read lock, and the write
+	// loop below is paced by the client. A stalled client would
+	// otherwise hold that lock indefinitely — and once a writer queues
+	// behind it, all new reads queue too. The per-batch write deadline
+	// bounds the exposure: a client that cannot drain a batch within
+	// the window is cut off and the cursor (and lock) released.
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	send := func(f wire.StreamFrame) error {
+		rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		if err := enc.Encode(f); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	if err := send(wire.StreamFrame{Header: &wire.StreamHeader{Columns: cur.Columns, Certain: cur.Certain}}); err != nil {
+		return
+	}
+	var total int64
+	for {
+		page, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// The 200 header is committed; report in-band and cut the
+			// stream short of its done frame.
+			s.errorsTotal.Add(1)
+			send(wire.StreamFrame{Error: err.Error()})
+			return
+		}
+		cells, err := wire.EncodeRows(page.Data)
+		if err != nil {
+			s.errorsTotal.Add(1)
+			send(wire.StreamFrame{Error: err.Error()})
+			return
+		}
+		if err := send(wire.StreamFrame{Batch: &wire.StreamBatch{Rows: cells, Lineage: page.Lineage}}); err != nil {
+			return // client went away or stalled; the cursor unwinds via defer
+		}
+		total += int64(len(page.Data))
+		s.rowsStreamed.Add(int64(len(page.Data)))
+	}
+	send(wire.StreamFrame{Done: &wire.StreamDone{RowsStreamed: total}})
+}
+
+// singleQueryStmt returns the script's sole query statement, if that
+// is what the script is.
+func singleQueryStmt(stmts []sqlpkg.Statement) (*sqlpkg.QueryStmt, bool) {
+	if len(stmts) != 1 {
+		return nil, false
+	}
+	st, ok := stmts[0].(*sqlpkg.QueryStmt)
+	return st, ok
 }
 
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
@@ -507,6 +630,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "maybms_requests_total{endpoint=\"query\"} %d\n", s.queriesTotal.Load())
 	fmt.Fprintf(w, "maybms_requests_total{endpoint=\"exec\"} %d\n", s.execsTotal.Load())
 	fmt.Fprintf(w, "maybms_requests_total{endpoint=\"import\"} %d\n", s.importsTotal.Load())
+	fmt.Fprintf(w, "maybms_stream_queries_total %d\n", s.streamsTotal.Load())
+	fmt.Fprintf(w, "maybms_rows_streamed_total %d\n", s.rowsStreamed.Load())
 	fmt.Fprintf(w, "maybms_statements_total{kind=\"read\"} %d\n", s.readStmtsTotal.Load())
 	fmt.Fprintf(w, "maybms_statements_total{kind=\"write\"} %d\n", s.writeStmtsTotal.Load())
 	fmt.Fprintf(w, "maybms_errors_total %d\n", s.errorsTotal.Load())

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"maybms/client"
+	"maybms/internal/wire"
+)
+
+// TestStreamByteIdenticalToQuery is the acceptance criterion: a
+// streaming HTTP query returns byte-identical rows to /v1/query for
+// the same statement, certain and uncertain alike.
+func TestStreamByteIdenticalToQuery(t *testing.T) {
+	base, mdb, _ := startServer(t, Options{})
+	mdb.MustExec(quickstartSetup)
+	mdb.MustExec(`create table nums (n int, label text)`)
+	var stmt strings.Builder
+	stmt.WriteString("insert into nums values ")
+	for i := 0; i < 3000; i++ {
+		if i > 0 {
+			stmt.WriteByte(',')
+		}
+		fmt.Fprintf(&stmt, "(%d, 'n%d')", i, i)
+	}
+	mdb.MustExec(stmt.String())
+
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	queries := []string{
+		`select n, label from nums where n < 2500 order by n`, // spans multiple batches
+		`select * from forecast`,                              // uncertain: lineage per row
+		`select outlook, conf() p from forecast group by outlook order by outlook`,
+		`select n from nums limit 5 offset 7`,
+		`select n from nums where n > 999999`, // empty result
+	}
+	for _, q := range queries {
+		rows, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("%q: query: %v", q, err)
+		}
+		st, err := c.QueryRows(q)
+		if err != nil {
+			t.Fatalf("%q: stream: %v", q, err)
+		}
+		var got [][]interface{}
+		var lineage []string
+		for st.Next() {
+			row := append([]interface{}(nil), st.Row()...)
+			got = append(got, row)
+			lineage = append(lineage, st.RowLineage())
+		}
+		if err := st.Err(); err != nil {
+			t.Fatalf("%q: stream err: %v", q, err)
+		}
+		st.Close()
+		if len(got) != rows.Len() {
+			t.Fatalf("%q: %d streamed rows vs %d", q, len(got), rows.Len())
+		}
+		if !reflect.DeepEqual(st.Columns(), rows.Columns) {
+			t.Fatalf("%q: columns %v vs %v", q, st.Columns(), rows.Columns)
+		}
+		for i := range got {
+			// Byte-identical: both sides re-encoded through the same
+			// tagged-cell wire form must match exactly.
+			a, err1 := json.Marshal(mustCells(t, got[i]))
+			b, err2 := json.Marshal(mustCells(t, rows.Data[i]))
+			if err1 != nil || err2 != nil || !bytes.Equal(a, b) {
+				t.Fatalf("%q row %d: %s vs %s (%v %v)", q, i, a, b, err1, err2)
+			}
+			if !rows.Certain && rows.Lineage[i] != lineage[i] {
+				t.Fatalf("%q row %d: lineage %q vs %q", q, i, lineage[i], rows.Lineage[i])
+			}
+		}
+	}
+}
+
+func mustCells(t *testing.T, row []interface{}) []wire.Cell {
+	t.Helper()
+	cells, err := wire.EncodeRows([][]interface{}{row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells[0]
+}
+
+func TestStreamWriteQueryAdmission(t *testing.T) {
+	base, mdb, _ := startServer(t, Options{})
+	mdb.MustExec(`create table weather (outlook text, w float);
+		insert into weather values ('sun', 6), ('rain', 3), ('snow', 1)`)
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// repair key is a write: the stream endpoint must run it under the
+	// server's write admission and then stream the stored result.
+	st, err := c.QueryRows(`select conf() from (repair key in weather weight by w) r where outlook <> 'snow'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.Next() {
+		t.Fatalf("no rows: %v", st.Err())
+	}
+	if p := st.Row()[0].(float64); p < 0.89 || p > 0.91 {
+		t.Fatalf("conf %v, want 0.9", p)
+	}
+}
+
+func TestStreamErrorsAndMetrics(t *testing.T) {
+	base, mdb, srv := startServer(t, Options{})
+	mdb.MustExec(`create table t (a int); insert into t values (1), (2), (3)`)
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.QueryRows(`select * from missing`); err == nil {
+		t.Error("unknown table accepted")
+	} else if ce, ok := err.(*client.Error); !ok || ce.Status != http.StatusBadRequest {
+		t.Errorf("error %v", err)
+	}
+	if _, err := c.QueryRows(`select 1; select 2`); err == nil {
+		t.Error("script accepted on stream endpoint")
+	}
+	if _, err := c.QueryRows(`insert into t values (4)`); err == nil {
+		t.Error("DML accepted on stream endpoint")
+	}
+
+	st, err := c.QueryRows(`select a from t order by a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for st.Next() {
+		n++
+	}
+	if err := st.Err(); err != nil || n != 3 {
+		t.Fatalf("streamed %d rows, err %v", n, err)
+	}
+	if st.RowsStreamed() != 3 {
+		t.Fatalf("trailer rows %d", st.RowsStreamed())
+	}
+	st.Close()
+
+	if got := srv.rowsStreamed.Load(); got != 3 {
+		t.Errorf("rows_streamed_total %d, want 3", got)
+	}
+	if got := srv.streamsTotal.Load(); got < 4 {
+		t.Errorf("stream_queries_total %d, want >= 4", got)
+	}
+	// And the counters surface on /metrics.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	if !strings.Contains(body, "maybms_rows_streamed_total 3") ||
+		!strings.Contains(body, "maybms_stream_queries_total") {
+		t.Errorf("metrics missing stream counters:\n%s", body)
+	}
+}
+
+// TestStreamFirstBatchBeforeCompletion verifies per-batch flushing:
+// with a result spanning several batches, the client must see the
+// first rows while the stream is still open (i.e. before the done
+// frame arrives).
+func TestStreamFirstBatchBeforeCompletion(t *testing.T) {
+	base, mdb, _ := startServer(t, Options{})
+	mdb.MustExec(`create table nums (n int)`)
+	var stmt strings.Builder
+	stmt.WriteString("insert into nums values ")
+	for i := 0; i < 5000; i++ {
+		if i > 0 {
+			stmt.WriteByte(',')
+		}
+		fmt.Fprintf(&stmt, "(%d)", i)
+	}
+	mdb.MustExec(stmt.String())
+	c, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.QueryRows(`select n from nums`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.Next() {
+		t.Fatalf("no first row: %v", st.Err())
+	}
+	// The first row is available while the stream has delivered no
+	// trailer yet (RowsStreamed is only set by the done frame).
+	if st.RowsStreamed() != 0 {
+		t.Error("stream already complete after one row; batches are not incremental")
+	}
+	n := 1
+	for st.Next() {
+		n++
+	}
+	if n != 5000 || st.Err() != nil {
+		t.Fatalf("streamed %d rows, err %v", n, st.Err())
+	}
+}

@@ -335,3 +335,65 @@ func TestLexerOffsets(t *testing.T) {
 		t.Errorf("lexer error: %v", err)
 	}
 }
+
+func TestParseLimitZero(t *testing.T) {
+	// LIMIT 0 is a valid (empty) limit, distinct from "no limit"
+	// (which the AST spells Limit = -1).
+	q := parseQuery(t, "select a from r limit 0").(*Select)
+	if q.Limit != 0 {
+		t.Errorf("LIMIT 0 parsed as %d", q.Limit)
+	}
+	q = parseQuery(t, "select a from r").(*Select)
+	if q.Limit != -1 {
+		t.Errorf("absent LIMIT parsed as %d, want -1", q.Limit)
+	}
+}
+
+func TestParseOffsetWithoutLimit(t *testing.T) {
+	q := parseQuery(t, "select a from r offset 3").(*Select)
+	if q.Limit != -1 || q.Offset != 3 {
+		t.Errorf("limit=%d offset=%d, want -1/3", q.Limit, q.Offset)
+	}
+	q = parseQuery(t, "select a from r limit 2 offset 3").(*Select)
+	if q.Limit != 2 || q.Offset != 3 {
+		t.Errorf("limit=%d offset=%d, want 2/3", q.Limit, q.Offset)
+	}
+	// OFFSET must precede nothing: a trailing expression is an error.
+	if _, err := Parse("select a from r offset -1"); err == nil {
+		t.Error("negative OFFSET accepted")
+	}
+	if _, err := Parse("select a from r limit -1"); err == nil {
+		t.Error("negative LIMIT accepted")
+	}
+}
+
+func TestParseLimitInUnionBranches(t *testing.T) {
+	// In this grammar LIMIT binds to the nearest SELECT, i.e. to the
+	// union branch it is written in — parenthesised or not.
+	u, ok := parseQuery(t, "(select a from r limit 1) union all (select a from s limit 2)").(*Union)
+	if !ok {
+		t.Fatal("expected a union")
+	}
+	if !u.All {
+		t.Error("ALL flag lost")
+	}
+	if l := u.Left.(*Select); l.Limit != 1 {
+		t.Errorf("left limit %d, want 1", l.Limit)
+	}
+	if r := u.Right.(*Select); r.Limit != 2 {
+		t.Errorf("right limit %d, want 2", r.Limit)
+	}
+	u, ok = parseQuery(t, "select a from r limit 1 union select a from s offset 2").(*Union)
+	if !ok {
+		t.Fatal("expected a union")
+	}
+	if u.All {
+		t.Error("plain UNION parsed as UNION ALL")
+	}
+	if l := u.Left.(*Select); l.Limit != 1 || l.Offset != 0 {
+		t.Errorf("left limit=%d offset=%d, want 1/0", l.Limit, l.Offset)
+	}
+	if r := u.Right.(*Select); r.Limit != -1 || r.Offset != 2 {
+		t.Errorf("right limit=%d offset=%d, want -1/2", r.Limit, r.Offset)
+	}
+}

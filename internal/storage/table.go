@@ -9,6 +9,7 @@ package storage
 
 import (
 	"fmt"
+	"io"
 
 	"maybms/internal/schema"
 	"maybms/internal/types"
@@ -195,6 +196,58 @@ func (t *Table) Scan(fn func(id RowID, tuple urel.Tuple) error) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// Batches returns a pull iterator over the live rows in insertion
+// order, handing out up to size tuples per batch under the given
+// output schema (the table's own schema when sch is nil). Tuple
+// structs are copied out of the heap batch by batch, so tuples already
+// handed out cannot be reached by later in-place row updates; the Data
+// and Cond slices stay shared and immutable by convention. The
+// iterator reads live storage lazily — it is valid only while the
+// caller holds the engine lock covering this table.
+func (t *Table) Batches(sch *schema.Schema, size int) urel.Iterator {
+	if sch == nil {
+		sch = t.sch
+	}
+	if size <= 0 {
+		size = urel.DefaultBatchSize
+	}
+	return &tableIter{t: t, sch: sch, size: size}
+}
+
+// tableIter walks a table's heap, skipping tombstones.
+type tableIter struct {
+	t    *Table
+	sch  *schema.Schema
+	size int
+	pos  int
+	done bool
+}
+
+func (it *tableIter) Sch() *schema.Schema { return it.sch }
+
+func (it *tableIter) Next() (*urel.Batch, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	b := &urel.Batch{Tuples: make([]urel.Tuple, 0, it.size)}
+	for ; it.pos < len(it.t.rows) && len(b.Tuples) < it.size; it.pos++ {
+		if it.t.dead[it.pos] {
+			continue
+		}
+		b.Tuples = append(b.Tuples, it.t.rows[it.pos])
+	}
+	if len(b.Tuples) == 0 {
+		it.done = true
+		return nil, io.EOF
+	}
+	return b, nil
+}
+
+func (it *tableIter) Close() error {
+	it.done = true
 	return nil
 }
 

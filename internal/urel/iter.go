@@ -1,0 +1,95 @@
+package urel
+
+import (
+	"io"
+
+	"maybms/internal/schema"
+)
+
+// DefaultBatchSize is the tuple count operators aim for per batch: big
+// enough to amortise per-pull overhead, small enough that a LIMIT k
+// query touches O(k + batch) tuples end to end.
+const DefaultBatchSize = 1024
+
+// Batch is a unit of tuples flowing through a streaming pipeline. A
+// batch returned by an Iterator is owned by the caller: iterators must
+// allocate a fresh Tuples slice per pull and never reuse it, so
+// callers may retain batches across Next calls. The Data and Cond
+// slices inside tuples remain shared and immutable by convention.
+type Batch struct {
+	Tuples []Tuple
+}
+
+// Len reports the number of tuples in the batch.
+func (b *Batch) Len() int { return len(b.Tuples) }
+
+// Iterator is a pull-based cursor over a U-relation, the seam of the
+// Volcano-style streaming executor. Next returns the next non-empty
+// batch, or (nil, io.EOF) when the stream is exhausted. Close releases
+// resources (including upstream iterators) and is idempotent; it must
+// be called even after Next returned io.EOF or an error. Iterators are
+// not safe for concurrent use.
+type Iterator interface {
+	// Sch is the output schema.
+	Sch() *schema.Schema
+	// Next returns the next batch, or (nil, io.EOF) at the end.
+	Next() (*Batch, error)
+	// Close releases resources; idempotent.
+	Close() error
+}
+
+// relIter streams an already-materialised relation in batches.
+type relIter struct {
+	rel  *Rel
+	pos  int
+	size int
+}
+
+// NewRelIterator returns an iterator over a materialised relation,
+// handing out size tuples per batch (DefaultBatchSize when size <= 0).
+// The tuple structs are copied into each batch, so the caller of Next
+// never aliases the relation's backing slice.
+func NewRelIterator(r *Rel, size int) Iterator {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &relIter{rel: r, size: size}
+}
+
+func (it *relIter) Sch() *schema.Schema { return it.rel.Sch }
+
+func (it *relIter) Next() (*Batch, error) {
+	if it.pos >= len(it.rel.Tuples) {
+		return nil, io.EOF
+	}
+	end := it.pos + it.size
+	if end > len(it.rel.Tuples) {
+		end = len(it.rel.Tuples)
+	}
+	b := &Batch{Tuples: make([]Tuple, end-it.pos)}
+	copy(b.Tuples, it.rel.Tuples[it.pos:end])
+	it.pos = end
+	return b, nil
+}
+
+func (it *relIter) Close() error {
+	it.pos = len(it.rel.Tuples)
+	return nil
+}
+
+// Drain pulls an iterator to exhaustion, materialising its output as a
+// relation. The iterator is closed in every case.
+func Drain(it Iterator) (*Rel, error) {
+	defer it.Close()
+	out := New(it.Sch())
+	for {
+		b, err := it.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Tuples = append(out.Tuples, b.Tuples...)
+	}
+}

@@ -1,0 +1,86 @@
+package urel
+
+import (
+	"io"
+	"testing"
+
+	"maybms/internal/schema"
+	"maybms/internal/types"
+)
+
+func intRel(n int) *Rel {
+	r := New(schema.New(schema.Column{Name: "a", Kind: types.KindInt}))
+	for i := 0; i < n; i++ {
+		r.Append(Tuple{Data: schema.Tuple{types.NewInt(int64(i))}})
+	}
+	return r
+}
+
+func TestRelIteratorBatches(t *testing.T) {
+	r := intRel(10)
+	it := NewRelIterator(r, 4)
+	var sizes []int
+	total := 0
+	for {
+		b, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, b.Len())
+		total += b.Len()
+	}
+	if total != 10 || len(sizes) != 3 || sizes[0] != 4 || sizes[2] != 2 {
+		t.Fatalf("batches %v (total %d)", sizes, total)
+	}
+	// EOF is sticky.
+	if _, err := it.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelIteratorBatchesDoNotAliasBackingSlice(t *testing.T) {
+	r := intRel(4)
+	it := NewRelIterator(r, 2)
+	b, err := it.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Tuples[0] = Tuple{Data: schema.Tuple{types.NewInt(99)}}
+	if got := r.Tuples[0].Data[0].Int(); got != 0 {
+		t.Fatalf("batch write reached the relation: %d", got)
+	}
+	it.Close()
+}
+
+func TestDrain(t *testing.T) {
+	r := intRel(7)
+	out, err := Drain(NewRelIterator(r, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 7 {
+		t.Fatalf("drained %d tuples", out.Len())
+	}
+	for i, tup := range out.Tuples {
+		if tup.Data[0].Int() != int64(i) {
+			t.Fatalf("row %d out of order: %v", i, tup.Data)
+		}
+	}
+}
+
+func TestCloseStopsIteration(t *testing.T) {
+	it := NewRelIterator(intRel(10), 3)
+	if _, err := it.Next(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if _, err := it.Next(); err != io.EOF {
+		t.Fatalf("expected EOF after Close, got %v", err)
+	}
+}

@@ -49,6 +49,42 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// StreamFrame is one NDJSON line of a POST /v1/query/stream response.
+// Exactly one field is set per frame: a header frame opens the stream,
+// batch frames carry rows, and a done or error frame closes it. A
+// stream that ends without a done or error frame was truncated and the
+// client must not treat it as complete.
+type StreamFrame struct {
+	Header *StreamHeader `json:"header,omitempty"`
+	Batch  *StreamBatch  `json:"batch,omitempty"`
+	Done   *StreamDone   `json:"done,omitempty"`
+	// Error reports a failure after streaming began (the HTTP status
+	// is already committed at that point).
+	Error string `json:"error,omitempty"`
+}
+
+// StreamHeader is the first frame of a streaming query response.
+type StreamHeader struct {
+	Columns []string `json:"columns"`
+	// Certain reports whether the result is statically known
+	// t-certain; uncertain streams carry per-row lineage per batch.
+	Certain bool `json:"certain"`
+}
+
+// StreamBatch carries one batch of rows, encoded with the same tagged
+// cells as QueryResponse so streamed rows are byte-identical to
+// /v1/query rows for the same statement.
+type StreamBatch struct {
+	Rows    [][]Cell `json:"rows"`
+	Lineage []string `json:"lineage,omitempty"`
+}
+
+// StreamDone is the final frame of a successful stream.
+type StreamDone struct {
+	// RowsStreamed is the total row count across all batches.
+	RowsStreamed int64 `json:"rows_streamed"`
+}
+
 // SessionHeader carries the session token on authenticated requests.
 const SessionHeader = "X-Maybms-Session"
 

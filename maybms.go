@@ -231,6 +231,88 @@ func fromRel(rel *urel.Rel) *Rows {
 // callers want Query.
 func RowsFromRel(rel *urel.Rel) *Rows { return fromRel(rel) }
 
+// RowsCursor streams a query result batch by batch without ever
+// materialising it: the pipeline behind it pulls tuples from storage
+// on demand, so the first rows arrive before the scan completes and a
+// closed cursor stops all remaining work. While a cursor over a
+// read-only query is open it pins the database's shared read lock —
+// concurrent reads proceed, writers wait — so always Close it (Next
+// closes automatically at io.EOF or on error), and never execute ANY
+// statement on the goroutine holding an open cursor: once a writer
+// queues behind the cursor's lock, even a read from that goroutine
+// deadlocks against the waiting writer.
+type RowsCursor struct {
+	// Columns are the output column names.
+	Columns []string
+	// Certain reports whether the result is statically known
+	// t-certain; uncertain cursors carry per-row lineage in each batch.
+	Certain bool
+	cur     *db.Cursor
+}
+
+// QueryRows runs a single query statement and returns a streaming
+// cursor over its result. Read-only queries stream; queries containing
+// repair-key or pick-tuples (writes: they allocate world-set
+// variables) are executed to completion first and the cursor serves
+// the stored result.
+func (d *DB) QueryRows(src string) (*RowsCursor, error) {
+	cur, err := d.inner.OpenQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return newRowsCursor(cur), nil
+}
+
+// RowsCursorFromRel wraps a materialised U-relation in a cursor.
+// Intended for in-process frontends (the network server's streaming
+// endpoint serving write-query results); most callers want QueryRows.
+func RowsCursorFromRel(rel *urel.Rel) *RowsCursor {
+	return newRowsCursor(db.NewRelCursor(rel))
+}
+
+// NewRowsCursor wraps an engine cursor (db.Database.OpenQueryStmt).
+// Intended for in-process frontends that parse statements themselves;
+// most callers want QueryRows.
+func NewRowsCursor(cur *db.Cursor) *RowsCursor { return newRowsCursor(cur) }
+
+func newRowsCursor(cur *db.Cursor) *RowsCursor {
+	c := &RowsCursor{Certain: cur.Certain(), cur: cur}
+	for _, col := range cur.Sch().Cols {
+		c.Columns = append(c.Columns, col.Name)
+	}
+	return c
+}
+
+// Next returns the next batch of rows as a Rows page (Columns and
+// Certain repeated from the cursor), or (nil, io.EOF) when the result
+// is exhausted. The page is owned by the caller.
+func (c *RowsCursor) Next() (*Rows, error) {
+	b, err := c.cur.Next()
+	if err != nil {
+		return nil, err
+	}
+	page := &Rows{Columns: c.Columns, Certain: c.Certain}
+	for _, t := range b.Tuples {
+		row := make([]interface{}, len(t.Data))
+		for i, v := range t.Data {
+			row[i] = toIface(v)
+		}
+		page.Data = append(page.Data, row)
+	}
+	if !c.Certain {
+		page.Lineage = make([]string, len(b.Tuples))
+		for i, t := range b.Tuples {
+			if len(t.Cond) > 0 {
+				page.Lineage[i] = t.Cond.String()
+			}
+		}
+	}
+	return page, nil
+}
+
+// Close releases the cursor (and the read lock it pins); idempotent.
+func (c *RowsCursor) Close() error { return c.cur.Close() }
+
 func toIface(v types.Value) interface{} {
 	switch v.Kind() {
 	case types.KindInt:

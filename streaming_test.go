@@ -1,0 +1,256 @@
+package maybms
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"maybms/internal/urel"
+)
+
+// streamFixture builds a small database covering certain tables,
+// uncertain tables, and enough rows to span several batches.
+func streamFixture() *DB {
+	db := Open()
+	db.MustExec(`
+		create table item (id int, name text, price float);
+		insert into item values
+			(1, 'apple', 0.5), (2, 'pear', 0.75), (3, 'plum', 0.25),
+			(4, 'fig', 2.0), (5, 'date', 3.0);
+		create table weather (outlook text, w float);
+		insert into weather values ('sun', 6), ('rain', 3), ('snow', 1);
+		create table forecast as repair key in weather weight by w;
+	`)
+	return db
+}
+
+// renderRows renders data and lineage for exact comparison.
+func renderRows(r *urel.Rel) string {
+	var b strings.Builder
+	for _, tup := range r.Tuples {
+		b.WriteString(tup.Data.Key())
+		if len(tup.Cond) > 0 {
+			b.WriteString(" | ")
+			b.WriteString(tup.Cond.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestEngineStreamingMatchesMaterialised runs a corpus through the
+// database's streaming executor and the recursive reference path —
+// each on a freshly built, identical database so world-set variable
+// allocation matches — and requires identical rows and conditions.
+func TestEngineStreamingMatchesMaterialised(t *testing.T) {
+	corpus := []string{
+		`select * from item`,
+		`select name, price * 2 from item where id >= 2 order by id`,
+		`select * from item order by price desc limit 2`,
+		`select * from item limit 2 offset 2`,
+		`select * from item limit 0`,
+		`select i.name, j.name from item i, item j where i.id = j.id`,
+		`select count(*), sum(price) from item`,
+		`select * from forecast`,
+		`select outlook, conf() p from forecast group by outlook order by outlook`,
+		`select tconf() from forecast where outlook = 'sun'`,
+		`select possible outlook from forecast`,
+		`select name from item union all select outlook from forecast`,
+		`select outlook from weather union select outlook from weather`,
+		`select * from (repair key id in item weight by price) r`,
+		`select name from item where name in (select outlook from forecast union all select name from item)`,
+	}
+	for _, src := range corpus {
+		mat, err1 := streamFixture().Engine().QueryRel(src, true)
+		str, err2 := streamFixture().Engine().QueryRel(src, false)
+		if (err1 == nil) != (err2 == nil) {
+			t.Errorf("%q: error mismatch: materialised=%v streaming=%v", src, err1, err2)
+			continue
+		}
+		if err1 != nil {
+			continue
+		}
+		if got, want := renderRows(str), renderRows(mat); got != want {
+			t.Errorf("%q:\nstreaming:\n%s\nmaterialised:\n%s", src, got, want)
+		}
+	}
+}
+
+func TestQueryRowsCursor(t *testing.T) {
+	db := streamFixture()
+	cur, err := db.QueryRows(`select id, name from item order by id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if got := strings.Join(cur.Columns, ","); got != "id,name" {
+		t.Fatalf("columns %q", got)
+	}
+	if !cur.Certain {
+		t.Error("certain plan reported uncertain")
+	}
+	var ids []int64
+	for {
+		page, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range page.Data {
+			ids = append(ids, row[0].(int64))
+		}
+	}
+	if len(ids) != 5 || ids[0] != 1 || ids[4] != 5 {
+		t.Fatalf("ids %v", ids)
+	}
+	// The cursor auto-closed at EOF: a write must not deadlock.
+	db.MustExec(`insert into item values (6, 'kiwi', 1.0)`)
+}
+
+func TestQueryRowsCloseReleasesReadLock(t *testing.T) {
+	db := streamFixture()
+	cur, err := db.QueryRows(`select * from item`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// Close mid-stream, then write from another goroutine (writers
+	// block while a cursor is open; Close must unblock them).
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		db.MustExec(`insert into item values (7, 'lime', 0.4)`)
+		close(done)
+	}()
+	<-done
+	if n, _ := db.QueryFloat(`select count(*) from item`); n != 6 {
+		t.Fatalf("count %v", n)
+	}
+	// Next after Close reports exhaustion, not a race on storage.
+	if _, err := cur.Next(); err != io.EOF {
+		t.Fatalf("Next after Close: %v", err)
+	}
+}
+
+func TestQueryRowsUncertainLineage(t *testing.T) {
+	db := streamFixture()
+	cur, err := db.QueryRows(`select * from forecast`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if cur.Certain {
+		t.Fatal("repair-key table reported certain")
+	}
+	page, err := cur.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Lineage) != len(page.Data) {
+		t.Fatalf("lineage %d for %d rows", len(page.Lineage), len(page.Data))
+	}
+	for i, l := range page.Lineage {
+		if l == "" {
+			t.Errorf("row %d: empty lineage", i)
+		}
+	}
+}
+
+func TestQueryRowsWriteQueryFallsBackToMaterialised(t *testing.T) {
+	db := streamFixture()
+	// repair key allocates world-set variables: a write. The cursor
+	// must still work, serving the stored result with no lock held.
+	cur, err := db.QueryRows(`select conf() from (repair key in weather weight by w) r where outlook = 'sun'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	page, err := cur.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := page.Data[0][0].(float64)
+	if p < 0.59 || p > 0.61 {
+		t.Fatalf("conf %v, want 0.6", p)
+	}
+	db.MustExec(`insert into weather values ('fog', 1)`) // no lock held
+}
+
+func TestQueryRowsRejectsScriptsAndNonQueries(t *testing.T) {
+	db := streamFixture()
+	if _, err := db.QueryRows(`select 1; select 2`); err == nil {
+		t.Error("script accepted")
+	}
+	if _, err := db.QueryRows(`insert into item values (9, 'x', 1.0)`); err == nil {
+		t.Error("DML accepted")
+	}
+}
+
+// bigDB builds a 100k-row table once, shared by the acceptance test
+// and the benchmarks.
+var (
+	bigOnce sync.Once
+	bigDBV  *DB
+)
+
+const bigRows = 100000
+
+func bigDB() *DB {
+	bigOnce.Do(func() {
+		db := Open()
+		db.MustExec(`create table big (id int, grp int, name text, price float)`)
+		var stmt strings.Builder
+		for i := 0; i < bigRows; {
+			stmt.Reset()
+			stmt.WriteString("insert into big values ")
+			for j := 0; j < 1000 && i < bigRows; j, i = j+1, i+1 {
+				if j > 0 {
+					stmt.WriteByte(',')
+				}
+				fmt.Fprintf(&stmt, "(%d, %d, 'item%d', %d.5)", i, i%97, i, i%13)
+			}
+			db.MustExec(stmt.String())
+		}
+		// A large uncertain table: one repair-key block per grp value.
+		db.MustExec(`create table bigu as repair key grp in big weight by price + 1`)
+		bigDBV = db
+	})
+	return bigDBV
+}
+
+// TestLimitDoesNotMaterialiseInput is the acceptance criterion:
+// SELECT ... LIMIT k over a 100k-row table must execute without
+// materialising the full input — allocations drop at least 10x
+// against the reference materialising path.
+func TestLimitDoesNotMaterialiseInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 100k-row table")
+	}
+	eng := bigDB().Engine()
+	const q = `select id, name from big where id >= 5 limit 10`
+	measure := func(materialised bool) float64 {
+		return testing.AllocsPerRun(3, func() {
+			rel, err := eng.QueryRel(q, materialised)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel.Len() != 10 {
+				t.Fatalf("got %d rows", rel.Len())
+			}
+		})
+	}
+	mat := measure(true)
+	str := measure(false)
+	t.Logf("LIMIT 10 over %d rows: materialised %.0f allocs/op, streaming %.0f allocs/op", bigRows, mat, str)
+	if str*10 > mat {
+		t.Fatalf("streaming allocations %.0f not 10x below materialised %.0f", str, mat)
+	}
+}
