@@ -11,9 +11,11 @@
 // Open creates a server session, so transactions (BEGIN/COMMIT/
 // ROLLBACK through Exec) are scoped to this client. A DB is safe for
 // concurrent use; statements from concurrent goroutines are
-// parallelised by the server when they are read-only. Reads are
-// READ UNCOMMITTED with respect to other sessions' open transactions
-// (the server's storage is single-version).
+// parallelised by the server when they are read-only. Each read-only
+// statement or stream observes a consistent point-in-time snapshot of
+// the database and never blocks a writer, but snapshots are taken of
+// current storage including uncommitted state, so reads remain READ
+// UNCOMMITTED with respect to other sessions' open transactions.
 package client
 
 import (
@@ -177,8 +179,12 @@ func (d *DB) QueryFloat(src string) (float64, error) {
 // Rows is a streaming cursor over a query result, read row by row off
 // the server's NDJSON /v1/query/stream response: the first rows are
 // available before the server finishes the scan, and closing the
-// cursor early abandons the rest of the stream. Use it like
-// database/sql rows:
+// cursor early abandons the rest of the stream. The server streams a
+// read-only query from a point-in-time snapshot, so holding a Rows
+// open — even while stalled — never blocks writers on the server;
+// reading slowly just keeps the snapshot's memory pinned until Close
+// or the server's per-batch write deadline. Use it like database/sql
+// rows:
 //
 //	rows, err := db.QueryRows(`select * from big where a > 10`)
 //	defer rows.Close()

@@ -3,7 +3,7 @@
 // is started on an ephemeral port over an embedded database, then
 // several concurrent clients load data with repair-key and query
 // confidences over HTTP/JSON; read-only conf() queries execute in
-// parallel on the engine's shared read lock.
+// parallel, each against its own point-in-time snapshot.
 package main
 
 import (

@@ -12,33 +12,33 @@ import (
 
 // Cursor is a streaming query result: batches are pulled on demand and
 // the full result is never materialised (except behind pipeline
-// breakers). A cursor over a read-only query pins the engine's shared
-// read lock from OpenQuery until Close, so the batches observe a
-// stable database; concurrent reads still run in parallel, but writers
-// wait. Close is idempotent and is called automatically when Next
-// returns io.EOF or an error — but callers must still Close on every
-// other path (defer it), or writers block until the cursor is
-// garbage... forever: there is no finalizer. Do not execute ANY
-// statement on the goroutine holding an open cursor — not just
-// writes: once a writer is queued behind the cursor's read lock,
-// sync.RWMutex blocks new read acquisitions too, so even a read from
-// that goroutine deadlocks against the waiting writer. A Cursor is
-// not safe for concurrent use.
+// breakers). A cursor over a read-only query streams from a
+// point-in-time Snapshot of the database, so it holds no engine lock:
+// writers proceed freely while the cursor is open, other statements —
+// reads or writes — may run on the same goroutine mid-iteration, and
+// the batches keep observing the state as of OpenQuery. The price is
+// memory, not concurrency: the snapshot keeps the frozen rows
+// reachable until Close, and diverges from live storage only when a
+// writer mutates shared rows (copy-on-write). Close is idempotent and
+// is called automatically when Next returns io.EOF or an error;
+// still, defer Close on every other path so the snapshot (and its
+// gauge slot) is released promptly. A Cursor is not safe for
+// concurrent use.
 type Cursor struct {
 	it      urel.Iterator
 	sch     *schema.Schema
 	certain bool
-	unlock  func()
+	snap    *Snapshot
 	closed  bool
 }
 
 // OpenQuery opens a streaming cursor over a single query statement.
 // Read-only queries (no repair-key / pick-tuples anywhere in the tree)
-// stream under the shared read lock, held until the cursor is closed.
-// Anything else — the uncertainty-introducing operators allocate
-// world-set variables — is executed to completion under the exclusive
-// lock first, and the cursor serves the materialised result with no
-// lock held.
+// stream from a snapshot captured under a momentary read lock; the
+// cursor itself holds no lock. Anything else — the
+// uncertainty-introducing operators allocate world-set variables — is
+// executed to completion under the exclusive lock first, and the
+// cursor serves the materialised result.
 func (d *Database) OpenQuery(src string) (*Cursor, error) {
 	stmts, err := sql.ParseAll(src)
 	if err != nil {
@@ -65,23 +65,23 @@ func (d *Database) OpenQueryStmt(qs *sql.QueryStmt) (*Cursor, error) {
 		}
 		return NewRelCursor(res.Rel), nil
 	}
-	d.mu.RLock()
-	n, err := plan.Build(qs.Query, d)
+	snap := d.Snapshot()
+	n, err := plan.Build(qs.Query, snap)
 	if err != nil {
-		d.mu.RUnlock()
+		snap.Close()
 		return nil, err
 	}
-	it, err := d.exec.Open(n)
+	it, err := snap.exec.Open(n)
 	if err != nil {
-		d.mu.RUnlock()
+		snap.Close()
 		return nil, err
 	}
-	return &Cursor{it: it, sch: n.Sch(), certain: n.Certain(), unlock: d.mu.RUnlock}, nil
+	return &Cursor{it: it, sch: n.Sch(), certain: n.Certain(), snap: snap}, nil
 }
 
 // NewRelCursor wraps an already-materialised relation in a cursor (the
 // write-statement fallback, and frontends that stream a stored
-// result). No lock is held.
+// result). No snapshot is held.
 func NewRelCursor(rel *urel.Rel) *Cursor {
 	return &Cursor{
 		it:      urel.NewRelIterator(rel, urel.DefaultBatchSize),
@@ -102,7 +102,7 @@ func (c *Cursor) Certain() bool { return c.certain }
 
 // Next returns the next batch of tuples, or (nil, io.EOF) when the
 // result is exhausted. On io.EOF or error the cursor closes itself
-// (releasing the read lock); the batch is owned by the caller.
+// (releasing the snapshot); the batch is owned by the caller.
 func (c *Cursor) Next() (*urel.Batch, error) {
 	if c.closed {
 		return nil, io.EOF
@@ -115,16 +115,16 @@ func (c *Cursor) Next() (*urel.Batch, error) {
 	return b, nil
 }
 
-// Close releases the cursor's resources and read lock; idempotent.
+// Close releases the cursor's resources and snapshot; idempotent.
 func (c *Cursor) Close() error {
 	if c.closed {
 		return nil
 	}
 	c.closed = true
 	err := c.it.Close()
-	if c.unlock != nil {
-		c.unlock()
-		c.unlock = nil
+	if c.snap != nil {
+		c.snap.Close()
+		c.snap = nil
 	}
 	return err
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"maybms/internal/conf"
 	"maybms/internal/exec"
@@ -23,21 +24,28 @@ import (
 )
 
 // Database is a MayBMS database instance: tables, world-set store, and
-// executor. Concurrency control is single-writer / multi-reader: each
-// statement is classified before locking (sql.ReadOnly), writes —
-// DDL, DML, transactions, and queries containing the
-// uncertainty-introducing repair-key / pick-tuples operators (which
-// allocate world-set variables) — take an exclusive lock, while
-// read-only queries, including conf()/aconf() confidence computation,
-// share a read lock and execute in parallel. The paper notes the
-// purely relational representation makes concurrency control
-// unremarkable; the classifier is what keeps the confidence hot path
-// out of the writer funnel.
+// executor. Concurrency control is single-writer / multi-reader with
+// snapshot-isolated reads: each statement is classified before locking
+// (sql.ReadOnly), writes — DDL, DML, transactions, and queries
+// containing the uncertainty-introducing repair-key / pick-tuples
+// operators (which allocate world-set variables) — take an exclusive
+// lock, while read-only statements take the read lock only long enough
+// to capture a Snapshot (an immutable copy-on-write view of tables and
+// world-set store) and then execute against it with no lock held at
+// all. Cursors therefore never pin a lock: a writer can commit while
+// a streaming read is mid-iteration, and the read keeps observing its
+// snapshot. The paper notes the purely relational representation makes
+// concurrency control unremarkable; the classifier plus the snapshot
+// seam is what keeps the confidence hot path out of the writer funnel.
 type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*storage.Table
 	store  *ws.Store
 	exec   *exec.Executor
+
+	// snapsOpen gauges live Snapshots (including those held by open
+	// cursors); surfaced as maybms_snapshots_open.
+	snapsOpen atomic.Int64
 
 	inTxn  bool
 	undo   []func() error
@@ -149,8 +157,8 @@ func (d *Database) TableCertain(name string) (bool, error) {
 // pulls tuples straight out of the heap, batch by batch, without
 // materialising the table. Like the other catalog methods it runs
 // inside a statement's lock scope; the returned iterator is valid only
-// while that lock is held (a Cursor pins the read lock for exactly
-// this reason).
+// while that lock is held. Cursors never use this live catalog — they
+// stream from a Snapshot, whose iterators need no lock.
 func (d *Database) TableBatches(name string, size int) (urel.Iterator, error) {
 	t, ok := d.tables[strings.ToLower(name)]
 	if !ok {
@@ -181,8 +189,10 @@ func (d *Database) Run(src string) (*Result, error) {
 }
 
 // RunStatement executes a parsed statement. Read-only statements
-// (per sql.ReadOnly) run under a shared lock, concurrently with each
-// other; everything else is serialised behind the exclusive lock.
+// (per sql.ReadOnly) execute against a point-in-time Snapshot,
+// concurrently with each other and with at most a brief read-lock
+// acquisition; everything else is serialised behind the exclusive
+// lock.
 func (d *Database) RunStatement(s sql.Statement) (*Result, error) {
 	if sql.ReadOnly(s) {
 		return d.runRead(s)
@@ -192,24 +202,26 @@ func (d *Database) RunStatement(s sql.Statement) (*Result, error) {
 	return d.runLocked(s)
 }
 
-// runRead executes a statement already classified read-only under the
-// shared lock.
+// runRead executes a statement already classified read-only against a
+// snapshot captured under a momentary read lock. Execution itself
+// holds no lock, so a slow confidence computation (or a caller holding
+// its result) never stalls writers.
 func (d *Database) runRead(s sql.Statement) (*Result, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	snap := d.Snapshot()
+	defer snap.Close()
 	switch s := s.(type) {
 	case *sql.QueryStmt:
-		rel, err := d.query(s.Query)
+		rel, err := snap.Query(s.Query)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Rel: rel}, nil
 	case *sql.ExplainStmt:
-		return d.explain(s)
+		return explain(s, snap)
 	default:
 		// Unreachable as long as the classifier only marks query and
 		// explain statements read-only; fail loudly rather than run a
-		// write under the shared lock.
+		// write against a frozen snapshot.
 		return nil, fmt.Errorf("db: internal: %T misclassified as read-only", s)
 	}
 }
@@ -270,16 +282,18 @@ func (d *Database) runLocked(s sql.Statement) (*Result, error) {
 		return &Result{Rel: rel}, nil
 
 	case *sql.ExplainStmt:
-		return d.explain(s)
+		return explain(s, d)
 
 	default:
 		return nil, fmt.Errorf("db: unsupported statement %T", s)
 	}
 }
 
-// explain builds the plan and renders its outline.
-func (d *Database) explain(s *sql.ExplainStmt) (*Result, error) {
-	n, err := plan.Build(s.Query, d)
+// explain builds the plan against the given catalog (the live database
+// under the exclusive lock, or a snapshot on the read path) and
+// renders its outline.
+func explain(s *sql.ExplainStmt, cat plan.Catalog) (*Result, error) {
+	n, err := plan.Build(s.Query, cat)
 	if err != nil {
 		return nil, err
 	}
@@ -325,12 +339,19 @@ func (d *Database) QueryRel(src string, materialised bool) (*urel.Rel, error) {
 		return nil, fmt.Errorf("db: QueryRel requires a query statement, got %T", stmts[0])
 	}
 	if sql.ReadOnly(qs) {
-		d.mu.RLock()
-		defer d.mu.RUnlock()
-	} else {
-		d.mu.Lock()
-		defer d.mu.Unlock()
+		snap := d.Snapshot()
+		defer snap.Close()
+		if !materialised {
+			return snap.Query(qs.Query)
+		}
+		n, err := plan.Build(qs.Query, snap)
+		if err != nil {
+			return nil, err
+		}
+		return snap.exec.Run(n)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if !materialised {
 		return d.query(qs.Query)
 	}

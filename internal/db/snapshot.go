@@ -1,0 +1,155 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"maybms/internal/exec"
+	"maybms/internal/plan"
+	"maybms/internal/schema"
+	"maybms/internal/sql"
+	"maybms/internal/storage"
+	"maybms/internal/urel"
+	"maybms/internal/ws"
+)
+
+// Snapshot is an immutable view of the entire database — every table
+// plus the world-set store — at a single point in time. It implements
+// plan.Catalog and exec.BatchCatalog, so read-only queries plan and
+// execute against it exactly as they would against the live database,
+// but with no lock held: writers proceed concurrently, and the
+// snapshot keeps serving the frozen state (copy-on-write at the
+// storage layer pays for divergence only when a writer actually
+// mutates shared rows).
+//
+// This is what makes cursor reads snapshot-isolated: OpenQuery takes
+// the engine's read lock only long enough to capture a Snapshot, then
+// releases it. Only read-only queries may run against a snapshot —
+// repair-key / pick-tuples allocate world-set variables, which a
+// frozen store must never do.
+//
+// A snapshot currently spans every table, so while one is open a
+// writer's first in-place mutation of ANY table copies that table's
+// arrays, even if no open snapshot reads it. Scoping the capture to
+// the tables a statement references (an AST walk mirroring
+// sql.QueryReadOnly) would avoid that; it is the natural next step on
+// this seam, kept out of this change so a missed reference cannot
+// break reads.
+type Snapshot struct {
+	tables map[string]*storage.Snapshot
+	store  *ws.Store // frozen prefix view (ws.Store.Freeze)
+	exec   *exec.Executor
+	db     *Database
+	closed atomic.Bool
+}
+
+// Snapshot captures a point-in-time view of the database. The read
+// lock is held only for the duration of this call — O(#tables), no row
+// copying — and the returned view is then valid indefinitely with no
+// lock at all. Callers should Close the snapshot when done so the
+// open-snapshots gauge stays accurate; an unclosed snapshot leaks only
+// gauge count and memory, never a lock.
+func (d *Database) Snapshot() *Snapshot {
+	d.mu.RLock()
+	s := d.snapshotLocked()
+	d.mu.RUnlock()
+	return s
+}
+
+// snapshotLocked captures the snapshot; the caller holds d.mu (read or
+// write).
+func (d *Database) snapshotLocked() *Snapshot {
+	s := &Snapshot{
+		tables: make(map[string]*storage.Snapshot, len(d.tables)),
+		store:  d.store.Freeze(),
+		db:     d,
+	}
+	for n, t := range d.tables {
+		s.tables[n] = t.Snapshot()
+	}
+	s.exec = &exec.Executor{Cat: s, Store: s.store, Rng: d.exec.Rng, ConfMethod: d.exec.ConfMethod}
+	d.snapsOpen.Add(1)
+	return s
+}
+
+// Close releases the snapshot: the open-snapshots gauge drops, and
+// each table snapshot releases its claim on the live table's shared
+// arrays, so writers stop paying copy-on-write for a view nobody
+// reads. Idempotent. After Close the snapshot must not be used.
+func (s *Snapshot) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		for _, t := range s.tables {
+			t.Release()
+		}
+		s.db.snapsOpen.Add(-1)
+	}
+}
+
+// SnapshotsOpen reports how many snapshots (including those pinned by
+// open cursors) are currently live.
+func (d *Database) SnapshotsOpen() int64 { return d.snapsOpen.Load() }
+
+func (s *Snapshot) table(name string) (*storage.Snapshot, error) {
+	t, ok := s.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// TableSchema implements plan.Catalog.
+func (s *Snapshot) TableSchema(name string) (*schema.Schema, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema(), nil
+}
+
+// TableRel implements plan.Catalog.
+func (s *Snapshot) TableRel(name string) (*urel.Rel, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.ToRel(), nil
+}
+
+// TableCertain implements plan.Catalog.
+func (s *Snapshot) TableCertain(name string) (bool, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return false, err
+	}
+	return t.Certain(), nil
+}
+
+// TableBatches implements exec.BatchCatalog: a streaming scan over the
+// frozen heap. Unlike the live catalog's iterator, it is valid with no
+// lock, for the snapshot's whole lifetime.
+func (s *Snapshot) TableBatches(name string, size int) (urel.Iterator, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Batches(nil, size), nil
+}
+
+// Query plans and runs a read-only query against the snapshot,
+// draining the streaming pipeline into a materialised result. No
+// engine lock is held at any point.
+func (s *Snapshot) Query(q sql.Query) (*urel.Rel, error) {
+	if !sql.QueryReadOnly(q) {
+		return nil, fmt.Errorf("db: internal: write query (repair-key/pick-tuples) run against a snapshot")
+	}
+	n, err := plan.Build(q, s)
+	if err != nil {
+		return nil, err
+	}
+	it, err := s.exec.Open(n)
+	if err != nil {
+		return nil, err
+	}
+	return urel.Drain(it)
+}

@@ -1,0 +1,245 @@
+package db
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"maybms/internal/urel"
+)
+
+// drainCursor pulls a cursor to exhaustion and returns the row count.
+func drainCursor(t *testing.T, cur *Cursor) int {
+	t.Helper()
+	n := 0
+	for {
+		b, err := cur.Next()
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(b.Tuples)
+	}
+}
+
+func bulkInsert(t *testing.T, d *Database, table string, n int) {
+	t.Helper()
+	var stmt strings.Builder
+	fmt.Fprintf(&stmt, "insert into %s values ", table)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			stmt.WriteByte(',')
+		}
+		fmt.Fprintf(&stmt, "(%d)", i)
+	}
+	mustRun(t, d, stmt.String())
+}
+
+// TestWriterCompletesWhileCursorOpen is the acceptance criterion for
+// snapshot-isolated reads: a writer must complete while a streaming
+// cursor is mid-iteration, i.e. the cursor holds no engine lock across
+// its lifetime.
+func TestWriterCompletesWhileCursorOpen(t *testing.T) {
+	d := New()
+	mustRun(t, d, `create table t (a int)`)
+	bulkInsert(t, d, "t", 5000)
+
+	cur, err := d.OpenQuery(`select a from t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	first, err := cur.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Run(`insert into t values (99999)`)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer blocked behind an open streaming cursor")
+	}
+
+	// The cursor keeps serving its snapshot: exactly the 5000
+	// snapshot-time rows, not the concurrently inserted one.
+	if n := len(first.Tuples) + drainCursor(t, cur); n != 5000 {
+		t.Fatalf("cursor drained %d rows, want the 5000 at snapshot time", n)
+	}
+	if n := mustRun(t, d, `select count(*) from t`).Rel.Tuples[0].Data[0].Int(); n != 5001 {
+		t.Fatalf("live table has %d rows, want 5001", n)
+	}
+}
+
+// TestStatementsOnCursorGoroutine is the regression for the documented
+// same-goroutine deadlock: with lock-pinned cursors, ANY statement on
+// the goroutine holding an open cursor could deadlock (a write
+// directly, a read as soon as a writer was queued). With snapshot
+// cursors the sequence — open, pull, INSERT, read, drain — must run to
+// completion; the timeout guard turns the old deadlock into a failure
+// instead of a hung test run.
+func TestStatementsOnCursorGoroutine(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- func() error {
+			d := New()
+			if _, err := d.Run(`create table t (a int)`); err != nil {
+				return err
+			}
+			var stmt strings.Builder
+			stmt.WriteString("insert into t values ")
+			for i := 0; i < 3000; i++ {
+				if i > 0 {
+					stmt.WriteByte(',')
+				}
+				fmt.Fprintf(&stmt, "(%d)", i)
+			}
+			if _, err := d.Run(stmt.String()); err != nil {
+				return err
+			}
+
+			cur, err := d.OpenQuery(`select a from t`)
+			if err != nil {
+				return err
+			}
+			defer cur.Close()
+			first, err := cur.Next()
+			if err != nil {
+				return fmt.Errorf("first batch: %v", err)
+			}
+			// Mid-iteration, same goroutine: a write...
+			if _, err := d.Run(`insert into t values (-1)`); err != nil {
+				return fmt.Errorf("insert mid-cursor: %v", err)
+			}
+			// ...and a read.
+			r, err := d.Run(`select count(*) from t`)
+			if err != nil {
+				return fmt.Errorf("read mid-cursor: %v", err)
+			}
+			if n := r.Rel.Tuples[0].Data[0].Int(); n != 3001 {
+				return fmt.Errorf("mid-cursor count %d, want 3001", n)
+			}
+			// Drain to completion: still the snapshot's 3000 rows.
+			n := len(first.Tuples)
+			for {
+				b, err := cur.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				n += len(b.Tuples)
+			}
+			if n != 3000 {
+				return fmt.Errorf("cursor drained %d rows, want the 3000 at snapshot time", n)
+			}
+			return nil
+		}()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("statement on the cursor's goroutine deadlocked (cursor is pinning the engine lock)")
+	}
+}
+
+// TestCursorSnapshotIsolation: a cursor's drained rows are identical —
+// data and per-tuple conditions — to a materialised run of the same
+// query at snapshot time, no matter what writers do in between:
+// UPDATE, DELETE, INSERT, a repair-key statement (which grows the
+// world-set store), even DROP TABLE.
+func TestCursorSnapshotIsolation(t *testing.T) {
+	d := New()
+	mustRun(t, d, `create table w (outlook text, p float)`)
+	mustRun(t, d, `insert into w values ('sun', 6), ('rain', 3), ('snow', 1)`)
+	mustRun(t, d, `create table u as repair key in w weight by p`)
+
+	const q = `select outlook, conf() c from u group by outlook order by outlook`
+	cur, err := d.OpenQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	want, err := d.QueryRel(q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mustRun(t, d, `update w set p = 100 where outlook = 'snow'`)
+	mustRun(t, d, `delete from w where outlook = 'sun'`)
+	mustRun(t, d, `insert into w values ('fog', 2)`)
+	// A repair-key statement allocates fresh world-set variables; the
+	// cursor's frozen store must not see them.
+	mustRun(t, d, `create table u2 as repair key in w weight by p`)
+	mustRun(t, d, `drop table u`)
+
+	got, err := cursorRel(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want.Tuples) {
+		t.Fatalf("cursor result drifted from snapshot-time materialised run:\n got %v\nwant %v", got, want.Tuples)
+	}
+}
+
+// cursorRel drains a cursor into its tuples.
+func cursorRel(cur *Cursor) ([]urel.Tuple, error) {
+	var out []urel.Tuple
+	for {
+		b, err := cur.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b.Tuples...)
+	}
+}
+
+// TestSnapshotsOpenGauge: cursors account for their snapshot and
+// Close is idempotent.
+func TestSnapshotsOpenGauge(t *testing.T) {
+	d := New()
+	mustRun(t, d, `create table t (a int)`)
+	mustRun(t, d, `insert into t values (1), (2)`)
+	if n := d.SnapshotsOpen(); n != 0 {
+		t.Fatalf("gauge %d before any cursor", n)
+	}
+	cur, err := d.OpenQuery(`select a from t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur2, err := d.OpenQuery(`select a from t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.SnapshotsOpen(); n != 2 {
+		t.Fatalf("gauge %d with two open cursors, want 2", n)
+	}
+	cur.Close()
+	cur.Close() // idempotent: must not double-decrement
+	if n := d.SnapshotsOpen(); n != 1 {
+		t.Fatalf("gauge %d after closing one cursor twice, want 1", n)
+	}
+	drainCursor(t, cur2) // EOF closes automatically
+	if n := d.SnapshotsOpen(); n != 0 {
+		t.Fatalf("gauge %d after draining, want 0", n)
+	}
+}

@@ -23,8 +23,10 @@ import (
 
 // BatchCatalog is an optional Catalog extension giving the executor
 // batched access to stored tuples without materialising the table
-// first. The returned iterator reads live storage lazily; it is valid
-// only while the engine lock covering the table is held.
+// first. The iterator's validity follows the catalog's: a live-table
+// catalog hands out iterators valid only while the engine lock
+// covering the table is held, while a snapshot catalog's iterators
+// read frozen storage and need no lock at all.
 type BatchCatalog interface {
 	plan.Catalog
 	TableBatches(name string, size int) (urel.Iterator, error)

@@ -15,10 +15,13 @@
 // or idle expiry (which rolls back). While a transaction is open,
 // write statements from other sessions are rejected with 409 rather
 // than silently entangling their changes in a foreign undo log;
-// read-only statements keep flowing and run concurrently on the
-// engine's shared read lock. The storage is single-version, so those
-// reads are READ UNCOMMITTED: they observe the open transaction's
-// uncommitted writes, which vanish again if it rolls back. Clients
+// read-only statements keep flowing and run against point-in-time
+// snapshots of the engine (copy-on-write, captured under a momentary
+// read lock), so each read — including a long-running stream — sees
+// one consistent state and never blocks a writer. Snapshots are taken
+// of the current storage, uncommitted writes included, so reads are
+// still READ UNCOMMITTED with respect to a foreign open transaction:
+// they can observe writes that later vanish in a rollback. Clients
 // needing isolation from a concurrent loader should take the
 // transaction slot themselves.
 package server
@@ -47,6 +50,12 @@ type Options struct {
 	// SessionIdle is the idle timeout after which a session (and any
 	// transaction it holds) is discarded (default 5 minutes).
 	SessionIdle time.Duration
+	// StreamWriteTimeout bounds how long /v1/query/stream waits for the
+	// client to drain one batch before the connection is dropped and
+	// the cursor's snapshot released (default 30 seconds). Purely a
+	// resource bound: a stalled client never blocks writers — cursors
+	// stream from snapshots — it just pins snapshot memory.
+	StreamWriteTimeout time.Duration
 }
 
 func (o *Options) fill() {
@@ -55,6 +64,9 @@ func (o *Options) fill() {
 	}
 	if o.SessionIdle <= 0 {
 		o.SessionIdle = 5 * time.Minute
+	}
+	if o.StreamWriteTimeout <= 0 {
+		o.StreamWriteTimeout = 30 * time.Second
 	}
 }
 
@@ -234,11 +246,6 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 // maxRequestBytes caps one statement-request body (16 MiB of SQL).
 const maxRequestBytes = 16 << 20
 
-// streamWriteTimeout bounds how long a streaming response waits for
-// the client to drain one batch before the connection is dropped and
-// the cursor's read lock released.
-const streamWriteTimeout = 30 * time.Second
-
 // decodeRequest reads the (size-capped) JSON body and resolves the
 // session header.
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*session, string, error) {
@@ -288,10 +295,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // statement whose result is written as NDJSON stream frames (header,
 // batches, done/error — see wire.StreamFrame), flushed per batch so
 // the client sees the first rows before the scan completes. Read-only
-// queries stream straight off the engine's iterator pipeline under the
-// shared read lock; repair-key / pick-tuples queries are writes and
-// run to completion under the usual admission policy before their
-// stored result is streamed.
+// queries stream straight off the engine's iterator pipeline over a
+// point-in-time snapshot, so a stalled or slow client can never block
+// a writer; repair-key / pick-tuples queries are writes and run to
+// completion under the usual admission policy before their stored
+// result is streamed.
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	s.streamsTotal.Add(1)
 	sess, src, err := s.decodeRequest(w, r)
@@ -338,17 +346,23 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	// A read-only cursor pins the engine's read lock, and the write
-	// loop below is paced by the client. A stalled client would
-	// otherwise hold that lock indefinitely — and once a writer queues
-	// behind it, all new reads queue too. The per-batch write deadline
-	// bounds the exposure: a client that cannot drain a batch within
-	// the window is cut off and the cursor (and lock) released.
+	// The write loop below is paced by the client. Cursors stream from
+	// a snapshot, so a stalled client blocks no writer; the per-batch
+	// write deadline is purely a resource bound — a client that cannot
+	// drain a batch within the window is cut off and the cursor's
+	// snapshot memory released. The deadline is absolute on the
+	// connection and outlives the handler, so it must be cleared when
+	// the stream completes: net/http flushes the response's
+	// terminating chunk after the handler returns and clears
+	// connection deadlines only after that, so a stale deadline left
+	// armed here can cut off the final flush and kill keep-alive reuse
+	// of the connection.
 	rc := http.NewResponseController(w)
+	defer rc.SetWriteDeadline(time.Time{})
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	send := func(f wire.StreamFrame) error {
-		rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		rc.SetWriteDeadline(time.Now().Add(s.opts.StreamWriteTimeout))
 		if err := enc.Encode(f); err != nil {
 			return err
 		}
@@ -632,6 +646,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "maybms_requests_total{endpoint=\"import\"} %d\n", s.importsTotal.Load())
 	fmt.Fprintf(w, "maybms_stream_queries_total %d\n", s.streamsTotal.Load())
 	fmt.Fprintf(w, "maybms_rows_streamed_total %d\n", s.rowsStreamed.Load())
+	fmt.Fprintf(w, "maybms_snapshots_open %d\n", s.eng.SnapshotsOpen())
 	fmt.Fprintf(w, "maybms_statements_total{kind=\"read\"} %d\n", s.readStmtsTotal.Load())
 	fmt.Fprintf(w, "maybms_statements_total{kind=\"write\"} %d\n", s.writeStmtsTotal.Load())
 	fmt.Fprintf(w, "maybms_errors_total %d\n", s.errorsTotal.Load())

@@ -1,13 +1,17 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"maybms/client"
 	"maybms/internal/wire"
@@ -173,6 +177,11 @@ func TestStreamErrorsAndMetrics(t *testing.T) {
 		!strings.Contains(body, "maybms_stream_queries_total") {
 		t.Errorf("metrics missing stream counters:\n%s", body)
 	}
+	// Every cursor above was drained or closed, so no snapshot is
+	// still pinned.
+	if !strings.Contains(body, "maybms_snapshots_open 0") {
+		t.Errorf("metrics missing maybms_snapshots_open gauge:\n%s", body)
+	}
 }
 
 // TestStreamFirstBatchBeforeCompletion verifies per-batch flushing:
@@ -216,4 +225,50 @@ func TestStreamFirstBatchBeforeCompletion(t *testing.T) {
 	if n != 5000 || st.Err() != nil {
 		t.Fatalf("streamed %d rows, err %v", n, st.Err())
 	}
+}
+
+// TestStreamDeadlineClearedForKeepAlive is the regression for the
+// poisoned keep-alive connection: the stream handler sets a per-batch
+// write deadline on the underlying connection, and used to leave the
+// last one armed after the final frame — past the handler's return,
+// where it could cut off the response's terminating-chunk flush and
+// with it keep-alive reuse of the connection. Two requests on one raw
+// connection, with a pause longer than the stream write timeout in
+// between, must both succeed.
+func TestStreamDeadlineClearedForKeepAlive(t *testing.T) {
+	const timeout = 150 * time.Millisecond
+	base, mdb, _ := startServer(t, Options{StreamWriteTimeout: timeout})
+	mdb.MustExec(`create table nums (n int); insert into nums values (1), (2), (3)`)
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(base, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	send := func(path, sql string) *http.Response {
+		t.Helper()
+		body := fmt.Sprintf(`{"sql":%q}`, sql)
+		fmt.Fprintf(conn, "POST %s HTTP/1.1\r\nHost: maybms\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+			path, len(body), body)
+		resp, err := http.ReadResponse(br, nil)
+		if err != nil {
+			t.Fatalf("%s: reading response: %v (stream write deadline poisoned the connection?)", path, err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatalf("%s: draining response: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %s", path, resp.Status)
+		}
+		return resp
+	}
+
+	send("/v1/query/stream", "select n from nums order by n")
+	// Let the last per-batch deadline expire; a handler that forgot to
+	// clear it has now armed a bomb under the idle connection.
+	time.Sleep(3 * timeout)
+	send("/v1/query", "select n from nums limit 1")
 }

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"maybms/internal/schema"
+	"maybms/internal/urel"
+)
+
+// Snapshot is an immutable point-in-time view of a Table: a frozen
+// {rows, dead, live, uncert} quadruple that can be read — scanned,
+// batched, materialised — without any lock, long after the live table
+// has moved on. Taking one is O(1): the view aliases the table's
+// backing arrays, and the table's writers copy-on-write before any
+// in-place mutation (appends are fenced off by the view's slice
+// length). A snapshot therefore costs no memory of its own until a
+// writer actually mutates the shared prefix, at which point the old
+// arrays survive for as long as the snapshot does. Call Release when
+// done: once every snapshot of a table is released, writers reclaim
+// the shared arrays in place instead of copying. A released snapshot
+// must not be read.
+type Snapshot struct {
+	name     string
+	sch      *schema.Schema
+	rows     []urel.Tuple
+	dead     []bool
+	live     int
+	uncert   int
+	refs     *atomic.Int64
+	released atomic.Bool
+}
+
+// Snapshot returns an immutable view of the table's current state.
+// The caller must hold the engine lock covering this table for the
+// duration of the call (read or write); the returned view needs no
+// lock at all.
+func (t *Table) Snapshot() *Snapshot {
+	t.snapRefs.Add(1)
+	t.shared.Store(true)
+	n := len(t.rows)
+	return &Snapshot{
+		name: t.name,
+		sch:  t.sch,
+		// Full slice expressions clip capacity so even an append
+		// through the snapshot (there is none, but belt and braces)
+		// could not reach the table's spare capacity.
+		rows:   t.rows[:n:n],
+		dead:   t.dead[:n:n],
+		live:   t.live,
+		uncert: t.uncert,
+		refs:   &t.snapRefs,
+	}
+}
+
+// Release drops the snapshot's claim on the table's shared arrays;
+// idempotent, callable from any goroutine with no lock. After Release
+// the snapshot must not be read: a writer may mutate the arrays in
+// place once no open snapshot remains.
+func (s *Snapshot) Release() {
+	if s.released.CompareAndSwap(false, true) {
+		s.refs.Add(-1)
+	}
+}
+
+// Name returns the table name.
+func (s *Snapshot) Name() string { return s.name }
+
+// Schema returns the table schema. Callers must not mutate it.
+func (s *Snapshot) Schema() *schema.Schema { return s.sch }
+
+// Len reports the number of live rows at snapshot time.
+func (s *Snapshot) Len() int { return s.live }
+
+// Certain reports whether every live row was condition-free at
+// snapshot time.
+func (s *Snapshot) Certain() bool { return s.uncert == 0 }
+
+// Batches returns a pull iterator over the snapshot's live rows in
+// insertion order, exactly like Table.Batches — except it is valid
+// without any lock, indefinitely.
+func (s *Snapshot) Batches(sch *schema.Schema, size int) urel.Iterator {
+	if sch == nil {
+		sch = s.sch
+	}
+	return newTableIter(s.rows, s.dead, sch, size)
+}
+
+// ToRel materialises the snapshot's live rows as a U-relation (shared
+// tuples; the caller must not mutate them).
+func (s *Snapshot) ToRel() *urel.Rel {
+	r := urel.New(s.sch)
+	for i := range s.rows {
+		if s.dead[i] {
+			continue
+		}
+		r.Append(s.rows[i])
+	}
+	return r
+}

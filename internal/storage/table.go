@@ -10,6 +10,7 @@ package storage
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"maybms/internal/schema"
 	"maybms/internal/types"
@@ -20,6 +21,13 @@ import (
 type RowID int64
 
 // Table is a heap of conditioned tuples with a fixed schema.
+//
+// Snapshot hands out immutable views that alias the live rows/dead
+// slices; in-place mutation therefore goes through prepareWrite, which
+// copies the backing arrays the first time after a snapshot was taken
+// (copy-on-write). Pure appends (Insert) never need the copy: a
+// snapshot's slice length bounds what it can observe, and appends only
+// touch indexes beyond it.
 type Table struct {
 	name    string
 	sch     *schema.Schema
@@ -28,6 +36,17 @@ type Table struct {
 	live    int
 	uncert  int // live rows with a non-trivial condition
 	indexes map[string]*HashIndex
+	// shared is set when a Snapshot was handed out aliasing the
+	// current rows/dead arrays. It is atomic because snapshots are
+	// taken under the engine's shared read lock — concurrently with
+	// each other — while writers (who load and clear it) hold the
+	// exclusive lock.
+	shared atomic.Bool
+	// snapRefs counts this table's snapshots that are still open
+	// (Release not yet called). When it drops to zero a writer may
+	// reclaim the shared arrays in place instead of copying: closed
+	// snapshots must not be read, so nothing observes the mutation.
+	snapRefs atomic.Int64
 }
 
 // Certain reports whether every live row is condition-free, i.e. the
@@ -102,12 +121,41 @@ func (t *Table) Get(id RowID) (urel.Tuple, bool) {
 	return t.rows[id], true
 }
 
+// prepareWrite makes the row storage exclusively owned before an
+// in-place mutation: if a still-open snapshot may alias the backing
+// arrays, they are copied first so the snapshot keeps observing the
+// frozen state. When every snapshot of this table has been released,
+// the arrays are reclaimed in place — no copy — so only writes that
+// race an actually-open snapshot pay for divergence. Append-only
+// paths (Insert) skip this entirely: a snapshot's slice length
+// already fences it off from appended rows.
+func (t *Table) prepareWrite() {
+	if !t.shared.Load() {
+		return
+	}
+	if t.snapRefs.Load() == 0 {
+		// All aliasing snapshots are closed; by contract nothing reads
+		// them anymore, so the arrays are exclusively ours again.
+		// (A snapshot opened concurrently is impossible: snapshots are
+		// taken under the read lock, writers hold the exclusive lock.)
+		t.shared.Store(false)
+		return
+	}
+	rows := make([]urel.Tuple, len(t.rows))
+	copy(rows, t.rows)
+	dead := make([]bool, len(t.dead))
+	copy(dead, t.dead)
+	t.rows, t.dead = rows, dead
+	t.shared.Store(false)
+}
+
 // Delete tombstones a row. It returns the deleted tuple so the
 // transaction layer can undo.
 func (t *Table) Delete(id RowID) (urel.Tuple, error) {
 	if id < 0 || int(id) >= len(t.rows) || t.dead[id] {
 		return urel.Tuple{}, fmt.Errorf("table %s: no live row %d", t.name, id)
 	}
+	t.prepareWrite()
 	old := t.rows[id]
 	t.dead[id] = true
 	t.live--
@@ -125,6 +173,7 @@ func (t *Table) Undelete(id RowID) error {
 	if id < 0 || int(id) >= len(t.rows) || !t.dead[id] {
 		return fmt.Errorf("table %s: row %d is not dead", t.name, id)
 	}
+	t.prepareWrite()
 	t.dead[id] = false
 	t.live++
 	if len(t.rows[id].Cond) != 0 {
@@ -146,6 +195,7 @@ func (t *Table) Update(id RowID, tuple urel.Tuple) (urel.Tuple, error) {
 		return urel.Tuple{}, err
 	}
 	tuple.Data = data
+	t.prepareWrite()
 	old := t.rows[id]
 	t.rows[id] = tuple
 	if len(old.Cond) != 0 {
@@ -164,6 +214,7 @@ func (t *Table) Update(id RowID, tuple urel.Tuple) (urel.Tuple, error) {
 // Truncate removes every row, returning the removed tuples with ids
 // for undo.
 func (t *Table) Truncate() []RowWithID {
+	t.prepareWrite()
 	var out []RowWithID
 	for i := range t.rows {
 		if !t.dead[i] {
@@ -205,21 +256,27 @@ func (t *Table) Scan(fn func(id RowID, tuple urel.Tuple) error) error {
 // structs are copied out of the heap batch by batch, so tuples already
 // handed out cannot be reached by later in-place row updates; the Data
 // and Cond slices stay shared and immutable by convention. The
-// iterator reads live storage lazily — it is valid only while the
-// caller holds the engine lock covering this table.
+// iterator captures the heap's current extent at this call — it is
+// valid only while the caller holds the engine lock covering this
+// table (Snapshot().Batches streams without any lock).
 func (t *Table) Batches(sch *schema.Schema, size int) urel.Iterator {
 	if sch == nil {
 		sch = t.sch
 	}
+	return newTableIter(t.rows, t.dead, sch, size)
+}
+
+func newTableIter(rows []urel.Tuple, dead []bool, sch *schema.Schema, size int) *tableIter {
 	if size <= 0 {
 		size = urel.DefaultBatchSize
 	}
-	return &tableIter{t: t, sch: sch, size: size}
+	return &tableIter{rows: rows, dead: dead, sch: sch, size: size}
 }
 
-// tableIter walks a table's heap, skipping tombstones.
+// tableIter walks a captured row heap, skipping tombstones.
 type tableIter struct {
-	t    *Table
+	rows []urel.Tuple
+	dead []bool
 	sch  *schema.Schema
 	size int
 	pos  int
@@ -233,11 +290,11 @@ func (it *tableIter) Next() (*urel.Batch, error) {
 		return nil, io.EOF
 	}
 	b := &urel.Batch{Tuples: make([]urel.Tuple, 0, it.size)}
-	for ; it.pos < len(it.t.rows) && len(b.Tuples) < it.size; it.pos++ {
-		if it.t.dead[it.pos] {
+	for ; it.pos < len(it.rows) && len(b.Tuples) < it.size; it.pos++ {
+		if it.dead[it.pos] {
 			continue
 		}
-		b.Tuples = append(b.Tuples, it.t.rows[it.pos])
+		b.Tuples = append(b.Tuples, it.rows[it.pos])
 	}
 	if len(b.Tuples) == 0 {
 		it.done = true
@@ -266,10 +323,13 @@ func (t *Table) ToRel() *urel.Rel {
 // persistence. Callers must treat it as read-only.
 func (t *Table) Rows() ([]urel.Tuple, []bool) { return t.rows, t.dead }
 
-// LoadRows replaces table contents during database load.
+// LoadRows replaces table contents during database load. The backing
+// arrays are swapped wholesale, so an earlier snapshot keeps its old
+// view and the new storage starts exclusively owned.
 func (t *Table) LoadRows(rows []urel.Tuple, dead []bool) {
 	t.rows = rows
 	t.dead = dead
+	t.shared.Store(false)
 	t.live = 0
 	t.uncert = 0
 	for i := range rows {

@@ -1,0 +1,94 @@
+package ws
+
+import "testing"
+
+// TestFreezeObservesFreezeTimeState: a frozen view keeps reporting the
+// variables that existed at freeze time, while the live store grows.
+func TestFreezeObservesFreezeTimeState(t *testing.T) {
+	s := NewStore()
+	v1, _ := s.NewVar([]float64{0.2, 0.8})
+	frozen := s.Freeze()
+	v2, _ := s.NewVar([]float64{0.5, 0.5})
+	if frozen.NumVars() != 1 {
+		t.Errorf("frozen NumVars = %d, want 1", frozen.NumVars())
+	}
+	if frozen.Prob(v1, 1) != 0.2 {
+		t.Errorf("frozen Prob(v1,1) = %v", frozen.Prob(v1, 1))
+	}
+	if frozen.Prob(v2, 1) != 0 || frozen.DomainSize(v2) != 0 {
+		t.Error("frozen view observes a variable created after the freeze")
+	}
+	if s.NumVars() != 2 {
+		t.Errorf("live NumVars = %d, want 2", s.NumVars())
+	}
+}
+
+// TestRollbackDoesNotScribbleOnFrozenView is the regression for the
+// append-after-rollback aliasing bug: Rollback used to truncate the
+// length of probs but keep its capacity, so the next NewVar appended
+// in place — overwriting the slot a previously-taken Freeze view (or
+// any alias of the longer slice) still reads. Rollback must clip
+// capacity so the post-rollback append reallocates.
+func TestRollbackDoesNotScribbleOnFrozenView(t *testing.T) {
+	s := NewStore()
+	if _, err := s.NewVar([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	mark := s.Snapshot()
+	v, err := s.NewVar([]float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := s.Freeze()
+
+	s.Rollback(mark)
+	// The new variable reuses v's dense ID; without the capacity clip
+	// its append lands in the same backing slot frozen reads for v.
+	nv, err := s.NewVar([]float64{0.9, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != v {
+		t.Fatalf("expected ID reuse after rollback, got %d vs %d", nv, v)
+	}
+	if got := frozen.Prob(v, 1); got != 0.25 {
+		t.Errorf("frozen Prob(v,1) = %v, want 0.25: rollback+append scribbled over the snapshot", got)
+	}
+	if got := frozen.Prob(v, 2); got != 0.75 {
+		t.Errorf("frozen Prob(v,2) = %v, want 0.75", got)
+	}
+	if got := s.Prob(v, 1); got != 0.9 {
+		t.Errorf("live Prob(v,1) = %v, want 0.9", got)
+	}
+}
+
+// TestFrozenStoreRefusesMutation: the frozen view's immutability is
+// enforced by the type, not just by convention — a NewVar through a
+// stale snapshot would allocate IDs colliding with the live store's.
+func TestFrozenStoreRefusesMutation(t *testing.T) {
+	s := NewStore()
+	if _, err := s.NewVar([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	f := s.Freeze()
+	if _, err := f.NewVar([]float64{1}); err == nil {
+		t.Error("NewVar on a frozen store must fail")
+	}
+	for name, fn := range map[string]func(){
+		"Rollback": func() { f.Rollback(0) },
+		"Restore":  func() { f.Restore(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a frozen store must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// The live store is unaffected by its frozen views.
+	if _, err := s.NewVar([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,6 +35,10 @@ type ProbSource interface {
 type Store struct {
 	// probs[v][i] = P(v = i+1).
 	probs [][]float64
+	// frozen marks an immutable prefix snapshot (Freeze): mutators
+	// refuse to run so a stale view can never allocate variable IDs
+	// that collide with the live store's.
+	frozen bool
 }
 
 // NewStore returns an empty world-set store.
@@ -50,6 +54,9 @@ func (s *Store) NumVars() int { return len(s.probs) }
 // by repair-key over a weight column that does not sum to 1 after
 // normalisation is disabled. Most callers pass a normalised vector.
 func (s *Store) NewVar(probs []float64) (VarID, error) {
+	if s.frozen {
+		return -1, fmt.Errorf("ws: cannot create a variable in a frozen store snapshot")
+	}
 	if len(probs) == 0 {
 		return -1, fmt.Errorf("ws: variable needs at least one alternative")
 	}
@@ -102,11 +109,33 @@ func (s *Store) DomainSize(v VarID) int {
 // Snapshot captures the current variable count for later rollback.
 func (s *Store) Snapshot() int { return len(s.probs) }
 
-// Rollback discards all variables created after the snapshot.
+// Rollback discards all variables created after the snapshot. The
+// capacity is clipped along with the length: a plain s.probs[:snap]
+// would leave the discarded slots reachable, and the next NewVar's
+// append would scribble over entries that a Freeze view (or any alias
+// of the longer slice) still observes.
 func (s *Store) Rollback(snap int) {
-	if snap >= 0 && snap <= len(s.probs) {
-		s.probs = s.probs[:snap]
+	if s.frozen {
+		panic("ws: rollback on a frozen store snapshot")
 	}
+	if snap >= 0 && snap <= len(s.probs) {
+		s.probs = s.probs[:snap:snap]
+	}
+}
+
+// Freeze returns an immutable prefix snapshot of the store: a read-only
+// view of exactly the variables that exist now, safe to use from any
+// goroutine with no lock while the live store keeps growing. The view
+// aliases the live probability table, which is sound because variables
+// are append-only (per-variable domains are copied at NewVar and never
+// mutated), appends land beyond the view's length, and Rollback clips
+// capacity so post-rollback appends reallocate instead of overwriting
+// the shared prefix. The returned store refuses mutation: NewVar
+// errors, Rollback and Restore panic — a frozen view allocating IDs
+// would silently collide with the live store's.
+func (s *Store) Freeze() *Store {
+	n := len(s.probs)
+	return &Store{probs: s.probs[:n:n], frozen: true}
 }
 
 // Clone returns a deep copy of the store.
@@ -135,6 +164,9 @@ func (s *Store) Domains() [][]float64 {
 // Restore replaces the store contents with the given probability
 // table. Used when loading a persisted database.
 func (s *Store) Restore(domains [][]float64) {
+	if s.frozen {
+		panic("ws: restore on a frozen store snapshot")
+	}
 	s.probs = make([][]float64, len(domains))
 	for i, d := range domains {
 		cp := make([]float64, len(d))

@@ -234,13 +234,14 @@ func RowsFromRel(rel *urel.Rel) *Rows { return fromRel(rel) }
 // RowsCursor streams a query result batch by batch without ever
 // materialising it: the pipeline behind it pulls tuples from storage
 // on demand, so the first rows arrive before the scan completes and a
-// closed cursor stops all remaining work. While a cursor over a
-// read-only query is open it pins the database's shared read lock —
-// concurrent reads proceed, writers wait — so always Close it (Next
-// closes automatically at io.EOF or on error), and never execute ANY
-// statement on the goroutine holding an open cursor: once a writer
-// queues behind the cursor's lock, even a read from that goroutine
-// deadlocks against the waiting writer.
+// closed cursor stops all remaining work. A cursor over a read-only
+// query streams from a point-in-time snapshot of the database and
+// holds no lock: writers proceed while it is open, any statement may
+// run on the same goroutine mid-iteration, and the cursor keeps
+// observing the state as of QueryRows. The cost is memory — the
+// snapshot keeps the frozen rows reachable until the cursor is closed
+// (Next closes automatically at io.EOF or on error; defer Close on
+// every other path).
 type RowsCursor struct {
 	// Columns are the output column names.
 	Columns []string
@@ -251,10 +252,10 @@ type RowsCursor struct {
 }
 
 // QueryRows runs a single query statement and returns a streaming
-// cursor over its result. Read-only queries stream; queries containing
-// repair-key or pick-tuples (writes: they allocate world-set
-// variables) are executed to completion first and the cursor serves
-// the stored result.
+// cursor over its result. Read-only queries stream from a snapshot
+// captured at this call; queries containing repair-key or pick-tuples
+// (writes: they allocate world-set variables) are executed to
+// completion first and the cursor serves the stored result.
 func (d *DB) QueryRows(src string) (*RowsCursor, error) {
 	cur, err := d.inner.OpenQuery(src)
 	if err != nil {
@@ -310,7 +311,7 @@ func (c *RowsCursor) Next() (*Rows, error) {
 	return page, nil
 }
 
-// Close releases the cursor (and the read lock it pins); idempotent.
+// Close releases the cursor (and the snapshot it pins); idempotent.
 func (c *RowsCursor) Close() error { return c.cur.Close() }
 
 func toIface(v types.Value) interface{} {
