@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
@@ -48,12 +49,31 @@ func WithHTTPClient(c *http.Client) Option {
 	return func(d *DB) { d.http = c }
 }
 
+// newTransport builds the client's default transport, tuned for the
+// server's workload shape: bursts of parallel streaming queries open
+// many connections at once, and net/http's default of 2 idle
+// connections per host would close all but two the moment the burst
+// drains — the next burst then pays full connection setup again.
+// Generous idle limits keep the pool warm between bursts.
+func newTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        128,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	}
+}
+
 // Open connects to a MayBMS server at baseURL (e.g.
 // "http://localhost:8094") and opens a session.
 func Open(baseURL string, opts ...Option) (*DB, error) {
 	d := &DB{
 		base: strings.TrimRight(baseURL, "/"),
-		http: &http.Client{Timeout: 60 * time.Second},
+		http: &http.Client{Timeout: 60 * time.Second, Transport: newTransport()},
 	}
 	for _, o := range opts {
 		o(d)

@@ -1,0 +1,104 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"maybms"
+	"maybms/internal/server"
+)
+
+// startServer runs a MayBMS server on an httptest listener that counts
+// accepted TCP connections.
+func startServer(t *testing.T) (url string, conns *atomic.Int64, shutdown func()) {
+	t.Helper()
+	mdb := maybms.Open()
+	mdb.MustExec(`create table nums (n int)`)
+	for i := 0; i < 5; i++ {
+		mdb.MustExec(fmt.Sprintf(`insert into nums values (%d)`, i))
+	}
+	srv := server.New(mdb, server.Options{})
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	conns = &atomic.Int64{}
+	ts.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	return ts.URL, conns, func() {
+		ts.Close()
+		srv.Close()
+	}
+}
+
+// Sequential requests over one client must reuse a single pooled
+// connection: if keep-alive were broken (stale deadlines, transport
+// misconfiguration), every request would dial anew.
+func TestTransportReusesConnectionSequentially(t *testing.T) {
+	url, conns, shutdown := startServer(t)
+	defer shutdown()
+	db, err := Open(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := db.Query(`select n from nums order by n`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := conns.Load(); n != 1 {
+		t.Errorf("12 sequential queries dialled %d connections, want 1 (keep-alive reuse)", n)
+	}
+}
+
+// A burst of parallel streaming queries may open up to burst-size
+// connections, but the pool must keep them warm: a second burst of the
+// same size must not dial any new connection.
+func TestTransportSurvivesParallelStreamBursts(t *testing.T) {
+	url, conns, shutdown := startServer(t)
+	defer shutdown()
+	db, err := Open(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	burst := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rows, err := db.QueryRows(`select n from nums order by n`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer rows.Close()
+				for rows.Next() {
+				}
+				if err := rows.Err(); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	burst()
+	after := conns.Load()
+	if after > 9 { // session open + at most one conn per concurrent stream
+		t.Fatalf("first burst dialled %d connections, want <= 9", after)
+	}
+	burst()
+	if n := conns.Load(); n != after {
+		t.Errorf("second burst dialled %d new connections, want 0 (pool reuse)", n-after)
+	}
+}

@@ -21,6 +21,7 @@ func serveCmd(args []string) {
 	dbPath := fs.String("db", "", "snapshot file to load on start and save on shutdown")
 	maxSessions := fs.Int("max-sessions", 128, "maximum concurrently open sessions")
 	sessionIdle := fs.Duration("session-idle", 5*time.Minute, "idle timeout before a session (and its transaction) is dropped")
+	parallelism := fs.Int("parallelism", 0, "degree of intra-query parallelism (0 = GOMAXPROCS, 1 = serial); results are identical at every setting")
 	fs.Parse(args)
 
 	db := maybms.Open()
@@ -46,6 +47,7 @@ func serveCmd(args []string) {
 	srv := server.New(db, server.Options{
 		MaxSessions: *maxSessions,
 		SessionIdle: *sessionIdle,
+		Parallelism: *parallelism,
 	})
 	defer srv.Close()
 

@@ -1,0 +1,109 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"maybms/internal/conf/exact"
+	"maybms/internal/lineage"
+	"maybms/internal/ws"
+)
+
+// randomDNF builds a store and a DNF over it (helpers shared with the
+// existing accuracy tests would be nice, but the shapes differ enough
+// to keep this local).
+func seededDNF(t *testing.T, nvars, nclauses, width int) (*ws.Store, lineage.DNF) {
+	t.Helper()
+	st := ws.NewStore()
+	vars := make([]ws.VarID, nvars)
+	for i := range vars {
+		v, err := st.NewVar([]float64{0.3, 0.3, 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vars[i] = v
+	}
+	var d lineage.DNF
+	x := uint64(12345)
+	next := func(n int) int {
+		x = splitmix64(x)
+		return int(x % uint64(n))
+	}
+	for c := 0; c < nclauses; c++ {
+		lits := make([]lineage.Lit, 0, width)
+		seen := map[ws.VarID]bool{}
+		for len(lits) < width {
+			v := vars[next(nvars)]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			lits = append(lits, lineage.Lit{Var: v, Val: 1 + next(3)})
+		}
+		cond, ok := lineage.NewCond(lits...)
+		if !ok {
+			continue
+		}
+		d = append(d, cond)
+	}
+	return st, d
+}
+
+// The seeded estimator's whole point: identical bits at every worker
+// count, including the serial case.
+func TestConfSeededDeterministicAcrossWorkers(t *testing.T) {
+	st, d := seededDNF(t, 12, 30, 3)
+	base, err := ConfSeeded(d, st, 0.1, 0.1, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 16, 64} {
+		p, err := ConfSeeded(d, st, 0.1, 0.1, 42, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != base {
+			t.Fatalf("workers=%d: %v != serial %v — schedule leaked the worker count", workers, p, base)
+		}
+	}
+	// Different seeds must give different draws (overwhelmingly).
+	p2, err := ConfSeeded(d, st, 0.1, 0.1, 43, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == base {
+		t.Log("seed 42 and 43 coincided; suspicious but not impossible")
+	}
+}
+
+func TestConfSeededAccuracy(t *testing.T) {
+	st, d := seededDNF(t, 10, 20, 2)
+	want := exact.Prob(d, st)
+	for _, workers := range []int{1, 4} {
+		got, err := ConfSeeded(d, st, 0.05, 0.05, 7, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.05*want+1e-9 {
+			t.Errorf("workers=%d: aconf %v, exact %v (outside eps)", workers, got, want)
+		}
+	}
+}
+
+func TestConfSeededEdgeCases(t *testing.T) {
+	st := ws.NewStore()
+	if p, err := ConfSeeded(nil, st, 0.1, 0.1, 1, 4); err != nil || p != 0 {
+		t.Errorf("empty DNF: %v, %v", p, err)
+	}
+	// Tautology: a condition with no literals.
+	cond, _ := lineage.NewCond()
+	if p, err := ConfSeeded(lineage.DNF{cond}, st, 0.1, 0.1, 1, 4); err != nil || p != 1 {
+		t.Errorf("empty clause: %v, %v", p, err)
+	}
+	if _, err := ConfSeeded(nil, st, 1.5, 0.1, 1, 4); err == nil {
+		t.Error("bad eps accepted")
+	}
+	if _, err := ConfSeeded(nil, st, 0.1, 0, 1, 4); err == nil {
+		t.Error("bad delta accepted")
+	}
+}

@@ -36,14 +36,27 @@ type Request struct {
 	Method Method
 	// Eps, Delta configure Approximate; ignored otherwise.
 	Eps, Delta float64
-	// Rng drives the sampler; nil means a deterministic default.
+	// Rng drives the sampler when no seed is given; nil means a
+	// deterministic default.
 	Rng *rand.Rand
+	// Seed (valid when HasSeed) selects the strand-partitioned sampler
+	// (approx.ConfSeeded): trial outcomes are fixed by the seed and
+	// Workers goroutines merely compute them, so the estimate is
+	// byte-identical at every worker count.
+	Seed    int64
+	HasSeed bool
+	// Workers is the sampling parallelism for the seeded path; <= 1
+	// samples on the calling goroutine.
+	Workers int
 }
 
 // Compute returns P(d) using the requested method.
 func Compute(d lineage.DNF, src ws.ProbSource, req Request) (float64, error) {
 	switch req.Method {
 	case Approximate:
+		if req.HasSeed {
+			return approx.ConfSeeded(d, src, req.Eps, req.Delta, req.Seed, req.Workers)
+		}
 		return approx.Conf(d, src, req.Eps, req.Delta, req.Rng)
 	case Exact:
 		return exact.Prob(d, src), nil

@@ -17,6 +17,8 @@
 package exact
 
 import (
+	"sort"
+
 	"maybms/internal/lineage"
 	"maybms/internal/ws"
 )
@@ -119,16 +121,22 @@ func (s *Solver) prob(d lineage.DNF) float64 {
 // eliminate applies Shannon expansion over the chosen variable.
 func (s *Solver) eliminate(d lineage.DNF) float64 {
 	x := s.chooseVar(d)
-	// Collect the alternatives of x that the DNF mentions.
+	// Collect the alternatives of x that the DNF mentions, in sorted
+	// order: float addition is not associative, so summing in map
+	// iteration order would make the last bits of conf() vary from run
+	// to run, breaking the engine's byte-identical-results contract.
 	mentioned := map[int]bool{}
+	var vals []int
 	for _, c := range d {
-		if v, ok := c.Lookup(x); ok {
+		if v, ok := c.Lookup(x); ok && !mentioned[v] {
 			mentioned[v] = true
+			vals = append(vals, v)
 		}
 	}
+	sort.Ints(vals)
 	total := 0.0
 	coveredProb := 0.0
-	for v := range mentioned {
+	for _, v := range vals {
 		pv := s.src.Prob(x, v)
 		coveredProb += pv
 		if pv == 0 {

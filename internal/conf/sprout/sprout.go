@@ -13,6 +13,8 @@
 package sprout
 
 import (
+	"sort"
+
 	"maybms/internal/conf/exact"
 	"maybms/internal/lineage"
 	"maybms/internal/ws"
@@ -58,12 +60,22 @@ func factor(d lineage.DNF, src ws.ProbSource) (float64, bool) {
 	// values are mutually exclusive events (exclusive union); within a
 	// value, x=v factors out of the sub-DNF (independent-AND).
 	byVal := map[int]lineage.DNF{}
+	var vals []int
 	for _, c := range d {
 		v, _ := c.Lookup(x)
+		if _, ok := byVal[v]; !ok {
+			vals = append(vals, v)
+		}
 		byVal[v] = append(byVal[v], c.Without(x))
 	}
+	// Sum in sorted value order: float addition is not associative, so
+	// map iteration order would make the last bits of conf() vary from
+	// run to run — and byte-identical results across runs (and across
+	// degrees of parallelism) are part of the engine's contract.
+	sort.Ints(vals)
 	total := 0.0
-	for v, sub := range byVal {
+	for _, v := range vals {
+		sub := byVal[v]
 		pv := src.Prob(x, v)
 		if pv == 0 {
 			continue

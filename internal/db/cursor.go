@@ -65,7 +65,7 @@ func (d *Database) OpenQueryStmt(qs *sql.QueryStmt) (*Cursor, error) {
 		}
 		return NewRelCursor(res.Rel), nil
 	}
-	snap := d.Snapshot()
+	snap := d.SnapshotFor(qs)
 	n, err := plan.Build(qs.Query, snap)
 	if err != nil {
 		snap.Close()

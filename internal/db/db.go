@@ -7,6 +7,7 @@ package db
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"maybms/internal/conf"
 	"maybms/internal/exec"
+	"maybms/internal/exec/parallel"
 	"maybms/internal/plan"
 	"maybms/internal/schema"
 	"maybms/internal/sql"
@@ -62,13 +64,17 @@ type Result struct {
 	Msg string
 }
 
-// New creates an empty database.
+// New creates an empty database. Intra-query parallelism defaults to
+// GOMAXPROCS — results are byte-identical at every degree, so the
+// default costs nothing but wall-clock time saved.
 func New() *Database {
 	d := &Database{
 		tables: map[string]*storage.Table{},
 		store:  ws.NewStore(),
 	}
 	d.exec = exec.New(d, d.store)
+	d.exec.Parallelism = runtime.GOMAXPROCS(0)
+	d.exec.Stats = &parallel.Stats{}
 	return d
 }
 
@@ -82,27 +88,53 @@ func (d *Database) SetConfMethod(m conf.Method) {
 	d.exec.ConfMethod = m
 }
 
-// SetSeed reseeds the random source driving Monte Carlo estimation.
-// The installed source is internally locked, so concurrent read-only
-// aconf() queries may share it safely.
+// SetSeed installs seed as the root of Monte Carlo estimation: every
+// subsequent aconf() derives its own strand-partitioned trial stream
+// from it, so approximate results are reproducible and independent of
+// the degree of parallelism.
 func (d *Database) SetSeed(seed int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.exec.Rng = exec.NewLockedRand(seed)
+	d.exec.Reseed(seed)
 }
 
 // SetRng injects the random source driving Monte Carlo estimation.
-// Unlike SetSeed, the caller's source is used as-is; unless it is
-// internally synchronised, concurrent aconf() queries will race on
-// it. Prefer SetSeed. A nil r restores the locked default source.
+// Unlike SetSeed, the caller's source is used as-is and sequentially:
+// aconf() falls back to the single-stream sampler, and unless the
+// source is internally synchronised, concurrent aconf() queries will
+// race on it. Prefer SetSeed. A nil r restores the seeded default.
 func (d *Database) SetRng(r *rand.Rand) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if r == nil {
-		r = exec.NewLockedRand(1)
+		d.exec.Reseed(1)
+		return
 	}
 	d.exec.Rng = r
+	d.exec.SeedValid = false
 }
+
+// SetParallelism sets the degree of intra-query parallelism: how many
+// partitions a parallelisable pipeline fragment is split into, and how
+// many workers evaluate aconf()'s sampling schedule. n < 1 (and n ==
+// 1) executes serially. Results are byte-identical at every setting.
+func (d *Database) SetParallelism(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.exec.Parallelism = n
+}
+
+// Parallelism reports the configured degree of intra-query
+// parallelism.
+func (d *Database) Parallelism() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.exec.Parallelism
+}
+
+// ParallelStats exposes the engine's exchange counters (shared by the
+// live executor and every snapshot executor), for metrics endpoints.
+func (d *Database) ParallelStats() *parallel.Stats { return d.exec.Stats }
 
 // TableNames lists the stored tables in sorted order.
 func (d *Database) TableNames() []string {
@@ -167,6 +199,28 @@ func (d *Database) TableBatches(name string, size int) (urel.Iterator, error) {
 	return t.Batches(nil, size), nil
 }
 
+// TablePartBatches implements exec.PartitionCatalog over live storage:
+// a streaming scan of one contiguous row-range shard. Like
+// TableBatches it is valid only inside the statement's lock scope —
+// the executor's exchange pulls the shards from worker goroutines, but
+// always strictly within the statement call that holds the lock.
+func (d *Database) TablePartBatches(name string, part, nparts, size int) (urel.Iterator, error) {
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", name)
+	}
+	return t.PartBatches(nil, part, nparts, size), nil
+}
+
+// TableLen implements exec.PartitionCatalog.
+func (d *Database) TableLen(name string) (int, error) {
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("db: table %q does not exist", name)
+	}
+	return t.Len(), nil
+}
+
 // Run parses and executes a script of one or more statements,
 // returning the result of the last one.
 func (d *Database) Run(src string) (*Result, error) {
@@ -203,11 +257,13 @@ func (d *Database) RunStatement(s sql.Statement) (*Result, error) {
 }
 
 // runRead executes a statement already classified read-only against a
-// snapshot captured under a momentary read lock. Execution itself
-// holds no lock, so a slow confidence computation (or a caller holding
-// its result) never stalls writers.
+// snapshot captured under a momentary read lock and scoped to the
+// tables the statement references. Execution itself holds no lock, so
+// a slow confidence computation (or a caller holding its result) never
+// stalls writers — and writers pay copy-on-write only for tables this
+// statement can actually read.
 func (d *Database) runRead(s sql.Statement) (*Result, error) {
-	snap := d.Snapshot()
+	snap := d.SnapshotFor(s)
 	defer snap.Close()
 	switch s := s.(type) {
 	case *sql.QueryStmt:
@@ -339,7 +395,7 @@ func (d *Database) QueryRel(src string, materialised bool) (*urel.Rel, error) {
 		return nil, fmt.Errorf("db: QueryRel requires a query statement, got %T", stmts[0])
 	}
 	if sql.ReadOnly(qs) {
-		snap := d.Snapshot()
+		snap := d.SnapshotFor(qs)
 		defer snap.Close()
 		if !materialised {
 			return snap.Query(qs.Query)

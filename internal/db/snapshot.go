@@ -29,13 +29,11 @@ import (
 // repair-key / pick-tuples allocate world-set variables, which a
 // frozen store must never do.
 //
-// A snapshot currently spans every table, so while one is open a
-// writer's first in-place mutation of ANY table copies that table's
-// arrays, even if no open snapshot reads it. Scoping the capture to
-// the tables a statement references (an AST walk mirroring
-// sql.QueryReadOnly) would avoid that; it is the natural next step on
-// this seam, kept out of this change so a missed reference cannot
-// break reads.
+// SnapshotFor scopes the capture to the tables the statement
+// references (sql.StatementTables): while such a snapshot is open, a
+// writer pays copy-on-write only on tables the statement can read —
+// mutations of every other table proceed in place. Snapshot captures
+// all tables, for callers without a statement to scope by.
 type Snapshot struct {
 	tables map[string]*storage.Snapshot
 	store  *ws.Store // frozen prefix view (ws.Store.Freeze)
@@ -52,23 +50,54 @@ type Snapshot struct {
 // gauge count and memory, never a lock.
 func (d *Database) Snapshot() *Snapshot {
 	d.mu.RLock()
-	s := d.snapshotLocked()
+	s := d.snapshotLocked(nil)
 	d.mu.RUnlock()
 	return s
 }
 
+// SnapshotFor captures a point-in-time view scoped to the tables
+// statement s references. When the reference analysis cannot account
+// for every construct, the snapshot conservatively spans all tables —
+// scoping is an optimisation for writers, never a correctness risk
+// for the reader: a table missing from a complete walk is one the
+// statement cannot name, and naming it anyway fails at plan time with
+// the same "does not exist" it would get after a DROP.
+func (d *Database) SnapshotFor(s sql.Statement) *Snapshot {
+	names, complete := sql.StatementTables(s)
+	d.mu.RLock()
+	snap := d.snapshotLocked(scopeSet(names, complete))
+	d.mu.RUnlock()
+	return snap
+}
+
+// scopeSet turns the walker's result into a capture filter; nil means
+// capture everything.
+func scopeSet(names []string, complete bool) map[string]bool {
+	if !complete {
+		return nil
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
+}
+
 // snapshotLocked captures the snapshot; the caller holds d.mu (read or
-// write).
-func (d *Database) snapshotLocked() *Snapshot {
+// write). scope limits the captured tables (nil = all).
+func (d *Database) snapshotLocked(scope map[string]bool) *Snapshot {
 	s := &Snapshot{
 		tables: make(map[string]*storage.Snapshot, len(d.tables)),
 		store:  d.store.Freeze(),
 		db:     d,
 	}
 	for n, t := range d.tables {
+		if scope != nil && !scope[n] {
+			continue
+		}
 		s.tables[n] = t.Snapshot()
 	}
-	s.exec = &exec.Executor{Cat: s, Store: s.store, Rng: d.exec.Rng, ConfMethod: d.exec.ConfMethod}
+	s.exec = d.exec.Fork(s, s.store)
 	d.snapsOpen.Add(1)
 	return s
 }
@@ -134,6 +163,27 @@ func (s *Snapshot) TableBatches(name string, size int) (urel.Iterator, error) {
 		return nil, err
 	}
 	return t.Batches(nil, size), nil
+}
+
+// TablePartBatches implements exec.PartitionCatalog: a streaming scan
+// over one contiguous row-range shard of the frozen heap. The shards
+// are pulled concurrently by exchange workers, which is safe with no
+// lock precisely because the heap is frozen.
+func (s *Snapshot) TablePartBatches(name string, part, nparts, size int) (urel.Iterator, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.PartBatches(nil, part, nparts, size), nil
+}
+
+// TableLen implements exec.PartitionCatalog.
+func (s *Snapshot) TableLen(name string) (int, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return 0, err
+	}
+	return t.Len(), nil
 }
 
 // Query plans and runs a read-only query against the snapshot,

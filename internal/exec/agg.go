@@ -105,6 +105,14 @@ func (e *Executor) aggregateGroup(n *plan.Aggregate, ctx *plan.EvalCtx, g *group
 			req := conf.Request{Method: e.ConfMethod, Rng: e.rng()}
 			if spec.Kind == plan.AggAconf {
 				req = conf.Request{Method: conf.Approximate, Eps: spec.Eps, Delta: spec.Delta, Rng: e.rng()}
+				if e.SeedValid {
+					// Strand-partitioned sampling: the derived seed fixes
+					// the trial outcomes and Workers only distributes
+					// them, so results are byte-identical at every degree
+					// of parallelism.
+					req.Seed, req.HasSeed = e.nextConfSeed(), true
+					req.Workers = e.dop()
+				}
 			}
 			p, err := conf.Compute(event, e.Store, req)
 			if err != nil {

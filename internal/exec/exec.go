@@ -12,8 +12,10 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"maybms/internal/conf"
+	"maybms/internal/exec/parallel"
 	"maybms/internal/lineage"
 	"maybms/internal/plan"
 	"maybms/internal/schema"
@@ -26,19 +28,84 @@ import (
 type Executor struct {
 	Cat   plan.Catalog
 	Store *ws.Store
-	// Rng drives Monte Carlo confidence computation; nil means a
+	// Rng drives Monte Carlo confidence computation when no root seed
+	// is installed (SetRng with a caller-owned source); nil means a
 	// deterministic default source.
 	Rng *rand.Rand
 	// ConfMethod is the strategy behind conf(); Auto (SPROUT with
 	// d-tree fallback) unless overridden.
 	ConfMethod conf.Method
+	// Parallelism is the degree of intra-query parallelism: pipeline
+	// fragments over tables of at least MinPartitionRows rows compile
+	// to an exchange over this many partitions, and aconf's Monte
+	// Carlo sampling runs this many workers. 0 or 1 executes serially.
+	// Results are byte-identical at every setting.
+	Parallelism int
+	// MinPartitionRows is the smallest table worth partitioning; 0
+	// means DefaultMinPartitionRows. Tests lower it to force exchanges
+	// over small corpora.
+	MinPartitionRows int
+	// Stats, when non-nil, aggregates exchange activity (shared across
+	// the engine's executors; surfaced as server metrics).
+	Stats *parallel.Stats
+	// Seed is the root seed behind aconf's strand-partitioned Monte
+	// Carlo sampling; each aconf call derives its own stream from it.
+	// Valid only while SeedValid — SetRng installs a caller-owned
+	// source instead and clears it.
+	Seed      int64
+	SeedValid bool
+	// confCalls numbers the aconf invocations of this executor, so each
+	// derives a distinct, reproducible seed. The engine hands every
+	// read-only statement a fresh executor (via Fork), which restarts
+	// the numbering and makes per-statement results reproducible.
+	confCalls atomic.Uint64
 }
 
 // New returns an executor with default settings. The default random
 // source is internally locked so read-only queries running in parallel
 // (the database's shared-lock path) may draw from it concurrently.
 func New(cat plan.Catalog, store *ws.Store) *Executor {
-	return &Executor{Cat: cat, Store: store, Rng: NewLockedRand(1)}
+	return &Executor{Cat: cat, Store: store, Rng: NewLockedRand(1), Seed: 1, SeedValid: true}
+}
+
+// Fork returns a fresh executor with this executor's configuration
+// (seed, parallelism, confidence method, stats sink) bound to another
+// catalog and store — how the engine equips each snapshot with an
+// executor. The aconf call numbering restarts at zero, so a statement
+// always draws the same Monte Carlo streams no matter what ran before
+// it.
+func (e *Executor) Fork(cat plan.Catalog, store *ws.Store) *Executor {
+	return &Executor{
+		Cat:              cat,
+		Store:            store,
+		Rng:              e.Rng,
+		ConfMethod:       e.ConfMethod,
+		Parallelism:      e.Parallelism,
+		MinPartitionRows: e.MinPartitionRows,
+		Stats:            e.Stats,
+		Seed:             e.Seed,
+		SeedValid:        e.SeedValid,
+	}
+}
+
+// Reseed installs seed as the root of every subsequent Monte Carlo
+// stream and resets the call numbering, making approximate confidence
+// results reproducible from this point.
+func (e *Executor) Reseed(seed int64) {
+	e.Seed = seed
+	e.SeedValid = true
+	e.Rng = NewLockedRand(seed)
+	e.confCalls.Store(0)
+}
+
+// nextConfSeed derives the seed of the next aconf invocation from the
+// root seed (splitmix64 of root and call index: well-mixed, cheap, and
+// stable across platforms).
+func (e *Executor) nextConfSeed() int64 {
+	z := uint64(e.Seed) + 0x9e3779b97f4a7c15*(e.confCalls.Add(1))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // lockedSource serialises access to a rand.Source64 so a single

@@ -34,8 +34,13 @@ type BatchCatalog interface {
 
 // Open compiles a plan into a streaming iterator. The caller must
 // Close the iterator; pulling it to exhaustion with urel.Drain yields
-// exactly the rows Run materialises.
+// exactly the rows Run materialises — including when a subtree
+// compiles to a parallel exchange, whose order-preserving merge keeps
+// the output byte-identical to the serial pipeline.
 func (e *Executor) Open(n plan.Node) (urel.Iterator, error) {
+	if it, ok, err := e.openParallel(n); ok || err != nil {
+		return it, err
+	}
 	switch n := n.(type) {
 	case *plan.Scan:
 		return e.openScan(n)

@@ -1,0 +1,176 @@
+// Package parallel implements the Volcano-style exchange operator
+// behind MayBMS's partitioned parallel execution: a bounded pool of
+// partition workers, each running an independent pipeline fragment
+// over one row-range shard of a table, merged deterministically.
+//
+// The merge is order-preserving by construction: partition p's batches
+// are emitted before partition p+1's, and partitions are contiguous
+// row ranges, so the exchange's output is byte-identical to the serial
+// pipeline's — every downstream operator (sort, limit, aggregation,
+// confidence computation) sees exactly the rows, in exactly the order,
+// it would have seen without parallelism. Parallelism is therefore a
+// pure execution-strategy choice, never a semantics choice, which is
+// what makes "compare parallel against serial byte for byte" a
+// testable invariant rather than a tolerance.
+package parallel
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"maybms/internal/schema"
+	"maybms/internal/urel"
+)
+
+// QueueDepth is how many batches each partition worker may run ahead
+// of the merge before blocking: deep enough to decouple producer and
+// consumer, shallow enough to bound memory at
+// nparts × QueueDepth × batch tuples.
+const QueueDepth = 4
+
+// Stats aggregates exchange activity across an engine, surfaced as
+// server metrics.
+type Stats struct {
+	// Exchanges counts exchange operators opened (one per parallelised
+	// pipeline fragment; a query can open several).
+	Exchanges atomic.Int64
+	// Partitions counts partition pipelines run across all exchanges.
+	Partitions atomic.Int64
+	// WorkersBusy gauges partition workers currently running.
+	WorkersBusy atomic.Int64
+}
+
+// msg is one hand-off from a partition worker to the merge: a batch,
+// or the partition's terminal status (io.EOF for clean exhaustion).
+type msg struct {
+	b   *urel.Batch
+	err error
+}
+
+// partStream is one partition worker's output queue.
+type partStream struct {
+	ch   chan msg
+	stop chan struct{}
+}
+
+// Exchange runs nparts pipeline fragments concurrently and merges
+// their batches preserving partition order. It implements
+// urel.Iterator; like every iterator it is pulled from a single
+// goroutine, while its partition workers run on their own goroutines.
+// Close stops the workers and waits for them to exit, so resources the
+// fragments read (a snapshot's frozen arrays) may be released the
+// moment Close returns.
+type Exchange struct {
+	sch    *schema.Schema
+	parts  []*partStream
+	wg     sync.WaitGroup
+	cur    int
+	closed bool
+	done   bool
+}
+
+// New starts an exchange over nparts partitions. open is invoked once
+// per partition from that partition's worker goroutine and must
+// return the partition's pipeline fragment; fragments must not share
+// mutable state. stats may be nil.
+func New(sch *schema.Schema, nparts int, stats *Stats, open func(part int) (urel.Iterator, error)) *Exchange {
+	if nparts < 1 {
+		nparts = 1
+	}
+	ex := &Exchange{sch: sch, parts: make([]*partStream, nparts)}
+	if stats != nil {
+		stats.Exchanges.Add(1)
+		stats.Partitions.Add(int64(nparts))
+	}
+	for p := 0; p < nparts; p++ {
+		ps := &partStream{ch: make(chan msg, QueueDepth), stop: make(chan struct{})}
+		ex.parts[p] = ps
+		ex.wg.Add(1)
+		go func(p int, ps *partStream) {
+			defer ex.wg.Done()
+			if stats != nil {
+				stats.WorkersBusy.Add(1)
+				defer stats.WorkersBusy.Add(-1)
+			}
+			ps.run(p, open)
+		}(p, ps)
+	}
+	return ex
+}
+
+// run produces one partition's batches until exhaustion, error, or
+// stop. The terminal message carries io.EOF or the error.
+func (ps *partStream) run(part int, open func(part int) (urel.Iterator, error)) {
+	it, err := open(part)
+	if err != nil {
+		ps.send(msg{err: err})
+		return
+	}
+	defer it.Close()
+	for {
+		b, err := it.Next()
+		if err != nil {
+			ps.send(msg{err: err}) // io.EOF included
+			return
+		}
+		if !ps.send(msg{b: b}) {
+			return // exchange closed; stop producing
+		}
+	}
+}
+
+// send enqueues m unless the exchange has been closed.
+func (ps *partStream) send(m msg) bool {
+	select {
+	case ps.ch <- m:
+		return true
+	case <-ps.stop:
+		return false
+	}
+}
+
+// Sch is the output schema.
+func (ex *Exchange) Sch() *schema.Schema { return ex.sch }
+
+// Next returns the next batch in partition order: partition 0 to
+// exhaustion, then partition 1, and so on. A partition error tears the
+// exchange down and surfaces as the iterator's error.
+func (ex *Exchange) Next() (*urel.Batch, error) {
+	if ex.done {
+		return nil, io.EOF
+	}
+	for ex.cur < len(ex.parts) {
+		m := <-ex.parts[ex.cur].ch
+		switch {
+		case m.err == io.EOF:
+			ex.cur++
+		case m.err != nil:
+			ex.Close()
+			return nil, m.err
+		default:
+			return m.b, nil
+		}
+	}
+	ex.done = true
+	return nil, io.EOF
+}
+
+// Close stops every partition worker and blocks until all have exited
+// (releasing their fragment iterators), so the storage under the
+// fragments is quiescent when Close returns. Idempotent.
+func (ex *Exchange) Close() error {
+	if ex.closed {
+		return nil
+	}
+	ex.closed = true
+	ex.done = true
+	for _, ps := range ex.parts {
+		close(ps.stop)
+	}
+	// Workers blocked on a full queue were released by stop; workers
+	// mid-batch finish it, fail the send, and exit. Drain nothing:
+	// send's select makes delivery and stop race-free.
+	ex.wg.Wait()
+	return nil
+}

@@ -46,7 +46,19 @@ type EvalCtx struct {
 type Compiled struct {
 	eval func(ctx *EvalCtx, row schema.Tuple) (types.Value, error)
 	kind types.Kind
+	// shareable marks an expression whose evaluation closures keep no
+	// mutable state, so one Compiled may be evaluated concurrently from
+	// several goroutines. Subquery expressions (IN (...), EXISTS)
+	// memoise their subquery's result on first evaluation and are not
+	// shareable.
+	shareable bool
 }
+
+// Shareable reports whether this expression may be evaluated
+// concurrently from several goroutines sharing the one Compiled. The
+// parallel executor refuses to partition a pipeline whose expressions
+// are not shareable.
+func (c *Compiled) Shareable() bool { return c.shareable }
 
 // Eval evaluates the expression on a row.
 func (c *Compiled) Eval(ctx *EvalCtx, row schema.Tuple) (types.Value, error) {
@@ -63,9 +75,62 @@ func Compile(e sql.Expr, sch *schema.Schema) (*Compiled, error) {
 	return compile(e, sch, nil)
 }
 
-// compileWithPlanner allows subquery expressions; planSub plans a
-// query appearing inside the expression.
+// compile allows subquery expressions; planSub plans a query appearing
+// inside the expression. It stamps the result's shareability from the
+// source AST — the closures built below keep mutable state only for
+// subquery memoisation.
 func compile(e sql.Expr, sch *schema.Schema, planSub func(q sql.Query) (Node, error)) (*Compiled, error) {
+	c, err := compile1(e, sch, planSub)
+	if err != nil {
+		return nil, err
+	}
+	c.shareable = exprShareable(e)
+	return c, nil
+}
+
+// exprShareable reports whether a compiled form of e keeps no mutable
+// evaluation state (see Compiled.Shareable). Unknown forms are
+// conservatively unshareable.
+func exprShareable(e sql.Expr) bool {
+	switch e := e.(type) {
+	case nil, sql.Lit, sql.ColRef:
+		return true
+	case *sql.Unary:
+		return exprShareable(e.E)
+	case *sql.Binary:
+		return exprShareable(e.L) && exprShareable(e.R)
+	case *sql.IsNull:
+		return exprShareable(e.E)
+	case *sql.Between:
+		return exprShareable(e.E) && exprShareable(e.Lo) && exprShareable(e.Hi)
+	case *sql.Cast:
+		return exprShareable(e.E)
+	case *sql.InList:
+		if !exprShareable(e.E) {
+			return false
+		}
+		for _, x := range e.List {
+			if !exprShareable(x) {
+				return false
+			}
+		}
+		return true
+	case *sql.FuncCall:
+		for _, a := range e.Args {
+			if !exprShareable(a) {
+				return false
+			}
+		}
+		return true
+	case *sql.InSubquery, *sql.Exists:
+		// Memoise their subquery result lazily in the closure.
+		return false
+	default:
+		return false
+	}
+}
+
+func compile1(e sql.Expr, sch *schema.Schema, planSub func(q sql.Query) (Node, error)) (*Compiled, error) {
 	switch e := e.(type) {
 	case sql.Lit:
 		v := e.Val

@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"testing"
+
+	"maybms/internal/schema"
+	"maybms/internal/sql"
+	"maybms/internal/types"
+)
+
+// Shareability gates the parallel executor: expressions whose closures
+// memoise subquery results must never be evaluated concurrently.
+func TestCompiledShareable(t *testing.T) {
+	sch := schema.New(
+		schema.Column{Name: "a", Kind: types.KindInt},
+		schema.Column{Name: "s", Kind: types.KindText},
+	)
+	parse := func(src string) sql.Expr {
+		t.Helper()
+		stmts, err := sql.ParseAll("select 1 from t where " + src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		return stmts[0].(*sql.QueryStmt).Query.(*sql.Select).Where
+	}
+	shareable := []string{
+		`a > 3`,
+		`a % 7 = 3 and not (a = 5)`,
+		`a between 1 and 9 or s like 'x%'`,
+		`a in (1, 2, 3)`,
+		`coalesce(a, 0) + abs(a) > length(s)`,
+		`cast(a as float) < 2.5`,
+		`s is not null`,
+	}
+	for _, src := range shareable {
+		c, err := Compile(parse(src), sch)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		if !c.Shareable() {
+			t.Errorf("%q: want shareable", src)
+		}
+	}
+
+	// Subquery expressions need the builder's planSub hook; compile via
+	// a full plan build against the planner test catalog and inspect
+	// the filter.
+	for _, src := range []string{
+		`select a from r where a in (select b from s) and a > 0`,
+		`select a from r where exists (select b from s where b = 1)`,
+	} {
+		stmts, err := sql.ParseAll(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := Build(stmts[0].(*sql.QueryStmt).Query, testCatalog())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !findUnshareableFilter(n) {
+			t.Errorf("%q: subquery predicate compiled shareable; concurrent evaluation would race on its memoised state", src)
+		}
+	}
+}
+
+// findUnshareableFilter walks the plan for a Filter whose predicate is
+// not shareable.
+func findUnshareableFilter(n Node) bool {
+	switch n := n.(type) {
+	case *Filter:
+		if !n.Pred.Shareable() {
+			return true
+		}
+		return findUnshareableFilter(n.In)
+	case *Project:
+		return findUnshareableFilter(n.In)
+	case *Rename:
+		return findUnshareableFilter(n.In)
+	case *Limit:
+		return findUnshareableFilter(n.In)
+	case *SemiJoinIn:
+		return findUnshareableFilter(n.In)
+	default:
+		return false
+	}
+}

@@ -56,6 +56,10 @@ type Options struct {
 	// resource bound: a stalled client never blocks writers — cursors
 	// stream from snapshots — it just pins snapshot memory.
 	StreamWriteTimeout time.Duration
+	// Parallelism, when non-zero, sets the engine's degree of
+	// intra-query parallelism (maybms.Options.Parallelism); zero
+	// leaves the engine's configuration untouched.
+	Parallelism int
 }
 
 func (o *Options) fill() {
@@ -120,6 +124,9 @@ type Server struct {
 // same engine locks.
 func New(mdb *maybms.DB, opts Options) *Server {
 	opts.fill()
+	if opts.Parallelism != 0 {
+		mdb.SetParallelism(opts.Parallelism)
+	}
 	s := &Server{
 		db:       mdb,
 		eng:      mdb.Engine(),
@@ -650,4 +657,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "maybms_statements_total{kind=\"read\"} %d\n", s.readStmtsTotal.Load())
 	fmt.Fprintf(w, "maybms_statements_total{kind=\"write\"} %d\n", s.writeStmtsTotal.Load())
 	fmt.Fprintf(w, "maybms_errors_total %d\n", s.errorsTotal.Load())
+	par := s.eng.ParallelStats()
+	fmt.Fprintf(w, "maybms_parallelism_degree %d\n", s.eng.Parallelism())
+	fmt.Fprintf(w, "maybms_parallel_queries_total %d\n", par.Exchanges.Load())
+	fmt.Fprintf(w, "maybms_parallel_partitions_total %d\n", par.Partitions.Load())
+	fmt.Fprintf(w, "maybms_parallel_workers_busy %d\n", par.WorkersBusy.Load())
 }

@@ -464,10 +464,22 @@ func TestHealthzAndMetrics(t *testing.T) {
 		`maybms_requests_total{endpoint="query"} 1`,
 		`maybms_statements_total{kind="read"} 1`,
 		"maybms_uptime_seconds",
+		"maybms_parallelism_degree",
+		"maybms_parallel_queries_total",
+		"maybms_parallel_partitions_total",
+		"maybms_parallel_workers_busy 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, body)
 		}
+	}
+}
+
+// The server's parallelism option reaches the engine.
+func TestServerParallelismOption(t *testing.T) {
+	_, mdb, _ := startServer(t, Options{Parallelism: 3})
+	if got := mdb.Parallelism(); got != 3 {
+		t.Errorf("engine parallelism = %d, want 3", got)
 	}
 }
 

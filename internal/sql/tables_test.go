@@ -1,0 +1,75 @@
+package sql
+
+import (
+	"sort"
+	"testing"
+)
+
+func stmtTables(t *testing.T, src string) ([]string, bool) {
+	t.Helper()
+	stmts, err := ParseAll(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if len(stmts) != 1 {
+		t.Fatalf("parse %q: got %d statements", src, len(stmts))
+	}
+	names, ok := StatementTables(stmts[0])
+	sort.Strings(names)
+	return names, ok
+}
+
+func TestStatementTables(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{`select * from r`, []string{"r"}},
+		{`select * from R`, []string{"r"}},
+		{`select a from r, s where r.a = s.a`, []string{"r", "s"}},
+		{`select a from (select b from t) x`, []string{"t"}},
+		{`select a from r where a in (select b from s)`, []string{"r", "s"}},
+		{`select a from r where exists (select b from s where s.b = 1)`, []string{"r", "s"}},
+		{`select a from r union all select a from s`, []string{"r", "s"}},
+		{`select conf() from (repair key k in r weight by w) u`, []string{"r"}},
+		{`select conf() from (pick tuples from r with probability 0.5) u`, []string{"r"}},
+		{`explain select * from r, s`, []string{"r", "s"}},
+		{`select 1 + 2`, []string{}},
+		{`select a from r where not exists (select b from s) and a in (1, 2) limit 3`, []string{"r", "s"}},
+	}
+	for _, c := range cases {
+		names, ok := stmtTables(t, c.src)
+		if !ok {
+			t.Errorf("%q: walk reported incomplete", c.src)
+			continue
+		}
+		if len(names) != len(c.want) {
+			t.Errorf("%q: tables %v, want %v", c.src, names, c.want)
+			continue
+		}
+		for i := range names {
+			if names[i] != c.want[i] {
+				t.Errorf("%q: tables %v, want %v", c.src, names, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestStatementTablesWritesIncomplete(t *testing.T) {
+	// Write statements never run against a snapshot; the walker
+	// reports incomplete so a caller that asked anyway captures
+	// everything.
+	for _, src := range []string{
+		`insert into r values (1)`,
+		`update r set a = 1`,
+		`delete from r`,
+		`create table r (a int)`,
+		`drop table r`,
+		`begin`,
+	} {
+		if _, ok := stmtTables(t, src); ok {
+			t.Errorf("%q: want incomplete for non-query statement", src)
+		}
+	}
+}

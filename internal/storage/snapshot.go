@@ -85,6 +85,18 @@ func (s *Snapshot) Batches(sch *schema.Schema, size int) urel.Iterator {
 	return newTableIter(s.rows, s.dead, sch, size)
 }
 
+// PartBatches returns a pull iterator over the part-th of nparts fixed
+// row-range shards of the frozen heap, exactly like Table.PartBatches
+// — except it is valid without any lock, indefinitely. Concatenating
+// the partitions in partition order reproduces Batches exactly.
+func (s *Snapshot) PartBatches(sch *schema.Schema, part, nparts, size int) urel.Iterator {
+	if sch == nil {
+		sch = s.sch
+	}
+	lo, hi := PartRange(len(s.rows), part, nparts)
+	return newTableIter(s.rows[lo:hi], s.dead[lo:hi], sch, size)
+}
+
 // ToRel materialises the snapshot's live rows as a U-relation (shared
 // tuples; the caller must not mutate them).
 func (s *Snapshot) ToRel() *urel.Rel {

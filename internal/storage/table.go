@@ -266,6 +266,40 @@ func (t *Table) Batches(sch *schema.Schema, size int) urel.Iterator {
 	return newTableIter(t.rows, t.dead, sch, size)
 }
 
+// PartBatches returns a pull iterator over the part-th of nparts fixed
+// row-range shards of the heap (contiguous ranges over the raw row
+// array, tombstones included in the split but skipped on read).
+// Concatenating every partition's output in partition order yields
+// exactly the rows of Batches in the same order, which is what lets a
+// parallel scan merge deterministically. Validity follows Batches: the
+// iterator captures the heap's current extent and needs the engine
+// lock covering this table (Snapshot().PartBatches streams without any
+// lock).
+func (t *Table) PartBatches(sch *schema.Schema, part, nparts, size int) urel.Iterator {
+	if sch == nil {
+		sch = t.sch
+	}
+	lo, hi := PartRange(len(t.rows), part, nparts)
+	return newTableIter(t.rows[lo:hi], t.dead[lo:hi], sch, size)
+}
+
+// PartRange splits n rows into nparts contiguous ranges, spreading the
+// remainder over the first n%nparts partitions, and returns the
+// half-open range [lo, hi) of partition part. Out-of-range partitions
+// get an empty range.
+func PartRange(n, part, nparts int) (lo, hi int) {
+	if nparts <= 0 || part < 0 || part >= nparts {
+		return 0, 0
+	}
+	chunk, rem := n/nparts, n%nparts
+	lo = part*chunk + min(part, rem)
+	hi = lo + chunk
+	if part < rem {
+		hi++
+	}
+	return lo, hi
+}
+
 func newTableIter(rows []urel.Tuple, dead []bool, sch *schema.Schema, size int) *tableIter {
 	if size <= 0 {
 		size = urel.DefaultBatchSize

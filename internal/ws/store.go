@@ -47,6 +47,12 @@ func NewStore() *Store { return &Store{} }
 // NumVars reports how many variables exist.
 func (s *Store) NumVars() int { return len(s.probs) }
 
+// Frozen reports whether this store is an immutable Freeze view. A
+// frozen store can never allocate variables, so concurrent readers
+// (the parallel executor's workers) need no synchronisation against
+// it; the live store offers no such guarantee.
+func (s *Store) Frozen() bool { return s.frozen }
+
 // NewVar creates a fresh variable whose domain has len(probs)
 // alternatives with the given probabilities. Probabilities must be
 // non-negative and sum to at most 1+1e-9; a deficit (sum < 1) is

@@ -49,8 +49,47 @@ type DB struct {
 	inner *db.Database
 }
 
-// Open creates a new empty in-memory database.
+// Open creates a new empty in-memory database. Intra-query
+// parallelism defaults to GOMAXPROCS; see Options to pin it.
 func Open() *DB { return &DB{inner: db.New()} }
+
+// Options configures OpenOptions.
+type Options struct {
+	// Parallelism is the degree of intra-query parallelism: scans (and
+	// the filter/project/semijoin pipelines above them) over large
+	// tables are partitioned into this many row-range shards executed
+	// concurrently, and aconf()'s Monte Carlo sampling uses this many
+	// workers. Results are byte-identical at every setting — the
+	// exchange merge preserves order and the sampling schedule is
+	// fixed by the seed — so the knob trades only memory for latency.
+	// 0 means GOMAXPROCS; 1 disables parallel execution.
+	Parallelism int
+	// Seed, when non-zero, fixes the root seed of Monte Carlo
+	// estimation exactly as SetSeed would.
+	Seed int64
+}
+
+// OpenOptions creates a new empty in-memory database with the given
+// options.
+func OpenOptions(o Options) *DB {
+	d := Open()
+	if o.Parallelism != 0 {
+		d.SetParallelism(o.Parallelism)
+	}
+	if o.Seed != 0 {
+		d.SetSeed(o.Seed)
+	}
+	return d
+}
+
+// SetParallelism sets the degree of intra-query parallelism (see
+// Options.Parallelism). Safe to call at any time; statements already
+// executing finish at the old degree.
+func (d *DB) SetParallelism(n int) { d.inner.SetParallelism(n) }
+
+// Parallelism reports the configured degree of intra-query
+// parallelism.
+func (d *DB) Parallelism() int { return d.inner.Parallelism() }
 
 // OpenFile loads a database snapshot previously written by SaveFile.
 func OpenFile(path string) (*DB, error) {

@@ -1,0 +1,43 @@
+package maybms
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// OpenOptions threads the parallelism knob and seed through to the
+// engine, and parallel results match serial ones through the public
+// API.
+func TestOpenOptionsParallelism(t *testing.T) {
+	build := func(par int) *DB {
+		db := OpenOptions(Options{Parallelism: par, Seed: 2009})
+		if got := db.Parallelism(); got != par {
+			t.Fatalf("Parallelism() = %d, want %d", got, par)
+		}
+		db.MustExec(`create table nums (id int, v int, w float)`)
+		var b strings.Builder
+		b.WriteString(`insert into nums values `)
+		for i := 0; i < 3000; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%d, %d, %g)", i, (i*13)%100, 1.0+float64(i%3))
+		}
+		db.MustExec(b.String())
+		return db
+	}
+	serial := build(1)
+	parallel := build(8)
+	for _, q := range []string{
+		`select id, v from nums where v % 9 = 2 order by id desc limit 50`,
+		`select count(*), sum(v) from nums where v < 37`,
+		`select aconf(0.2, 0.2) from (repair key v in nums weight by w) r where id < 500`,
+	} {
+		want := serial.MustQuery(q).String()
+		got := parallel.MustQuery(q).String()
+		if want != got {
+			t.Errorf("%q: parallel result diverged\n got: %s\nwant: %s", q, got, want)
+		}
+	}
+}
