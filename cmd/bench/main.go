@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	bench [-e all|e1..e8|par] [-quick] [-seed N] [-parallelism N] [-json path]
+//	bench [-e all|e1..e8|par|paragg] [-quick] [-seed N] [-parallelism N] [-json path]
 //
 // -e par runs the parallel-execution benchmark (exchange operators
 // over snapshot shards) at parallelism levels 1, 2, 4, 8 — or at
 // {1, N} when -parallelism N is given — and writes BENCH_parallel.json
-// when -json is set.
+// when -json is set. -e paragg does the same for the GROUP-BY-heavy
+// pipeline-breaker workload (partitioned aggregation, sort, distinct),
+// writing BENCH_paragg.json.
 package main
 
 import (
@@ -21,25 +23,27 @@ import (
 )
 
 func main() {
-	which := flag.String("e", "all", "experiment to run: all, e1..e8, par")
+	which := flag.String("e", "all", "experiment to run: all, e1..e8, par, paragg")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
 	seed := flag.Int64("seed", 2009, "random seed")
-	parallelism := flag.Int("parallelism", 0, "for -e par: measure {1, N} instead of the default {1,2,4,8}")
-	jsonPath := flag.String("json", "", "for -e par: write the report as JSON to this path")
+	parallelism := flag.Int("parallelism", 0, "for -e par/paragg: measure {1, N} instead of the default {1,2,4,8}")
+	jsonPath := flag.String("json", "", "for -e par/paragg: write the report as JSON to this path")
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
 	w := os.Stdout
+	levels := []int{1, 2, 4, 8}
+	switch {
+	case *parallelism == 1:
+		levels = []int{1}
+	case *parallelism > 1:
+		levels = []int{1, *parallelism}
+	}
 	switch *which {
 	case "par":
-		levels := []int{1, 2, 4, 8}
-		switch {
-		case *parallelism == 1:
-			levels = []int{1}
-		case *parallelism > 1:
-			levels = []int{1, *parallelism}
-		}
 		experiments.EPar(w, opts, *jsonPath, levels)
+	case "paragg":
+		experiments.EParAgg(w, opts, *jsonPath, levels)
 	case "all":
 		experiments.All(w, opts)
 	case "e1":

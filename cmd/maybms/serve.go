@@ -22,6 +22,7 @@ func serveCmd(args []string) {
 	maxSessions := fs.Int("max-sessions", 128, "maximum concurrently open sessions")
 	sessionIdle := fs.Duration("session-idle", 5*time.Minute, "idle timeout before a session (and its transaction) is dropped")
 	parallelism := fs.Int("parallelism", 0, "degree of intra-query parallelism (0 = GOMAXPROCS, 1 = serial); results are identical at every setting")
+	workerPool := fs.Int("worker-pool", 0, "cap on partition-worker goroutines shared by all concurrent queries (0 = GOMAXPROCS); results are identical at every setting")
 	fs.Parse(args)
 
 	db := maybms.Open()
@@ -48,6 +49,7 @@ func serveCmd(args []string) {
 		MaxSessions: *maxSessions,
 		SessionIdle: *sessionIdle,
 		Parallelism: *parallelism,
+		WorkerPool:  *workerPool,
 	})
 	defer srv.Close()
 

@@ -1,0 +1,116 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Closing a streaming cursor mid-query must join every parallel worker
+// BEFORE the cursor's snapshot is released: Cursor.Close closes the
+// iterator tree first (Exchange.Close joins running partition workers
+// and cancels queued pool tasks; breaker barriers join inside the
+// pull that runs them), and only then releases the snapshot. If that
+// ordering broke, a worker could read frozen storage after its
+// release. The gauges make the ordering observable: the moment Close
+// returns, no worker may still be busy and no snapshot may remain
+// open.
+func TestCursorCloseJoinsWorkersBeforeSnapshotRelease(t *testing.T) {
+	queries := []string{
+		// Exchange-topped pipeline: workers stream concurrently with the
+		// cursor and are mid-flight (or queued) when Close arrives.
+		`select id, val from big where val % 2 = 0`,
+		// Breaker-topped pipelines: the barrier joins its workers inside
+		// the first pull; Close afterwards must still leave nothing
+		// running.
+		`select grp, count(*), sum(val) from big group by grp`,
+		`select id from big order by val desc, id`,
+		`select distinct val % 7 from big`,
+	}
+	for _, pool := range []int{0, 1} { // default pool, and a 1-slot pool (queued-task cancellation path)
+		d := buildCorpusDB(t, 8)
+		if pool > 0 {
+			d.SetWorkerPool(pool)
+		}
+		stats := d.ParallelStats()
+		for _, q := range queries {
+			for _, pulls := range []int{0, 1} {
+				// Repeat so Close races workers in many interleavings
+				// (the -race CI job turns any ordering bug into a report).
+				for rep := 0; rep < 10; rep++ {
+					cur, err := d.OpenQuery(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < pulls; i++ {
+						if _, err := cur.Next(); err != nil {
+							t.Fatalf("%s: pull %d: %v", q, i, err)
+						}
+					}
+					if err := cur.Close(); err != nil {
+						t.Fatalf("%s: close: %v", q, err)
+					}
+					if n := stats.WorkersBusy.Load(); n != 0 {
+						t.Fatalf("pool=%d %q pulls=%d: %d workers still busy after Close — workers not joined before release", pool, q, pulls, n)
+					}
+					if n := d.WorkerPool().Busy(); n != 0 {
+						t.Fatalf("pool=%d %q pulls=%d: pool busy=%d after Close", pool, q, pulls, n)
+					}
+					if n := d.SnapshotsOpen(); n != 0 {
+						t.Fatalf("pool=%d %q pulls=%d: %d snapshots open after Close", pool, q, pulls, n)
+					}
+				}
+			}
+		}
+		if q := d.WorkerPool().Queued(); q != 0 {
+			t.Fatalf("pool=%d: %d fragments still queued after all cursors closed", pool, q)
+		}
+	}
+}
+
+// A cursor abandoned mid-exchange must not wedge later statements or
+// leak queued fragments when many cursors come and go under a tiny
+// pool.
+func TestAbandonedCursorsDoNotWedgeTinyPool(t *testing.T) {
+	d := buildCorpusDB(t, 8)
+	d.SetWorkerPool(1)
+	for i := 0; i < 30; i++ {
+		cur, err := d.OpenQuery(fmt.Sprintf(`select id from big where val > %d`, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 != 0 {
+			if _, err := cur.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cur.Close()
+	}
+	// The engine must still execute a parallel breaker to completion.
+	res := mustRun(t, d, `select grp, count(*) from big group by grp order by grp`)
+	if res.Rel.Len() != 4 {
+		t.Fatalf("got %d groups, want 4", res.Rel.Len())
+	}
+	if q := d.WorkerPool().Queued(); q != 0 {
+		t.Fatalf("%d fragments leaked in the pool queue", q)
+	}
+}
+
+// Write-classified statements execute under the exclusive lock against
+// live storage; a parallel breaker inside one (CTAS over a grouped
+// conf() query) has its workers read the live world-set store
+// concurrently. That is safe precisely because nothing allocates
+// variables while a barrier runs — this test pins the path (and the
+// -race CI job watches it), and the result must match the read path's
+// snapshot execution byte for byte.
+func TestLiveWriteStatementRunsParallelBreakers(t *testing.T) {
+	d := buildCorpusDB(t, 8)
+	want := relString(mustRun(t, d, `select grp, conf() c from u group by grp order by grp`).Rel)
+	before := d.ParallelStats().Breakers.Load()
+	mustRun(t, d, `create table livebreak as select grp, conf() c from u group by grp order by grp`)
+	if n := d.ParallelStats().Breakers.Load() - before; n < 1 {
+		t.Fatalf("CTAS ran %d parallel breakers, want >= 1 (live path fell back to serial)", n)
+	}
+	if got := relString(mustRun(t, d, `select * from livebreak`).Rel); got != want {
+		t.Errorf("live-path breaker result diverged from snapshot path\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -66,7 +66,10 @@ type Result struct {
 
 // New creates an empty database. Intra-query parallelism defaults to
 // GOMAXPROCS — results are byte-identical at every degree, so the
-// default costs nothing but wall-clock time saved.
+// default costs nothing but wall-clock time saved. Partition workers
+// across all concurrent queries share one worker pool, also sized
+// GOMAXPROCS by default, so q concurrent parallel queries run q×p
+// fragments on at most pool-size goroutines.
 func New() *Database {
 	d := &Database{
 		tables: map[string]*storage.Table{},
@@ -75,6 +78,7 @@ func New() *Database {
 	d.exec = exec.New(d, d.store)
 	d.exec.Parallelism = runtime.GOMAXPROCS(0)
 	d.exec.Stats = &parallel.Stats{}
+	d.exec.Pool = parallel.NewPool(runtime.GOMAXPROCS(0))
 	return d
 }
 
@@ -135,6 +139,38 @@ func (d *Database) Parallelism() int {
 // ParallelStats exposes the engine's exchange counters (shared by the
 // live executor and every snapshot executor), for metrics endpoints.
 func (d *Database) ParallelStats() *parallel.Stats { return d.exec.Stats }
+
+// SetWorkerPool replaces the engine's shared worker pool with one of
+// capacity n (0 restores the GOMAXPROCS default): the cap on partition
+// worker goroutines across every concurrent exchange and partitioned
+// breaker. Statements already executing keep the pool they started
+// with. The cap bounds goroutines, never progress: fragments the pool
+// cannot reach run inline on their query's own goroutine.
+func (d *Database) SetWorkerPool(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.exec.Pool = parallel.NewPool(n)
+}
+
+// WorkerPool exposes the engine's shared worker pool (its gauges feed
+// the metrics endpoint).
+func (d *Database) WorkerPool() *parallel.Pool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.exec.Pool
+}
+
+// SetMinPartitionRows overrides the smallest table worth partitioning
+// (0 restores the default). Benchmarks and tests lower it to force
+// parallel plans over small corpora.
+func (d *Database) SetMinPartitionRows(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.exec.MinPartitionRows = n
+}
 
 // TableNames lists the stored tables in sorted order.
 func (d *Database) TableNames() []string {

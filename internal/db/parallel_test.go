@@ -48,6 +48,22 @@ var corpus = []string{
 	`select id from big where exists (select grp from lk where label = 'one') and val < 40`,
 	`select id from u where grp in (select grp from lk where label = 'one') order by id limit 25`,
 	`explain select id from big where val > 3`,
+	// Pipeline breakers over parallelisable fragments: partitioned
+	// aggregation, sort, and distinct with deterministic merges.
+	`select grp, count(*), sum(val), min(val), max(val), avg(val) from big group by grp`,
+	`select val % 5 k, count(id), sum(val * 2 + 1) from big where id % 3 <> 1 group by val % 5 order by k`,
+	`select grp, sum(val) s from big group by grp having sum(val) > 20000 order by s desc`,
+	`select count(*) from big`,
+	`select sum(w), avg(w) from big where grp = 2`,
+	`select id, val from big where val > 10 order by val desc, id limit 23`,
+	`select val % 11, id from big order by 1, 2 desc limit 40 offset 7`,
+	`select distinct val % 9 from big`,
+	`select distinct grp, val % 4 from big where id < 800 order by grp, 2`,
+	`select grp, esum(val), ecount() from u group by grp order by grp`,
+	`select grp, aconf(0.15, 0.1) from u where val % 2 = 0 group by grp order by grp`,
+	`select grp, conf() c from u where id % 5 < 3 group by grp having conf() > 0.1 order by c desc, grp`,
+	`select b.grp, count(*) from big b where b.grp in (select grp from lk where label <> 'three') group by b.grp order by b.grp`,
+	`select argmax(id, val) m, max(val) from big group by grp order by 2, m`,
 }
 
 // buildCorpusDB creates a database at the given parallelism with the
@@ -95,8 +111,10 @@ func relString(rel *urel.Rel) string {
 }
 
 // TestParallelSerialEquivalence is the subsystem's core guarantee:
-// identical bytes at parallelism 1, 2, and 8 — for scans, pipelines,
-// limits, joins, uncertain queries, and Monte Carlo estimation alike.
+// identical bytes at parallelism 1, 2, 4, and 8 — for scans,
+// pipelines, limits, joins, uncertain queries, Monte Carlo estimation,
+// and the partitioned pipeline breakers (aggregation, sort, distinct)
+// alike.
 func TestParallelSerialEquivalence(t *testing.T) {
 	serial := buildCorpusDB(t, 1)
 	want := make([]string, len(corpus))
@@ -104,13 +122,23 @@ func TestParallelSerialEquivalence(t *testing.T) {
 		res := mustRun(t, serial, q)
 		want[i] = relString(res.Rel)
 	}
-	for _, par := range []int{2, 8} {
+	for _, par := range []int{2, 4, 8} {
 		d := buildCorpusDB(t, par)
 		for i, q := range corpus {
 			res := mustRun(t, d, q)
 			if got := relString(res.Rel); got != want[i] {
 				t.Errorf("parallelism %d: %q diverged from serial\n got: %s\nwant: %s", par, corpus[i], got, want[i])
 			}
+		}
+	}
+	// A starved worker pool must change scheduling only, never bytes:
+	// fragments queue and run inline on the consumer.
+	starved := buildCorpusDB(t, 8)
+	starved.SetWorkerPool(1)
+	for i, q := range corpus {
+		res := mustRun(t, starved, q)
+		if got := relString(res.Rel); got != want[i] {
+			t.Errorf("pool=1: %q diverged from serial\n got: %s\nwant: %s", corpus[i], got, want[i])
 		}
 	}
 }
@@ -128,14 +156,23 @@ func TestParallelCorpusExercisesExchange(t *testing.T) {
 	if parts := d.ParallelStats().Partitions.Load() - beforeParts; parts != 4 {
 		t.Fatalf("exchange ran %d partitions, want the configured 4", parts)
 	}
+	// Pipeline breakers over fragments must take the partitioned path.
+	beforeBreak := d.ParallelStats().Breakers.Load()
+	mustRun(t, d, `select grp, count(*), sum(val) from big group by grp order by grp`)
+	mustRun(t, d, `select distinct val % 9 from big`)
+	mustRun(t, d, `select id from big order by val desc, id limit 11`)
+	if n := d.ParallelStats().Breakers.Load() - beforeBreak; n < 3 {
+		t.Fatalf("breaker queries ran %d partitioned breakers, want >= 3 (aggregation, distinct, sort)", n)
+	}
 	// Tiny tables stay serial: the exchange is not worth its setup.
 	d2 := New()
 	d2.SetParallelism(4)
 	mustRun(t, d2, `create table tiny (x int)`)
 	mustRun(t, d2, `insert into tiny values (1), (2)`)
 	mustRun(t, d2, `select * from tiny where x > 0`)
-	if n := d2.ParallelStats().Exchanges.Load(); n != 0 {
-		t.Fatalf("2-row table opened %d exchanges, want 0 (threshold)", n)
+	mustRun(t, d2, `select x, count(*) from tiny group by x`)
+	if n := d2.ParallelStats().Exchanges.Load() + d2.ParallelStats().Breakers.Load(); n != 0 {
+		t.Fatalf("2-row table ran %d parallel operators, want 0 (threshold)", n)
 	}
 }
 

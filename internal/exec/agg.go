@@ -17,6 +17,74 @@ type group struct {
 	rows    []urel.Tuple
 }
 
+// grouper buckets rows into groups preserving first-occurrence order —
+// the canonical group order every execution strategy must reproduce.
+type grouper struct {
+	byKey  map[string]*group
+	groups []*group
+}
+
+func newGrouper() *grouper {
+	return &grouper{byKey: map[string]*group{}}
+}
+
+// add appends t to the group keyed k (creating it with keyVals on
+// first sight).
+func (gr *grouper) add(k string, keyVals schema.Tuple, t urel.Tuple) {
+	g, ok := gr.byKey[k]
+	if !ok {
+		g = &group{keyVals: keyVals}
+		gr.byKey[k] = g
+		gr.groups = append(gr.groups, g)
+	}
+	g.rows = append(g.rows, t)
+}
+
+// bucket evaluates n's group-by keys for every tuple b yields and adds
+// them to the grouper. ctx must be private to the calling goroutine.
+func (gr *grouper) bucket(n *plan.Aggregate, ctx *plan.EvalCtx, tuples []urel.Tuple) error {
+	for _, t := range tuples {
+		keyVals := make(schema.Tuple, len(n.GroupBy))
+		for i, gb := range n.GroupBy {
+			v, err := gb.Eval(ctx, t.Data)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+		}
+		gr.add(keyVals.Key(), keyVals, t)
+	}
+	return nil
+}
+
+// mergeGroupers combines per-partition groupers in partition order.
+// Because partitions are contiguous row ranges, walking partition p's
+// groups (each in local first-occurrence order) before partition
+// p+1's reproduces exactly the serial grouper's group order, and
+// concatenating a group's per-partition row lists in partition order
+// reproduces exactly its serial row order — so every downstream
+// aggregate, float summation included, folds the same values in the
+// same order and stays byte-identical at every parallelism degree.
+func mergeGroupers(parts []*grouper) []*group {
+	merged := newGrouper()
+	for _, gr := range parts {
+		if gr == nil {
+			continue
+		}
+		for _, g := range gr.groups {
+			k := g.keyVals.Key()
+			m, ok := merged.byKey[k]
+			if !ok {
+				merged.byKey[k] = g
+				merged.groups = append(merged.groups, g)
+				continue
+			}
+			m.rows = append(m.rows, g.rows...)
+		}
+	}
+	return merged.groups
+}
+
 func (e *Executor) runAggregate(n *plan.Aggregate) (*urel.Rel, error) {
 	in, err := e.Run(n.In)
 	if err != nil {
@@ -28,70 +96,72 @@ func (e *Executor) runAggregate(n *plan.Aggregate) (*urel.Rel, error) {
 // applyAggregate groups a materialised input and computes aggregates.
 func (e *Executor) applyAggregate(n *plan.Aggregate, in *urel.Rel) (*urel.Rel, error) {
 	ctx := e.evalCtx()
-
-	// Bucket input rows.
-	groups := map[string]*group{}
-	var order []string
-	for _, t := range in.Tuples {
-		keyVals := make(schema.Tuple, len(n.GroupBy))
-		for i, gb := range n.GroupBy {
-			v, err := gb.Eval(ctx, t.Data)
-			if err != nil {
-				return nil, err
-			}
-			keyVals[i] = v
-		}
-		k := keyVals.Key()
-		g, ok := groups[k]
-		if !ok {
-			g = &group{keyVals: keyVals}
-			groups[k] = g
-			order = append(order, k)
-		}
-		g.rows = append(g.rows, t)
+	gr := newGrouper()
+	if err := gr.bucket(n, ctx, in.Tuples); err != nil {
+		return nil, err
 	}
-	// With no GROUP BY there is always exactly one group, even on
-	// empty input.
-	if len(n.GroupBy) == 0 && len(order) == 0 {
-		groups[""] = &group{keyVals: schema.Tuple{}}
-		order = append(order, "")
-	}
-
+	groups := forceGroup(n, gr.groups)
 	out := urel.New(n.Sch())
-	for _, k := range order {
-		g := groups[k]
-		synthRows, err := e.aggregateGroup(n, ctx, g)
+	for _, g := range groups {
+		synthRows, err := e.aggregateGroup(n, ctx, g, nil, 0)
 		if err != nil {
 			return nil, err
 		}
-		for _, synth := range synthRows {
-			if n.Having != nil {
-				hv, err := n.Having.Eval(ctx, synth)
-				if err != nil {
-					return nil, err
-				}
-				if hv.IsNull() || !hv.Truth() {
-					continue
-				}
-			}
-			row := make(schema.Tuple, len(n.Items))
-			for i, item := range n.Items {
-				v, err := item.Eval(ctx, synth)
-				if err != nil {
-					return nil, err
-				}
-				row[i] = v
-			}
-			out.Append(urel.Tuple{Data: row})
+		if err := e.emitGroupRows(n, ctx, out, synthRows); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
 }
 
+// forceGroup applies the grouping corner case: with no GROUP BY there
+// is always exactly one group, even on empty input.
+func forceGroup(n *plan.Aggregate, groups []*group) []*group {
+	if len(n.GroupBy) == 0 && len(groups) == 0 {
+		return []*group{{keyVals: schema.Tuple{}}}
+	}
+	return groups
+}
+
+// emitGroupRows filters one group's synthetic rows through HAVING and
+// evaluates the final select items, appending to out.
+func (e *Executor) emitGroupRows(n *plan.Aggregate, ctx *plan.EvalCtx, out *urel.Rel, synthRows []schema.Tuple) error {
+	for _, synth := range synthRows {
+		if n.Having != nil {
+			hv, err := n.Having.Eval(ctx, synth)
+			if err != nil {
+				return err
+			}
+			if hv.IsNull() || !hv.Truth() {
+				continue
+			}
+		}
+		row := make(schema.Tuple, len(n.Items))
+		for i, item := range n.Items {
+			v, err := item.Eval(ctx, synth)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		out.Append(urel.Tuple{Data: row})
+	}
+	return nil
+}
+
 // aggregateGroup computes the synthetic rows [keys..., aggs...] of one
 // group. argmax may fan a group out into several rows (one per
 // maximiser); every other combination yields exactly one.
-func (e *Executor) aggregateGroup(n *plan.Aggregate, ctx *plan.EvalCtx, g *group) ([]schema.Tuple, error) {
+//
+// seeds, when non-nil, holds the pre-derived Monte Carlo seed per agg
+// spec — how the parallel group phase reproduces exactly the seed
+// sequence the serial group loop would draw from nextConfSeed (nil
+// derives inline, in call order). confWorkers overrides the sampling
+// parallelism of a seeded aconf (0 means the executor's degree);
+// group-parallel callers pass 1 so nested sampling workers do not
+// multiply — the seeded sampler's results are worker-count invariant,
+// so this changes wall-clock shape only, never bytes.
+func (e *Executor) aggregateGroup(n *plan.Aggregate, ctx *plan.EvalCtx, g *group, seeds []int64, confWorkers int) ([]schema.Tuple, error) {
 	aggVals := make(schema.Tuple, len(n.Aggs))
 	argmaxIdx := -1
 	var argmaxVals []types.Value
@@ -110,8 +180,17 @@ func (e *Executor) aggregateGroup(n *plan.Aggregate, ctx *plan.EvalCtx, g *group
 					// the trial outcomes and Workers only distributes
 					// them, so results are byte-identical at every degree
 					// of parallelism.
-					req.Seed, req.HasSeed = e.nextConfSeed(), true
-					req.Workers = e.dop()
+					if seeds != nil {
+						req.Seed = seeds[i]
+					} else {
+						req.Seed = e.nextConfSeed()
+					}
+					req.HasSeed = true
+					if confWorkers > 0 {
+						req.Workers = confWorkers
+					} else {
+						req.Workers = e.dop()
+					}
 				}
 			}
 			p, err := conf.Compute(event, e.Store, req)

@@ -48,6 +48,11 @@ type Executor struct {
 	// Stats, when non-nil, aggregates exchange activity (shared across
 	// the engine's executors; surfaced as server metrics).
 	Stats *parallel.Stats
+	// Pool, when non-nil, schedules partition workers for exchanges and
+	// partitioned pipeline breakers, capping the engine's total worker
+	// goroutines across concurrent queries. nil spawns one goroutine
+	// per partition, uncapped.
+	Pool *parallel.Pool
 	// Seed is the root seed behind aconf's strand-partitioned Monte
 	// Carlo sampling; each aconf call derives its own stream from it.
 	// Valid only while SeedValid — SetRng installs a caller-owned
@@ -83,6 +88,7 @@ func (e *Executor) Fork(cat plan.Catalog, store *ws.Store) *Executor {
 		Parallelism:      e.Parallelism,
 		MinPartitionRows: e.MinPartitionRows,
 		Stats:            e.Stats,
+		Pool:             e.Pool,
 		Seed:             e.Seed,
 		SeedValid:        e.SeedValid,
 	}

@@ -1,0 +1,165 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"maybms/internal/plan"
+	"maybms/internal/schema"
+	"maybms/internal/sql"
+	"maybms/internal/storage"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+	"maybms/internal/ws"
+)
+
+// FuzzAggMerge is the determinism contract of the partitioned
+// aggregation merge, fuzzed: arbitrary input rows split into arbitrary
+// partition counts, bucketed per partition exactly as phase-1 workers
+// do, must merge into byte-identical group state — same group order,
+// same per-group row order — as serial bucketing of the whole input,
+// and every aggregate computed over the merged state (float summation
+// included, which is order-sensitive) must equal the serial result
+// exactly.
+//
+// The seed corpus lives in testdata/fuzz/FuzzAggMerge; CI smoke-runs
+// the target with -fuzztime 30s on every push.
+func FuzzAggMerge(f *testing.F) {
+	f.Add([]byte{}, byte(2))
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 1, 3}, byte(3))
+	f.Add([]byte{7, 200, 7, 255, 9, 1, 7, 13, 9, 9, 9, 254}, byte(5))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}, byte(8))
+	f.Fuzz(func(t *testing.T, data []byte, partsByte byte) {
+		nparts := 1 + int(partsByte%8)
+		rows := decodeAggRows(data)
+
+		// Serial reference: one grouper over the whole input.
+		serial := newGrouper()
+		for _, r := range rows {
+			serial.add(r.key, r.keyVals, r.t)
+		}
+
+		// Partitioned: contiguous shards, one grouper each (the phase-1
+		// partial states), merged in partition order.
+		parts := make([]*grouper, nparts)
+		for p := 0; p < nparts; p++ {
+			lo, hi := storage.PartRange(len(rows), p, nparts)
+			gr := newGrouper()
+			for _, r := range rows[lo:hi] {
+				gr.add(r.key, r.keyVals, r.t)
+			}
+			parts[p] = gr
+		}
+		merged := mergeGroupers(parts)
+
+		if got, want := groupStateString(merged), groupStateString(serial.groups); got != want {
+			t.Fatalf("nparts=%d: merged group state diverged from serial\n got: %s\nwant: %s", nparts, got, want)
+		}
+
+		// And the aggregates over the merged state must equal serial
+		// aggregation — exact bytes, floats included.
+		n, e := fuzzAggPlan(t)
+		want := aggString(t, e, n, serial.groups)
+		if got := aggString(t, e, n, merged); got != want {
+			t.Fatalf("nparts=%d: aggregates over merged groups diverged\n got: %s\nwant: %s", nparts, got, want)
+		}
+	})
+}
+
+// fuzzRow is one decoded input row: a single-column group key plus a
+// two-column data tuple (int key, float-or-null value).
+type fuzzRow struct {
+	key     string
+	keyVals schema.Tuple
+	t       urel.Tuple
+}
+
+// decodeAggRows maps fuzz bytes onto rows, two bytes per row: the
+// first picks one of 16 group keys, the second a value — negative and
+// positive floats at awkward magnitudes so summation order matters,
+// with 255 decoding to NULL to exercise the null-skipping aggregates.
+func decodeAggRows(data []byte) []fuzzRow {
+	rows := make([]fuzzRow, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		k := int64(data[i] % 16)
+		var v types.Value
+		if data[i+1] == 255 {
+			v = types.Null()
+		} else {
+			v = types.NewFloat((float64(data[i+1]) - 100) * 0.1)
+		}
+		keyVals := schema.Tuple{types.NewInt(k)}
+		rows = append(rows, fuzzRow{
+			key:     keyVals.Key(),
+			keyVals: keyVals,
+			t:       urel.Tuple{Data: schema.Tuple{types.NewInt(k), v}},
+		})
+	}
+	return rows
+}
+
+// fuzzAggPlan builds an executor and an aggregate node covering every
+// certain aggregate plus the expectation aggregates over the decoded
+// row schema.
+func fuzzAggPlan(t *testing.T) (*plan.Aggregate, *Executor) {
+	t.Helper()
+	sch := schema.New(
+		schema.Column{Name: "g", Kind: types.KindInt},
+		schema.Column{Name: "v", Kind: types.KindFloat},
+	)
+	arg := func() *plan.Compiled {
+		c, err := plan.Compile(sql.ColRef{Name: "v"}, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	n := &plan.Aggregate{
+		Aggs: []plan.AggSpec{
+			{Kind: plan.AggCountStar},
+			{Kind: plan.AggCount, Arg: arg()},
+			{Kind: plan.AggSum, Arg: arg()},
+			{Kind: plan.AggAvg, Arg: arg()},
+			{Kind: plan.AggMin, Arg: arg()},
+			{Kind: plan.AggMax, Arg: arg()},
+			{Kind: plan.AggESum, Arg: arg()},
+			{Kind: plan.AggECount},
+		},
+	}
+	return n, New(nil, ws.NewStore())
+}
+
+// aggString renders every group's synthetic aggregate row exactly.
+func aggString(t *testing.T, e *Executor, n *plan.Aggregate, groups []*group) string {
+	t.Helper()
+	var b strings.Builder
+	ctx := e.evalCtx()
+	for _, g := range groups {
+		rows, err := e.aggregateGroup(n, ctx, g, nil, 0)
+		if err != nil {
+			t.Fatalf("aggregateGroup: %v", err)
+		}
+		for _, row := range rows {
+			for _, v := range row {
+				fmt.Fprintf(&b, "%v|", v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// groupStateString renders merged group state byte-comparably: group
+// order, key values, and each group's rows in order.
+func groupStateString(groups []*group) string {
+	var b strings.Builder
+	for _, g := range groups {
+		fmt.Fprintf(&b, "[%s]:", g.keyVals.Key())
+		for _, t := range g.rows {
+			fmt.Fprintf(&b, " %s", t.Data.Key())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -57,9 +57,12 @@ func (e *Executor) dop() int {
 	return e.Parallelism
 }
 
-// openParallel compiles n into an exchange over partition pipelines
-// when n is a parallelisable fragment. ok=false means the caller
-// should open n serially.
+// openParallel compiles n into a partitioned execution strategy when
+// one applies: pipeline-breaker nodes (aggregate, sort, distinct) over
+// a parallelisable fragment become partitioned breakers with a
+// deterministic merge, and bare fragments become an exchange over
+// partition pipelines. ok=false means the caller should open n
+// serially.
 func (e *Executor) openParallel(n plan.Node) (it urel.Iterator, ok bool, err error) {
 	nparts := e.dop()
 	if nparts < 2 {
@@ -69,6 +72,38 @@ func (e *Executor) openParallel(n plan.Node) (it urel.Iterator, ok bool, err err
 	if !isPC {
 		return nil, false, nil
 	}
+	switch n := n.(type) {
+	case *plan.Aggregate:
+		return e.openParAggregate(n, pc, nparts)
+	case *plan.Sort:
+		return e.openParSort(n, pc, nparts)
+	case *plan.Distinct:
+		return e.openParDistinct(n, pc, nparts)
+	}
+	fp, ok, err := e.prepFragment(n, pc)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	ex := parallel.New(n.Sch(), nparts, e.Pool, e.Stats, func(part int) (urel.Iterator, error) {
+		return e.openPart(n, pc, fp.shared, part, nparts)
+	})
+	return ex, true, nil
+}
+
+// fragPrep is a fragment validated and prepared for partitioned
+// execution: the shared read-only state every partition pipeline
+// probes.
+type fragPrep struct {
+	shared map[*plan.SemiJoinIn]map[string][]lineage.Cond
+}
+
+// prepFragment checks that n is a parallel-safe fragment over a table
+// large enough to be worth partitioning, and materialises each
+// semijoin's subquery once, up front, on the caller's goroutine; the
+// partitions share the resulting match tables read-only. (Serially
+// the first pull would do this; doing it at open keeps workers free
+// of shared lazy state.) ok=false means execute serially.
+func (e *Executor) prepFragment(n plan.Node, pc PartitionCatalog) (*fragPrep, bool, error) {
 	scan, semis, safe := e.fragment(n)
 	if !safe {
 		return nil, false, nil
@@ -82,10 +117,6 @@ func (e *Executor) openParallel(n plan.Node) (it urel.Iterator, ok bool, err err
 	if rows < e.minPartitionRows() {
 		return nil, false, nil
 	}
-	// Materialise each semijoin's subquery once, up front, on the
-	// caller's goroutine; the partitions share the resulting match
-	// table read-only. (Serially the first pull would do this; doing
-	// it at open keeps workers free of shared lazy state.)
 	shared := make(map[*plan.SemiJoinIn]map[string][]lineage.Cond, len(semis))
 	for _, sj := range semis {
 		m, err := e.semiJoinMatches(sj)
@@ -94,10 +125,7 @@ func (e *Executor) openParallel(n plan.Node) (it urel.Iterator, ok bool, err err
 		}
 		shared[sj] = m
 	}
-	ex := parallel.New(n.Sch(), nparts, e.Stats, func(part int) (urel.Iterator, error) {
-		return e.openPart(n, pc, shared, part, nparts)
-	})
-	return ex, true, nil
+	return &fragPrep{shared: shared}, true, nil
 }
 
 // fragment analyses the subtree rooted at n: it is parallel-safe when

@@ -1,7 +1,9 @@
-// Package parallel implements the Volcano-style exchange operator
-// behind MayBMS's partitioned parallel execution: a bounded pool of
-// partition workers, each running an independent pipeline fragment
-// over one row-range shard of a table, merged deterministically.
+// Package parallel implements the Volcano-style exchange operator and
+// the shared worker pool behind MayBMS's partitioned parallel
+// execution: partition workers, each running an independent pipeline
+// fragment over one row-range shard of a table, merged
+// deterministically, with the total number of worker goroutines across
+// all concurrent exchanges capped by an engine-wide Pool.
 //
 // The merge is order-preserving by construction: partition p's batches
 // are emitted before partition p+1's, and partitions are contiguous
@@ -16,7 +18,6 @@ package parallel
 
 import (
 	"io"
-	"sync"
 	"sync/atomic"
 
 	"maybms/internal/schema"
@@ -35,9 +36,15 @@ type Stats struct {
 	// Exchanges counts exchange operators opened (one per parallelised
 	// pipeline fragment; a query can open several).
 	Exchanges atomic.Int64
-	// Partitions counts partition pipelines run across all exchanges.
+	// Breakers counts partitioned pipeline breakers run (parallel
+	// aggregation, sort, and distinct barriers).
+	Breakers atomic.Int64
+	// Partitions counts partition pipelines run across all exchanges
+	// and breakers.
 	Partitions atomic.Int64
-	// WorkersBusy gauges partition workers currently running.
+	// WorkersBusy gauges partition workers currently producing into an
+	// exchange queue (consumer-inlined partitions run on the consumer's
+	// own goroutine and are not workers).
 	WorkersBusy atomic.Int64
 }
 
@@ -48,53 +55,79 @@ type msg struct {
 	err error
 }
 
-// partStream is one partition worker's output queue.
+// partStream is one partition's production state: either a worker
+// feeding the queue, or — when the consumer claimed the partition
+// before any pool worker started it — an iterator pulled inline.
 type partStream struct {
+	part int
 	ch   chan msg
 	stop chan struct{}
+	// done closes when the partition will never touch shared storage
+	// again: its worker exited, or its task was claimed away from the
+	// pool (cancelled or taken inline).
+	done chan struct{}
+	task *Task // nil when the partition runs on a dedicated goroutine
+
+	// Inline state, owned by the consumer goroutine.
+	inline   bool
+	inlineIt urel.Iterator
 }
 
 // Exchange runs nparts pipeline fragments concurrently and merges
 // their batches preserving partition order. It implements
 // urel.Iterator; like every iterator it is pulled from a single
-// goroutine, while its partition workers run on their own goroutines.
-// Close stops the workers and waits for them to exit, so resources the
-// fragments read (a snapshot's frozen arrays) may be released the
-// moment Close returns.
+// goroutine, while its partition workers run on pool workers (or, for
+// partitions the pool has not reached when the merge needs them, on
+// the consuming goroutine itself). Close stops the workers and waits
+// for them to exit, so resources the fragments read (a snapshot's
+// frozen arrays) may be released the moment Close returns.
 type Exchange struct {
 	sch    *schema.Schema
+	pool   *Pool
+	open   func(part int) (urel.Iterator, error)
 	parts  []*partStream
-	wg     sync.WaitGroup
 	cur    int
 	closed bool
 	done   bool
 }
 
 // New starts an exchange over nparts partitions. open is invoked once
-// per partition from that partition's worker goroutine and must
-// return the partition's pipeline fragment; fragments must not share
-// mutable state. stats may be nil.
-func New(sch *schema.Schema, nparts int, stats *Stats, open func(part int) (urel.Iterator, error)) *Exchange {
+// per partition from that partition's worker goroutine (or from the
+// consumer, if it claims the partition inline) and must return the
+// partition's pipeline fragment; fragments must not share mutable
+// state. pool schedules the partition workers (nil spawns one
+// goroutine per partition, uncapped); stats may be nil.
+func New(sch *schema.Schema, nparts int, pool *Pool, stats *Stats, open func(part int) (urel.Iterator, error)) *Exchange {
 	if nparts < 1 {
 		nparts = 1
 	}
-	ex := &Exchange{sch: sch, parts: make([]*partStream, nparts)}
+	ex := &Exchange{sch: sch, pool: pool, open: open, parts: make([]*partStream, nparts)}
 	if stats != nil {
 		stats.Exchanges.Add(1)
 		stats.Partitions.Add(int64(nparts))
 	}
 	for p := 0; p < nparts; p++ {
-		ps := &partStream{ch: make(chan msg, QueueDepth), stop: make(chan struct{})}
+		p := p
+		ps := &partStream{
+			part: p,
+			ch:   make(chan msg, QueueDepth),
+			stop: make(chan struct{}),
+			done: make(chan struct{}),
+		}
 		ex.parts[p] = ps
-		ex.wg.Add(1)
-		go func(p int, ps *partStream) {
-			defer ex.wg.Done()
+		fn := func() {
+			defer close(ps.done)
 			if stats != nil {
 				stats.WorkersBusy.Add(1)
 				defer stats.WorkersBusy.Add(-1)
 			}
 			ps.run(p, open)
-		}(p, ps)
+		}
+		if pool != nil {
+			ps.task = pool.Submit(fn)
+		} else {
+			go fn()
+		}
 	}
 	return ex
 }
@@ -134,14 +167,40 @@ func (ps *partStream) send(m msg) bool {
 func (ex *Exchange) Sch() *schema.Schema { return ex.sch }
 
 // Next returns the next batch in partition order: partition 0 to
-// exhaustion, then partition 1, and so on. A partition error tears the
-// exchange down and surfaces as the iterator's error.
+// exhaustion, then partition 1, and so on. A partition whose task is
+// still queued when the merge reaches it is claimed away from the pool
+// and pulled inline — the merge never waits on a queue position, only
+// on work actually executing, which is what makes a small pool shared
+// by many queries safe. A partition error tears the exchange down and
+// surfaces as the iterator's error.
 func (ex *Exchange) Next() (*urel.Batch, error) {
 	if ex.done {
 		return nil, io.EOF
 	}
 	for ex.cur < len(ex.parts) {
-		m := <-ex.parts[ex.cur].ch
+		ps := ex.parts[ex.cur]
+		if !ps.inline && ps.task != nil && ex.pool.ClaimInline(ps.task) {
+			// The pool had not started this partition: run its fragment
+			// lazily on this goroutine, exactly as serial execution
+			// would. done is already satisfied — the claimed task will
+			// never touch storage from another goroutine.
+			close(ps.done)
+			ps.inline = true
+		}
+		if ps.inline {
+			b, err := ex.nextInline(ps)
+			switch {
+			case err == io.EOF:
+				ex.cur++
+			case err != nil:
+				ex.Close()
+				return nil, err
+			default:
+				return b, nil
+			}
+			continue
+		}
+		m := <-ps.ch
 		switch {
 		case m.err == io.EOF:
 			ex.cur++
@@ -156,9 +215,30 @@ func (ex *Exchange) Next() (*urel.Batch, error) {
 	return nil, io.EOF
 }
 
-// Close stops every partition worker and blocks until all have exited
-// (releasing their fragment iterators), so the storage under the
-// fragments is quiescent when Close returns. Idempotent.
+// nextInline pulls one batch of a consumer-claimed partition, opening
+// its fragment on first use. io.EOF closes the fragment.
+func (ex *Exchange) nextInline(ps *partStream) (*urel.Batch, error) {
+	if ps.inlineIt == nil {
+		it, err := ex.open(ps.part)
+		if err != nil {
+			return nil, err
+		}
+		ps.inlineIt = it
+	}
+	b, err := ps.inlineIt.Next()
+	if err != nil {
+		ps.inlineIt.Close()
+		ps.inlineIt = nil
+	}
+	return b, err
+}
+
+// Close stops every partition worker and blocks until none can touch
+// the storage under the fragments any more: running workers are joined
+// (releasing their fragment iterators), queued tasks are cancelled so
+// the pool will never start them, and the consumer's own inline
+// fragment is closed. The storage is quiescent when Close returns —
+// the ordering a snapshot release depends on. Idempotent.
 func (ex *Exchange) Close() error {
 	if ex.closed {
 		return nil
@@ -167,10 +247,20 @@ func (ex *Exchange) Close() error {
 	ex.done = true
 	for _, ps := range ex.parts {
 		close(ps.stop)
+		if ps.task != nil && !ps.inline && ex.pool.Cancel(ps.task) {
+			// Never started and never will: satisfy its join.
+			close(ps.done)
+		}
+		if ps.inlineIt != nil {
+			ps.inlineIt.Close()
+			ps.inlineIt = nil
+		}
 	}
 	// Workers blocked on a full queue were released by stop; workers
 	// mid-batch finish it, fail the send, and exit. Drain nothing:
 	// send's select makes delivery and stop race-free.
-	ex.wg.Wait()
+	for _, ps := range ex.parts {
+		<-ps.done
+	}
 	return nil
 }

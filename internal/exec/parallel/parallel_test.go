@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"maybms/internal/schema"
 	"maybms/internal/types"
@@ -53,7 +55,7 @@ func drainInts(t *testing.T, it urel.Iterator) []int64 {
 
 func TestExchangeOrderPreservingMerge(t *testing.T) {
 	var stats Stats
-	ex := New(intSchema(), 4, &stats, func(part int) (urel.Iterator, error) {
+	ex := New(intSchema(), 4, nil, &stats, func(part int) (urel.Iterator, error) {
 		vals := make([]int64, 0, 10)
 		for i := 0; i < 10; i++ {
 			vals = append(vals, int64(part*10+i))
@@ -82,7 +84,7 @@ func TestExchangeOrderPreservingMerge(t *testing.T) {
 
 func TestExchangePartitionError(t *testing.T) {
 	boom := errors.New("boom")
-	ex := New(intSchema(), 3, nil, func(part int) (urel.Iterator, error) {
+	ex := New(intSchema(), 3, nil, nil, func(part int) (urel.Iterator, error) {
 		if part == 1 {
 			return &sliceIter{vals: []int64{100}, fail: boom}, nil
 		}
@@ -95,7 +97,7 @@ func TestExchangePartitionError(t *testing.T) {
 }
 
 func TestExchangeOpenError(t *testing.T) {
-	ex := New(intSchema(), 2, nil, func(part int) (urel.Iterator, error) {
+	ex := New(intSchema(), 2, nil, nil, func(part int) (urel.Iterator, error) {
 		if part == 0 {
 			return nil, fmt.Errorf("cannot open")
 		}
@@ -114,7 +116,7 @@ func TestExchangeEarlyClose(t *testing.T) {
 		big[i] = int64(i)
 	}
 	var stats Stats
-	ex := New(intSchema(), 8, &stats, func(part int) (urel.Iterator, error) {
+	ex := New(intSchema(), 8, nil, &stats, func(part int) (urel.Iterator, error) {
 		return &sliceIter{vals: big}, nil
 	})
 	if _, err := ex.Next(); err != nil {
@@ -132,5 +134,82 @@ func TestExchangeEarlyClose(t *testing.T) {
 	}
 	if err := ex.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// A pool-backed exchange must produce exactly the same merged stream,
+// even when the pool is smaller than the partition count (the merge
+// claims unstarted partitions inline).
+func TestExchangeOnSmallPool(t *testing.T) {
+	for _, poolSize := range []int{1, 2, 8} {
+		pool := NewPool(poolSize)
+		var stats Stats
+		ex := New(intSchema(), 6, pool, &stats, func(part int) (urel.Iterator, error) {
+			vals := make([]int64, 0, 10)
+			for i := 0; i < 10; i++ {
+				vals = append(vals, int64(part*10+i))
+			}
+			return &sliceIter{vals: vals}, nil
+		})
+		got := drainInts(t, ex)
+		if len(got) != 60 {
+			t.Fatalf("pool %d: got %d values, want 60", poolSize, len(got))
+		}
+		for i, v := range got {
+			if v != int64(i) {
+				t.Fatalf("pool %d: position %d: got %d — merge not partition-ordered", poolSize, i, v)
+			}
+		}
+		if hw := pool.BusyHighWater(); hw > int64(poolSize) {
+			t.Fatalf("pool %d: busy high-water %d exceeds cap", poolSize, hw)
+		}
+		if n := stats.WorkersBusy.Load(); n != 0 {
+			t.Fatalf("pool %d: WorkersBusy = %d after drain, want 0", poolSize, n)
+		}
+	}
+}
+
+// Closing a pool-backed exchange early must account for every
+// partition: running workers are joined, queued tasks cancelled so the
+// pool never starts them later — the regression for Close ordering
+// with breaker workers sharing the pool. After Close returns, no
+// partition may touch its fragment again (that is what lets the caller
+// release the snapshot under the fragments).
+func TestExchangeCloseCancelsQueuedTasks(t *testing.T) {
+	pool := NewPool(1)
+	gate := make(chan struct{})
+	var opens atomic.Int64
+	var stats Stats
+	big := make([]int64, 5000)
+	ex := New(intSchema(), 8, pool, &stats, func(part int) (urel.Iterator, error) {
+		opens.Add(1)
+		if part == 0 {
+			<-gate // hold the only pool worker mid-fragment
+		}
+		return &sliceIter{vals: big}, nil
+	})
+	// Partition 0 occupies the single pool worker; partitions 1..7 are
+	// queued. Release the worker, then close before draining.
+	close(gate)
+	if _, err := ex.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := stats.WorkersBusy.Load(); n != 0 {
+		t.Fatalf("WorkersBusy = %d after Close, want 0", n)
+	}
+	if b := pool.Busy(); b != 0 {
+		t.Fatalf("pool.Busy = %d after Close, want 0", b)
+	}
+	// Give a would-be stray worker a chance to run a cancelled task.
+	pool.Submit(func() {})
+	time.Sleep(10 * time.Millisecond)
+	if q := pool.Queued(); q != 0 {
+		t.Fatalf("pool.Queued = %d after Close, want 0", q)
+	}
+	if n := opens.Add(0); n > 8 {
+		t.Fatalf("fragments opened %d times for 8 partitions", n)
 	}
 }

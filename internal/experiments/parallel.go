@@ -127,6 +127,14 @@ func EPar(w io.Writer, opts Options, jsonPath string, levels []int) *ParReport {
 		dbs[l] = buildParDB(rows, l, opts.Seed)
 	}
 
+	measureWorkloads(w, report, dbs, levels, workloads, reps)
+	writeParReport(w, report, jsonPath)
+	return report
+}
+
+// measureWorkloads verifies every workload byte-identical across the
+// levels, then times it, filling report.Workloads.
+func measureWorkloads(w io.Writer, report *ParReport, dbs map[int]*maybms.DB, levels []int, workloads []ParWorkload, reps int) {
 	for wi := range workloads {
 		wl := &workloads[wi]
 		// Correctness first: every level must return the serial bytes.
@@ -183,17 +191,21 @@ func EPar(w io.Writer, opts Options, jsonPath string, levels []int) *ParReport {
 	} else {
 		fmt.Fprintln(w, "results: DIVERGENCE DETECTED — see above")
 	}
+}
 
-	if jsonPath != "" {
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err == nil {
-			err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintf(w, "writing %s: %v\n", jsonPath, err)
-		} else {
-			fmt.Fprintf(w, "wrote %s\n", jsonPath)
-		}
+// writeParReport writes the report as indented JSON when jsonPath is
+// non-empty.
+func writeParReport(w io.Writer, report *ParReport, jsonPath string) {
+	if jsonPath == "" {
+		return
 	}
-	return report
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(w, "writing %s: %v\n", jsonPath, err)
+	} else {
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
 }

@@ -293,11 +293,13 @@ func (b *builder) buildSort(in Node, orderBy []sql.OrderItem) (Node, error) {
 	return &Sort{In: in, Keys: keys, Desc: desc}, nil
 }
 
-// colRefCompiled returns a compiled expression selecting column idx.
+// colRefCompiled returns a compiled expression selecting column idx —
+// a pure positional read, trivially shareable across goroutines.
 func colRefCompiled(sch *schema.Schema, idx int) *Compiled {
 	return &Compiled{
-		kind: sch.Cols[idx].Kind,
-		eval: func(_ *EvalCtx, row schema.Tuple) (types.Value, error) { return row[idx], nil },
+		kind:      sch.Cols[idx].Kind,
+		eval:      func(_ *EvalCtx, row schema.Tuple) (types.Value, error) { return row[idx], nil },
+		shareable: true,
 	}
 }
 

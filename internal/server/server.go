@@ -60,6 +60,11 @@ type Options struct {
 	// intra-query parallelism (maybms.Options.Parallelism); zero
 	// leaves the engine's configuration untouched.
 	Parallelism int
+	// WorkerPool, when non-zero, caps the engine's partition-worker
+	// goroutines across every concurrent query
+	// (maybms.Options.WorkerPool); zero leaves the engine's
+	// configuration untouched.
+	WorkerPool int
 }
 
 func (o *Options) fill() {
@@ -126,6 +131,9 @@ func New(mdb *maybms.DB, opts Options) *Server {
 	opts.fill()
 	if opts.Parallelism != 0 {
 		mdb.SetParallelism(opts.Parallelism)
+	}
+	if opts.WorkerPool != 0 {
+		mdb.SetWorkerPool(opts.WorkerPool)
 	}
 	s := &Server{
 		db:       mdb,
@@ -660,6 +668,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	par := s.eng.ParallelStats()
 	fmt.Fprintf(w, "maybms_parallelism_degree %d\n", s.eng.Parallelism())
 	fmt.Fprintf(w, "maybms_parallel_queries_total %d\n", par.Exchanges.Load())
+	fmt.Fprintf(w, "maybms_parallel_breakers_total %d\n", par.Breakers.Load())
 	fmt.Fprintf(w, "maybms_parallel_partitions_total %d\n", par.Partitions.Load())
 	fmt.Fprintf(w, "maybms_parallel_workers_busy %d\n", par.WorkersBusy.Load())
+	pool := s.eng.WorkerPool()
+	fmt.Fprintf(w, "maybms_pool_size %d\n", pool.Size())
+	fmt.Fprintf(w, "maybms_pool_workers_busy %d\n", pool.Busy())
+	fmt.Fprintf(w, "maybms_pool_workers_busy_highwater %d\n", pool.BusyHighWater())
+	fmt.Fprintf(w, "maybms_pool_fragments_queued %d\n", pool.Queued())
+	fmt.Fprintf(w, "maybms_pool_runs_total %d\n", pool.PoolRuns())
+	fmt.Fprintf(w, "maybms_pool_inline_runs_total %d\n", pool.InlineRuns())
 }

@@ -64,6 +64,14 @@ type Options struct {
 	// fixed by the seed — so the knob trades only memory for latency.
 	// 0 means GOMAXPROCS; 1 disables parallel execution.
 	Parallelism int
+	// WorkerPool caps the total number of partition-worker goroutines
+	// across every concurrently executing query (exchanges and
+	// partitioned aggregation/sort/distinct breakers share one pool).
+	// Fragments beyond the cap queue and are run inline by their own
+	// query's goroutine when the merge needs them, so a small pool
+	// bounds goroutines without ever deadlocking or changing results.
+	// 0 means GOMAXPROCS.
+	WorkerPool int
 	// Seed, when non-zero, fixes the root seed of Monte Carlo
 	// estimation exactly as SetSeed would.
 	Seed int64
@@ -75,6 +83,9 @@ func OpenOptions(o Options) *DB {
 	d := Open()
 	if o.Parallelism != 0 {
 		d.SetParallelism(o.Parallelism)
+	}
+	if o.WorkerPool != 0 {
+		d.SetWorkerPool(o.WorkerPool)
 	}
 	if o.Seed != 0 {
 		d.SetSeed(o.Seed)
@@ -90,6 +101,12 @@ func (d *DB) SetParallelism(n int) { d.inner.SetParallelism(n) }
 // Parallelism reports the configured degree of intra-query
 // parallelism.
 func (d *DB) Parallelism() int { return d.inner.Parallelism() }
+
+// SetWorkerPool caps the engine's partition-worker goroutines across
+// all concurrent queries (see Options.WorkerPool; 0 restores the
+// GOMAXPROCS default). Safe to call at any time; statements already
+// executing keep the pool they started with.
+func (d *DB) SetWorkerPool(n int) { d.inner.SetWorkerPool(n) }
 
 // OpenFile loads a database snapshot previously written by SaveFile.
 func OpenFile(path string) (*DB, error) {

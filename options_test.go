@@ -6,12 +6,13 @@ import (
 	"testing"
 )
 
-// OpenOptions threads the parallelism knob and seed through to the
-// engine, and parallel results match serial ones through the public
-// API.
+// OpenOptions threads the parallelism and worker-pool knobs and the
+// seed through to the engine, and parallel results match serial ones
+// through the public API — including grouped aggregation, sort, and
+// distinct, which take the partitioned-breaker path.
 func TestOpenOptionsParallelism(t *testing.T) {
 	build := func(par int) *DB {
-		db := OpenOptions(Options{Parallelism: par, Seed: 2009})
+		db := OpenOptions(Options{Parallelism: par, WorkerPool: 2, Seed: 2009})
 		if got := db.Parallelism(); got != par {
 			t.Fatalf("Parallelism() = %d, want %d", got, par)
 		}
@@ -33,6 +34,9 @@ func TestOpenOptionsParallelism(t *testing.T) {
 		`select id, v from nums where v % 9 = 2 order by id desc limit 50`,
 		`select count(*), sum(v) from nums where v < 37`,
 		`select aconf(0.2, 0.2) from (repair key v in nums weight by w) r where id < 500`,
+		`select v, count(*), sum(w), avg(id) from nums group by v order by v limit 20`,
+		`select distinct v % 6 from nums order by 1`,
+		`select id, v from nums order by v, id desc limit 25`,
 	} {
 		want := serial.MustQuery(q).String()
 		got := parallel.MustQuery(q).String()
