@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"maybms"
@@ -38,6 +39,49 @@ type DB struct {
 	base  string
 	http  *http.Client
 	token string
+
+	// traceMu guards the trace-id fields: nextTrace is sent as the
+	// X-Maybms-Trace header on the following requests, lastTrace is the
+	// id the server echoed on the most recent response.
+	traceMu   sync.Mutex
+	nextTrace string
+	lastTrace string
+}
+
+// SetTraceID sets the trace id sent with subsequent requests, so
+// client-side logs can be joined with the server's slow-query log and
+// metrics. Empty (the default) lets the server generate one per
+// request.
+func (d *DB) SetTraceID(id string) {
+	d.traceMu.Lock()
+	d.nextTrace = id
+	d.traceMu.Unlock()
+}
+
+// LastTraceID reports the trace id the server attached to the most
+// recent response ("" before the first request).
+func (d *DB) LastTraceID() string {
+	d.traceMu.Lock()
+	defer d.traceMu.Unlock()
+	return d.lastTrace
+}
+
+// stampTrace adds the outbound trace header, when configured.
+func (d *DB) stampTrace(req *http.Request) {
+	d.traceMu.Lock()
+	if d.nextTrace != "" {
+		req.Header.Set(wire.TraceHeader, d.nextTrace)
+	}
+	d.traceMu.Unlock()
+}
+
+// noteTrace records the trace id echoed on a response.
+func (d *DB) noteTrace(resp *http.Response) {
+	if id := resp.Header.Get(wire.TraceHeader); id != "" {
+		d.traceMu.Lock()
+		d.lastTrace = id
+		d.traceMu.Unlock()
+	}
 }
 
 // Option configures Open.
@@ -113,11 +157,13 @@ func (d *DB) call(method, path string, body io.Reader, contentType string, out i
 	if d.token != "" {
 		req.Header.Set(wire.SessionHeader, d.token)
 	}
+	d.stampTrace(req)
 	resp, err := d.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %v", err)
 	}
 	defer resp.Body.Close()
+	d.noteTrace(resp)
 	if resp.StatusCode != http.StatusOK {
 		var er wire.ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
@@ -223,6 +269,7 @@ type Rows struct {
 
 	rows    [][]interface{}
 	lineage []string
+	traceID string
 	idx     int // current row within the batch (idx-1 after Next)
 	done    bool
 	total   int64
@@ -244,10 +291,12 @@ func (d *DB) QueryRows(src string) (*Rows, error) {
 	if d.token != "" {
 		req.Header.Set(wire.SessionHeader, d.token)
 	}
+	d.stampTrace(req)
 	resp, err := d.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %v", err)
 	}
+	d.noteTrace(resp)
 	if resp.StatusCode != http.StatusOK {
 		defer resp.Body.Close()
 		var er wire.ErrorResponse
@@ -256,7 +305,7 @@ func (d *DB) QueryRows(src string) (*Rows, error) {
 		}
 		return nil, &Error{Status: resp.StatusCode, Msg: fmt.Sprintf("client: server returned %s", resp.Status)}
 	}
-	r := &Rows{body: resp.Body, dec: json.NewDecoder(resp.Body)}
+	r := &Rows{body: resp.Body, dec: json.NewDecoder(resp.Body), traceID: resp.Header.Get(wire.TraceHeader)}
 	var f wire.StreamFrame
 	if err := r.dec.Decode(&f); err != nil || f.Header == nil {
 		resp.Body.Close()
@@ -275,6 +324,10 @@ func (r *Rows) Columns() []string { return r.columns }
 
 // Certain reports whether the result is statically known t-certain.
 func (r *Rows) Certain() bool { return r.certain }
+
+// TraceID is the id the server attached to this stream, for joining
+// with the server's slow-query log and metrics.
+func (r *Rows) TraceID() string { return r.traceID }
 
 // Next advances to the next row, fetching batches from the stream as
 // needed. It returns false at the end of the result or on error;

@@ -102,3 +102,47 @@ func TestTransportSurvivesParallelStreamBursts(t *testing.T) {
 		t.Errorf("second burst dialled %d new connections, want 0 (pool reuse)", n-after)
 	}
 }
+
+// Trace ids round-trip through the client: a configured id is sent on
+// every request and the server's echo is observable; without one the
+// server's generated id still lands in LastTraceID, and streaming
+// Rows carry theirs.
+func TestTraceIDRoundTrip(t *testing.T) {
+	url, _, shutdown := startServer(t)
+	defer shutdown()
+	c, err := Open(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Query(`select n from nums limit 1`); err != nil {
+		t.Fatal(err)
+	}
+	gen := c.LastTraceID()
+	if len(gen) != 16 {
+		t.Errorf("generated trace id %q, want 16 hex digits", gen)
+	}
+
+	c.SetTraceID("trace-roundtrip-7")
+	if _, err := c.Query(`select n from nums limit 1`); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LastTraceID(); got != "trace-roundtrip-7" {
+		t.Errorf("LastTraceID = %q, want the configured id echoed", got)
+	}
+
+	rows, err := c.QueryRows(`select n from nums order by n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if got := rows.TraceID(); got != "trace-roundtrip-7" {
+		t.Errorf("stream TraceID = %q, want the configured id", got)
+	}
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,14 +4,16 @@
 //
 // Usage:
 //
-//	bench [-e all|e1..e8|par|paragg] [-quick] [-seed N] [-parallelism N] [-json path]
+//	bench [-e all|e1..e8|par|paragg|trace] [-quick] [-seed N] [-parallelism N] [-json path]
 //
 // -e par runs the parallel-execution benchmark (exchange operators
 // over snapshot shards) at parallelism levels 1, 2, 4, 8 — or at
 // {1, N} when -parallelism N is given — and writes BENCH_parallel.json
 // when -json is set. -e paragg does the same for the GROUP-BY-heavy
 // pipeline-breaker workload (partitioned aggregation, sort, distinct),
-// writing BENCH_paragg.json.
+// writing BENCH_paragg.json. -e trace (or the -trace shorthand) runs
+// each workload once with per-operator execution tracing attached and
+// writes the analyzed operator trees as BENCH_trace.json.
 package main
 
 import (
@@ -23,12 +25,16 @@ import (
 )
 
 func main() {
-	which := flag.String("e", "all", "experiment to run: all, e1..e8, par, paragg")
+	which := flag.String("e", "all", "experiment to run: all, e1..e8, par, paragg, trace")
+	traceRun := flag.Bool("trace", false, "shorthand for -e trace: emit per-operator execution stats")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
 	seed := flag.Int64("seed", 2009, "random seed")
 	parallelism := flag.Int("parallelism", 0, "for -e par/paragg: measure {1, N} instead of the default {1,2,4,8}")
 	jsonPath := flag.String("json", "", "for -e par/paragg: write the report as JSON to this path")
 	flag.Parse()
+	if *traceRun {
+		*which = "trace"
+	}
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
 	w := os.Stdout
@@ -44,6 +50,8 @@ func main() {
 		experiments.EPar(w, opts, *jsonPath, levels)
 	case "paragg":
 		experiments.EParAgg(w, opts, *jsonPath, levels)
+	case "trace":
+		experiments.ETrace(w, opts, *jsonPath, *parallelism)
 	case "all":
 		experiments.All(w, opts)
 	case "e1":

@@ -22,6 +22,7 @@
 //	\stream Q;  run query Q on the streaming cursor, printing rows
 //	            as they are produced (constant memory, LIMIT stops
 //	            the scan early)
+//	\timing     toggle per-statement wall-time reporting
 //	\save PATH  snapshot the database
 //	\load PATH  restore a snapshot
 //	\q          quit (saving if -db was given)
@@ -34,9 +35,15 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"maybms"
 )
+
+// timing is the shell's \timing toggle: when on, every statement
+// reports its wall time. The shell is single-goroutine, so a plain
+// package variable suffices.
+var timing bool
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
@@ -132,21 +139,40 @@ func runInput(db *maybms.DB, src string) error {
 	if strings.TrimSpace(src) == "" {
 		return nil
 	}
+	start := time.Now()
 	rows, res, err := db.RunScript(src)
+	dur := time.Since(start)
 	if err != nil {
 		return err
 	}
 	if rows != nil {
-		fmt.Print(rows.String())
-		fmt.Printf("(%d rows)\n", rows.Len())
-		return nil
-	}
-	if res.Msg != "" {
+		if isPlanRows(rows) {
+			// EXPLAIN / EXPLAIN ANALYZE: the result is the rendered
+			// tree itself — print the lines raw, not boxed in a table.
+			for _, row := range rows.Data {
+				if s, ok := row[0].(string); ok {
+					fmt.Println(s)
+				}
+			}
+		} else {
+			fmt.Print(rows.String())
+			fmt.Printf("(%d rows)\n", rows.Len())
+		}
+	} else if res.Msg != "" {
 		fmt.Println(res.Msg)
 	} else {
 		fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
 	}
+	if timing {
+		fmt.Printf("time: %s\n", dur.Round(time.Microsecond))
+	}
 	return nil
+}
+
+// isPlanRows reports whether a result is an EXPLAIN rendering (the
+// single TEXT column named "plan").
+func isPlanRows(rows *maybms.Rows) bool {
+	return len(rows.Columns) == 1 && rows.Columns[0] == "plan"
 }
 
 // streamQuery runs one query on the streaming cursor and prints rows
@@ -212,6 +238,13 @@ func metaCommand(db *maybms.DB, cmd, dbPath string) (quit bool) {
 			return false
 		}
 		fmt.Printf("table %s: %s\n", fields[1], strings.Join(rows.Columns, ", "))
+	case "\\timing":
+		timing = !timing
+		if timing {
+			fmt.Println("timing on")
+		} else {
+			fmt.Println("timing off")
+		}
 	case "\\stream":
 		src := strings.TrimSpace(strings.TrimPrefix(cmd, "\\stream"))
 		if src == "" {

@@ -23,6 +23,8 @@ func serveCmd(args []string) {
 	sessionIdle := fs.Duration("session-idle", 5*time.Minute, "idle timeout before a session (and its transaction) is dropped")
 	parallelism := fs.Int("parallelism", 0, "degree of intra-query parallelism (0 = GOMAXPROCS, 1 = serial); results are identical at every setting")
 	workerPool := fs.Int("worker-pool", 0, "cap on partition-worker goroutines shared by all concurrent queries (0 = GOMAXPROCS); results are identical at every setting")
+	slowQuery := fs.Duration("slow-query", -1, "log queries at least this slow to stderr as JSON lines with their analyzed operator tree (0 logs every query; negative disables)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the server")
 	fs.Parse(args)
 
 	db := maybms.Open()
@@ -45,12 +47,18 @@ func serveCmd(args []string) {
 		}
 	}
 
-	srv := server.New(db, server.Options{
+	opts := server.Options{
 		MaxSessions: *maxSessions,
 		SessionIdle: *sessionIdle,
 		Parallelism: *parallelism,
 		WorkerPool:  *workerPool,
-	})
+		Pprof:       *pprofOn,
+	}
+	if *slowQuery >= 0 {
+		opts.SlowQueryLog = os.Stderr
+		opts.SlowQueryThreshold = *slowQuery
+	}
+	srv := server.New(db, opts)
 	defer srv.Close()
 
 	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}

@@ -8,7 +8,6 @@
 package approx
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -132,29 +131,44 @@ func (e *Estimator) Estimate(n int) float64 {
 	return e.S * float64(succ) / float64(n)
 }
 
+// SampleStats reports the sampling effort one aconf evaluation spent:
+// the total Karp-Luby trial count across the AA algorithm's three
+// steps, and the achieved relative standard error of the final
+// estimate (√(ρ̂/N)/μ̂ — an observability figure, not the (ε,δ)
+// guarantee itself). Degenerate inputs (empty DNF, tautology, zero
+// clause mass) short-circuit without sampling and report zero effort.
+type SampleStats struct {
+	Trials int64
+	RelErr float64
+}
+
 // Conf computes an (ε,δ)-approximation of P(d) using the AA algorithm:
 // the returned p̂ deviates from p by more than ε·p with probability
 // less than δ.
 func Conf(d lineage.DNF, src ws.ProbSource, eps, delta float64, rng *rand.Rand) (float64, error) {
-	if eps <= 0 || eps >= 1 {
-		return 0, fmt.Errorf("aconf: epsilon must be in (0,1), got %v", eps)
-	}
-	if delta <= 0 || delta >= 1 {
-		return 0, fmt.Errorf("aconf: delta must be in (0,1), got %v", delta)
+	p, _, err := ConfStats(d, src, eps, delta, rng)
+	return p, err
+}
+
+// ConfStats is Conf reporting its sampling effort alongside the
+// estimate.
+func ConfStats(d lineage.DNF, src ws.ProbSource, eps, delta float64, rng *rand.Rand) (float64, SampleStats, error) {
+	if err := checkEpsDelta(eps, delta); err != nil {
+		return 0, SampleStats{}, err
 	}
 	d = d.Simplify()
 	if len(d) == 0 {
-		return 0, nil
+		return 0, SampleStats{}, nil
 	}
 	if d.HasEmptyClause() {
-		return 1, nil
+		return 1, SampleStats{}, nil
 	}
 	e := NewEstimator(d, src, rng)
 	if e.S == 0 {
-		return 0, nil
+		return 0, SampleStats{}, nil
 	}
-	mean := e.AA(eps, delta)
-	return e.S * mean, nil
+	mean, st := e.aa(eps, delta)
+	return e.S * mean, st, nil
 }
 
 // AA is the Dagum-Karp-Luby-Ross approximation algorithm AA estimating
@@ -162,6 +176,12 @@ func Conf(d lineage.DNF, src ws.ProbSource, eps, delta float64, rng *rand.Rand) 
 // rule for a rough estimate, a variance estimate, and a final run
 // sized by max(variance, ε·μ̂).
 func (e *Estimator) AA(eps, delta float64) float64 {
+	mean, _ := e.aa(eps, delta)
+	return mean
+}
+
+// aa runs AA and reports the sampling effort.
+func (e *Estimator) aa(eps, delta float64) (float64, SampleStats) {
 	const lambda = math.E - 2 // λ from the DKLR paper
 	// Clamp ε to the Bernoulli regime: relative error below machine
 	// noise would demand absurd trial counts.
@@ -214,5 +234,9 @@ func (e *Estimator) AA(eps, delta float64) float64 {
 			succ++
 		}
 	}
-	return float64(succ) / float64(nFinal)
+	st := SampleStats{
+		Trials: int64(n + 2*nPairs + nFinal),
+		RelErr: math.Sqrt(rhoHat/float64(nFinal)) / muHat,
+	}
+	return float64(succ) / float64(nFinal), st
 }

@@ -99,28 +99,37 @@ func fillOutcomes(es []*Estimator, out []bool, workers int) {
 // The result is a deterministic function of (d, src, eps, delta,
 // seed); workers only sets how many goroutines evaluate the schedule.
 func ConfSeeded(d lineage.DNF, src ws.ProbSource, eps, delta float64, seed int64, workers int) (float64, error) {
+	p, _, err := ConfSeededStats(d, src, eps, delta, seed, workers)
+	return p, err
+}
+
+// ConfSeededStats is ConfSeeded reporting its sampling effort
+// alongside the estimate. The stats, like the estimate, are a pure
+// function of (d, src, eps, delta, seed) — workers cannot change them.
+func ConfSeededStats(d lineage.DNF, src ws.ProbSource, eps, delta float64, seed int64, workers int) (float64, SampleStats, error) {
 	if err := checkEpsDelta(eps, delta); err != nil {
-		return 0, err
+		return 0, SampleStats{}, err
 	}
 	d = d.Simplify()
 	if len(d) == 0 {
-		return 0, nil
+		return 0, SampleStats{}, nil
 	}
 	if d.HasEmptyClause() {
-		return 1, nil
+		return 1, SampleStats{}, nil
 	}
 	base := NewEstimator(d, src, rand.New(rand.NewSource(seed)))
 	if base.S == 0 {
-		return 0, nil
+		return 0, SampleStats{}, nil
 	}
-	mean := base.aaStranded(eps, delta, seed, workers)
-	return base.S * mean, nil
+	mean, st := base.aaStranded(eps, delta, seed, workers)
+	return base.S * mean, st, nil
 }
 
 // aaStranded is the DKLR AA algorithm over strand-partitioned trials:
 // the same three steps as AA, with each step's trials drawn from fresh
-// per-strand RNGs and evaluated by up to `workers` goroutines.
-func (e *Estimator) aaStranded(eps, delta float64, seed int64, workers int) float64 {
+// per-strand RNGs and evaluated by up to `workers` goroutines. It
+// reports the sampling effort alongside the mean.
+func (e *Estimator) aaStranded(eps, delta float64, seed int64, workers int) (float64, SampleStats) {
 	const lambda = math.E - 2
 	ups := 4 * lambda * math.Log(2/delta) / (eps * eps)
 
@@ -190,7 +199,11 @@ func (e *Estimator) aaStranded(eps, delta float64, seed int64, workers int) floa
 	for _, c := range succ {
 		total += c
 	}
-	return float64(total) / float64(nFinal)
+	st := SampleStats{
+		Trials: int64(n + 2*nPairs + nFinal),
+		RelErr: math.Sqrt(rhoHat/float64(nFinal)) / muHat,
+	}
+	return float64(total) / float64(nFinal), st
 }
 
 // forkStrands builds the per-strand estimators of one algorithm step.

@@ -48,16 +48,30 @@ type Request struct {
 	// Workers is the sampling parallelism for the seeded path; <= 1
 	// samples on the calling goroutine.
 	Workers int
+	// Observe, when non-nil, receives the sampling effort of an
+	// Approximate computation — the Karp-Luby trial count and the
+	// achieved relative standard error — after the estimate completes.
+	// Exact methods never call it. Observation is strictly passive: it
+	// cannot change the estimate.
+	Observe func(st approx.SampleStats)
 }
 
 // Compute returns P(d) using the requested method.
 func Compute(d lineage.DNF, src ws.ProbSource, req Request) (float64, error) {
 	switch req.Method {
 	case Approximate:
+		var p float64
+		var st approx.SampleStats
+		var err error
 		if req.HasSeed {
-			return approx.ConfSeeded(d, src, req.Eps, req.Delta, req.Seed, req.Workers)
+			p, st, err = approx.ConfSeededStats(d, src, req.Eps, req.Delta, req.Seed, req.Workers)
+		} else {
+			p, st, err = approx.ConfStats(d, src, req.Eps, req.Delta, req.Rng)
 		}
-		return approx.Conf(d, src, req.Eps, req.Delta, req.Rng)
+		if err == nil && req.Observe != nil {
+			req.Observe(st)
+		}
+		return p, err
 	case Exact:
 		return exact.Prob(d, src), nil
 	case Sprout:

@@ -1,0 +1,137 @@
+package db
+
+// EXPLAIN ANALYZE and the traced-execution entry points. Tracing rides
+// the per-statement executor: the read path attaches the Trace to the
+// snapshot's forked executor (private to the statement by
+// construction), the write path attaches it to the live executor under
+// the exclusive lock and detaches before the lock is released, so an
+// untraced statement never observes another statement's tracer.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"maybms/internal/exec"
+	"maybms/internal/exec/trace"
+	"maybms/internal/plan"
+	"maybms/internal/schema"
+	"maybms/internal/sql"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+)
+
+// planResult renders multi-line explain text as the single-TEXT-column
+// "plan" relation both EXPLAIN flavours return.
+func planResult(text string) *Result {
+	out := urel.New(schema.New(schema.Column{Name: "plan", Kind: types.KindText}))
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		out.Append(urel.Tuple{Data: schema.Tuple{types.NewText(line)}})
+	}
+	return &Result{Rel: out}
+}
+
+// explainAnalyze executes s.Query for real on ex — rows are drained
+// and discarded, so result semantics (world-set allocation, sampling
+// effort, everything) are byte-identical to running the query — and
+// renders the plan outline annotated with the recorded per-operator
+// stats. cat must be the catalog ex executes against.
+func explainAnalyze(s *sql.ExplainStmt, cat plan.Catalog, ex *exec.Executor, tr *trace.Trace) (*Result, plan.Node, error) {
+	n, err := plan.Build(s.Query, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex.Tracer = tr
+	defer func() { ex.Tracer = nil }()
+	start := time.Now()
+	it, err := ex.Open(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := drainDiscard(it)
+	if err != nil {
+		return nil, nil, err
+	}
+	return planResult(tr.Render(n, time.Since(start), rows)), n, nil
+}
+
+// drainDiscard exhausts an iterator counting rows without keeping
+// them.
+func drainDiscard(it urel.Iterator) (int64, error) {
+	var rows int64
+	for {
+		b, err := it.Next()
+		if err == io.EOF {
+			return rows, it.Close()
+		}
+		if err != nil {
+			it.Close()
+			return rows, err
+		}
+		rows += int64(len(b.Tuples))
+	}
+}
+
+// RunStatementTraced is RunStatement with tr attached to the
+// statement's executor: every operator the statement opens records
+// into tr. The returned plan node is the query's root when the
+// statement has one (query and explain statements), for rendering the
+// analyzed tree; nil for DDL/DML/transaction control, whose nested
+// queries are still traced.
+func (d *Database) RunStatementTraced(s sql.Statement, tr *trace.Trace) (*Result, plan.Node, error) {
+	if tr == nil {
+		res, err := d.RunStatement(s)
+		return res, nil, err
+	}
+	if sql.ReadOnly(s) {
+		snap := d.SnapshotFor(s)
+		defer snap.Close()
+		switch s := s.(type) {
+		case *sql.QueryStmt:
+			snap.exec.Tracer = tr
+			n, err := plan.Build(s.Query, snap)
+			if err != nil {
+				return nil, nil, err
+			}
+			it, err := snap.exec.Open(n)
+			if err != nil {
+				return nil, n, err
+			}
+			rel, err := urel.Drain(it)
+			if err != nil {
+				return nil, n, err
+			}
+			return &Result{Rel: rel}, n, nil
+		case *sql.ExplainStmt:
+			if s.Analyze {
+				return explainAnalyze(s, snap, snap.exec, tr)
+			}
+			res, err := explain(s, snap)
+			return res, nil, err
+		default:
+			return nil, nil, fmt.Errorf("db: internal: %T misclassified as read-only", s)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.exec.Tracer = tr
+	defer func() { d.exec.Tracer = nil }()
+	switch s := s.(type) {
+	case *sql.QueryStmt:
+		rel, n, err := d.queryPlanned(s.Query)
+		if err != nil {
+			return nil, n, err
+		}
+		return &Result{Rel: rel}, n, nil
+	case *sql.ExplainStmt:
+		if s.Analyze {
+			return explainAnalyze(s, d, d.exec, tr)
+		}
+		res, err := explain(s, d)
+		return res, nil, err
+	default:
+		res, err := d.runLocked(s)
+		return res, nil, err
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"maybms/internal/exec/trace"
 	"maybms/internal/plan"
 	"maybms/internal/schema"
 	"maybms/internal/sql"
@@ -58,25 +59,39 @@ func (d *Database) OpenQuery(src string) (*Cursor, error) {
 // frontends that parse and classify the script themselves (the
 // network server's streaming endpoint).
 func (d *Database) OpenQueryStmt(qs *sql.QueryStmt) (*Cursor, error) {
+	c, _, err := d.OpenQueryStmtTraced(qs, nil)
+	return c, err
+}
+
+// OpenQueryStmtTraced is OpenQueryStmt with tr (when non-nil) attached
+// to the cursor's executor, so every batch the cursor pulls records
+// per-operator stats. It also returns the plan root for rendering the
+// analyzed tree once the stream ends; nil on the write-statement
+// fallback, where the result was materialised under the exclusive
+// lock.
+func (d *Database) OpenQueryStmtTraced(qs *sql.QueryStmt, tr *trace.Trace) (*Cursor, plan.Node, error) {
 	if !sql.ReadOnly(qs) {
-		res, err := d.RunStatement(qs)
+		res, n, err := d.RunStatementTraced(qs, tr)
 		if err != nil {
-			return nil, err
+			return nil, n, err
 		}
-		return NewRelCursor(res.Rel), nil
+		return NewRelCursor(res.Rel), n, nil
 	}
 	snap := d.SnapshotFor(qs)
+	if tr != nil {
+		snap.exec.Tracer = tr
+	}
 	n, err := plan.Build(qs.Query, snap)
 	if err != nil {
 		snap.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	it, err := snap.exec.Open(n)
 	if err != nil {
 		snap.Close()
-		return nil, err
+		return nil, n, err
 	}
-	return &Cursor{it: it, sch: n.Sch(), certain: n.Certain(), snap: snap}, nil
+	return &Cursor{it: it, sch: n.Sch(), certain: n.Certain(), snap: snap}, n, nil
 }
 
 // NewRelCursor wraps an already-materialised relation in a cursor (the

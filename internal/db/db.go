@@ -16,6 +16,7 @@ import (
 	"maybms/internal/conf"
 	"maybms/internal/exec"
 	"maybms/internal/exec/parallel"
+	"maybms/internal/exec/trace"
 	"maybms/internal/plan"
 	"maybms/internal/schema"
 	"maybms/internal/sql"
@@ -309,6 +310,10 @@ func (d *Database) runRead(s sql.Statement) (*Result, error) {
 		}
 		return &Result{Rel: rel}, nil
 	case *sql.ExplainStmt:
+		if s.Analyze {
+			res, _, err := explainAnalyze(s, snap, snap.exec, trace.New())
+			return res, err
+		}
 		return explain(s, snap)
 	default:
 		// Unreachable as long as the classifier only marks query and
@@ -374,6 +379,12 @@ func (d *Database) runLocked(s sql.Statement) (*Result, error) {
 		return &Result{Rel: rel}, nil
 
 	case *sql.ExplainStmt:
+		if s.Analyze {
+			// A write query under ANALYZE (repair-key / pick-tuples)
+			// really mutates the store, same as running it bare.
+			res, _, err := explainAnalyze(s, d, d.exec, trace.New())
+			return res, err
+		}
 		return explain(s, d)
 
 	default:
@@ -389,11 +400,7 @@ func explain(s *sql.ExplainStmt, cat plan.Catalog) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := urel.New(schema.New(schema.Column{Name: "plan", Kind: types.KindText}))
-	for _, line := range strings.Split(strings.TrimRight(plan.Explain(n), "\n"), "\n") {
-		out.Append(urel.Tuple{Data: schema.Tuple{types.NewText(line)}})
-	}
-	return &Result{Rel: out}, nil
+	return planResult(plan.Explain(n)), nil
 }
 
 // query plans and runs a query through the streaming executor,
@@ -402,15 +409,23 @@ func explain(s *sql.ExplainStmt, cat plan.Catalog) (*Result, error) {
 // lock is released. A LIMIT near the root stops pulling early, so the
 // full input is never computed.
 func (d *Database) query(q sql.Query) (*urel.Rel, error) {
+	rel, _, err := d.queryPlanned(q)
+	return rel, err
+}
+
+// queryPlanned is query, also returning the plan root (for traced
+// callers that render the analyzed tree).
+func (d *Database) queryPlanned(q sql.Query) (*urel.Rel, plan.Node, error) {
 	n, err := plan.Build(q, d)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	it, err := d.exec.Open(n)
 	if err != nil {
-		return nil, err
+		return nil, n, err
 	}
-	return urel.Drain(it)
+	rel, err := urel.Drain(it)
+	return rel, n, err
 }
 
 // QueryRel plans and executes a single query statement through either

@@ -1,0 +1,10 @@
+//go:build !race
+
+package db
+
+// raceEnabled reports whether the race detector is compiled in; the
+// 100k-row EXPLAIN ANALYZE acceptance workload is skipped under
+// -race, where its Monte Carlo sampling slows by an order of
+// magnitude without exercising any extra synchronisation that the
+// smaller traced corpora don't already cover.
+const raceEnabled = false

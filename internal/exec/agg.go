@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"maybms/internal/conf"
+	"maybms/internal/conf/approx"
 	"maybms/internal/lineage"
 	"maybms/internal/plan"
 	"maybms/internal/schema"
@@ -173,8 +174,21 @@ func (e *Executor) aggregateGroup(n *plan.Aggregate, ctx *plan.EvalCtx, g *group
 				event = append(event, t.Cond)
 			}
 			req := conf.Request{Method: e.ConfMethod, Rng: e.rng()}
+			if tr := e.Tracer; tr != nil {
+				// Fold the sampling effort into the aggregate operator's
+				// stats. Groups may compute on concurrent workers; the
+				// counters are atomic.
+				st := tr.Node(n)
+				req.Observe = func(s approx.SampleStats) {
+					st.Counter("samples").Add(s.Trials)
+					if s.RelErr > 0 {
+						st.ObserveRelErr(s.RelErr)
+					}
+				}
+			}
 			if spec.Kind == plan.AggAconf {
-				req = conf.Request{Method: conf.Approximate, Eps: spec.Eps, Delta: spec.Delta, Rng: e.rng()}
+				observe := req.Observe
+				req = conf.Request{Method: conf.Approximate, Eps: spec.Eps, Delta: spec.Delta, Rng: e.rng(), Observe: observe}
 				if e.SeedValid {
 					// Strand-partitioned sampling: the derived seed fixes
 					// the trial outcomes and Workers only distributes

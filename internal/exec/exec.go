@@ -16,6 +16,7 @@ import (
 
 	"maybms/internal/conf"
 	"maybms/internal/exec/parallel"
+	"maybms/internal/exec/trace"
 	"maybms/internal/lineage"
 	"maybms/internal/plan"
 	"maybms/internal/schema"
@@ -53,6 +54,12 @@ type Executor struct {
 	// goroutines across concurrent queries. nil spawns one goroutine
 	// per partition, uncapped.
 	Pool *parallel.Pool
+	// Tracer, when non-nil, records per-operator execution statistics
+	// (EXPLAIN ANALYZE, the slow-query log). It is per-statement state:
+	// Fork deliberately does not copy it, so a trace attached to one
+	// statement's executor never leaks into another's. A nil Tracer
+	// costs one pointer check per operator open and nothing else.
+	Tracer *trace.Trace
 	// Seed is the root seed behind aconf's strand-partitioned Monte
 	// Carlo sampling; each aconf call derives its own stream from it.
 	// Valid only while SeedValid — SetRng installs a caller-owned

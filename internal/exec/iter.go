@@ -37,7 +37,21 @@ type BatchCatalog interface {
 // exactly the rows Run materialises — including when a subtree
 // compiles to a parallel exchange, whose order-preserving merge keeps
 // the output byte-identical to the serial pipeline.
+//
+// When a Tracer is attached, every iterator is wrapped in a stats shim
+// keyed by its plan node. Tracing never changes which iterators are
+// built or what they produce — only observation is added — so traced
+// results are byte-identical to untraced ones.
 func (e *Executor) Open(n plan.Node) (urel.Iterator, error) {
+	it, err := e.open(n)
+	if err != nil || e.Tracer == nil {
+		return it, err
+	}
+	return e.Tracer.Wrap(n, it), nil
+}
+
+// open builds the untraced iterator for n (Open adds the trace shim).
+func (e *Executor) open(n plan.Node) (urel.Iterator, error) {
 	if it, ok, err := e.openParallel(n); ok || err != nil {
 		return it, err
 	}
@@ -523,6 +537,9 @@ func (it *hashJoinIter) Next() (*urel.Batch, error) {
 		for _, rt := range r.Tuples {
 			k := rt.Data.Project(it.n.RKeys).Key()
 			it.build[k] = append(it.build[k], rt)
+		}
+		if tr := it.e.Tracer; tr != nil {
+			tr.Node(it.n).Counter("build_rows").Store(int64(len(r.Tuples)))
 		}
 	}
 	out := make([]urel.Tuple, 0, urel.DefaultBatchSize)

@@ -84,9 +84,17 @@ func (e *Executor) openParallel(n plan.Node) (it urel.Iterator, ok bool, err err
 	if !ok || err != nil {
 		return nil, false, err
 	}
-	ex := parallel.New(n.Sch(), nparts, e.Pool, e.Stats, func(part int) (urel.Iterator, error) {
-		return e.openPart(n, pc, fp.shared, part, nparts)
-	})
+	var trPar *parallel.Stats
+	if tr := e.Tracer; tr != nil {
+		trPar = &tr.Par
+		tr.Node(n).Counter("partitions").Store(int64(nparts))
+	}
+	// The fragment root is opened raw: Open already wrapped the
+	// exchange under n's stats, so wrapping each partition's root copy
+	// too would double-count every row.
+	ex := parallel.New(n.Sch(), nparts, e.Pool, func(part int) (urel.Iterator, error) {
+		return e.openPartRaw(n, pc, fp.shared, part, nparts)
+	}, e.Stats, trPar)
 	return ex, true, nil
 }
 
@@ -203,7 +211,24 @@ func (e *Executor) semiJoinMatches(n *plan.SemiJoinIn) (map[string][]lineage.Con
 // and evaluation contexts; only immutable state (compiled expressions,
 // the frozen store, match tables) is shared. Called from worker
 // goroutines.
+//
+// With a Tracer attached, the partition copy is wrapped under the plan
+// node's stats: partition copies share one OpStats (its counters are
+// atomic), so rows and times sum across partitions to the serial
+// totals.
 func (e *Executor) openPart(n plan.Node, pc PartitionCatalog, shared map[*plan.SemiJoinIn]map[string][]lineage.Cond, part, nparts int) (urel.Iterator, error) {
+	it, err := e.openPartRaw(n, pc, shared, part, nparts)
+	if err != nil || e.Tracer == nil {
+		return it, err
+	}
+	return e.Tracer.Wrap(n, it), nil
+}
+
+// openPartRaw builds the partition pipeline without wrapping its root
+// (children are built via openPart and so are wrapped). The exchange
+// callback uses it directly because the exchange node is already
+// wrapped at the Open level.
+func (e *Executor) openPartRaw(n plan.Node, pc PartitionCatalog, shared map[*plan.SemiJoinIn]map[string][]lineage.Cond, part, nparts int) (urel.Iterator, error) {
 	switch n := n.(type) {
 	case *plan.Scan:
 		it, err := pc.TablePartBatches(n.Table, part, nparts, urel.DefaultBatchSize)

@@ -46,6 +46,10 @@ type Stats struct {
 	// exchange queue (consumer-inlined partitions run on the consumer's
 	// own goroutine and are not workers).
 	WorkersBusy atomic.Int64
+	// InlineRuns counts partitions the consumer claimed away from the
+	// pool and pulled inline (lazy serial execution under pool
+	// saturation).
+	InlineRuns atomic.Int64
 }
 
 // msg is one hand-off from a partition worker to the merge: a batch,
@@ -85,6 +89,7 @@ type Exchange struct {
 	sch    *schema.Schema
 	pool   *Pool
 	open   func(part int) (urel.Iterator, error)
+	sinks  []*Stats
 	parts  []*partStream
 	cur    int
 	closed bool
@@ -96,15 +101,22 @@ type Exchange struct {
 // consumer, if it claims the partition inline) and must return the
 // partition's pipeline fragment; fragments must not share mutable
 // state. pool schedules the partition workers (nil spawns one
-// goroutine per partition, uncapped); stats may be nil.
-func New(sch *schema.Schema, nparts int, pool *Pool, stats *Stats, open func(part int) (urel.Iterator, error)) *Exchange {
+// goroutine per partition, uncapped). Every non-nil stats sink
+// receives the exchange's counters — the engine-global aggregate and a
+// per-query trace can observe the same activity.
+func New(sch *schema.Schema, nparts int, pool *Pool, open func(part int) (urel.Iterator, error), stats ...*Stats) *Exchange {
 	if nparts < 1 {
 		nparts = 1
 	}
 	ex := &Exchange{sch: sch, pool: pool, open: open, parts: make([]*partStream, nparts)}
-	if stats != nil {
-		stats.Exchanges.Add(1)
-		stats.Partitions.Add(int64(nparts))
+	for _, st := range stats {
+		if st != nil {
+			ex.sinks = append(ex.sinks, st)
+		}
+	}
+	for _, st := range ex.sinks {
+		st.Exchanges.Add(1)
+		st.Partitions.Add(int64(nparts))
 	}
 	for p := 0; p < nparts; p++ {
 		p := p
@@ -117,10 +129,14 @@ func New(sch *schema.Schema, nparts int, pool *Pool, stats *Stats, open func(par
 		ex.parts[p] = ps
 		fn := func() {
 			defer close(ps.done)
-			if stats != nil {
-				stats.WorkersBusy.Add(1)
-				defer stats.WorkersBusy.Add(-1)
+			for _, st := range ex.sinks {
+				st.WorkersBusy.Add(1)
 			}
+			defer func() {
+				for _, st := range ex.sinks {
+					st.WorkersBusy.Add(-1)
+				}
+			}()
 			ps.run(p, open)
 		}
 		if pool != nil {
@@ -186,6 +202,9 @@ func (ex *Exchange) Next() (*urel.Batch, error) {
 			// never touch storage from another goroutine.
 			close(ps.done)
 			ps.inline = true
+			for _, st := range ex.sinks {
+				st.InlineRuns.Add(1)
+			}
 		}
 		if ps.inline {
 			b, err := ex.nextInline(ps)

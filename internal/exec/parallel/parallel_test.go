@@ -55,13 +55,13 @@ func drainInts(t *testing.T, it urel.Iterator) []int64 {
 
 func TestExchangeOrderPreservingMerge(t *testing.T) {
 	var stats Stats
-	ex := New(intSchema(), 4, nil, &stats, func(part int) (urel.Iterator, error) {
+	ex := New(intSchema(), 4, nil, func(part int) (urel.Iterator, error) {
 		vals := make([]int64, 0, 10)
 		for i := 0; i < 10; i++ {
 			vals = append(vals, int64(part*10+i))
 		}
 		return &sliceIter{vals: vals}, nil
-	})
+	}, &stats)
 	got := drainInts(t, ex)
 	if len(got) != 40 {
 		t.Fatalf("got %d values, want 40", len(got))
@@ -84,7 +84,7 @@ func TestExchangeOrderPreservingMerge(t *testing.T) {
 
 func TestExchangePartitionError(t *testing.T) {
 	boom := errors.New("boom")
-	ex := New(intSchema(), 3, nil, nil, func(part int) (urel.Iterator, error) {
+	ex := New(intSchema(), 3, nil, func(part int) (urel.Iterator, error) {
 		if part == 1 {
 			return &sliceIter{vals: []int64{100}, fail: boom}, nil
 		}
@@ -97,7 +97,7 @@ func TestExchangePartitionError(t *testing.T) {
 }
 
 func TestExchangeOpenError(t *testing.T) {
-	ex := New(intSchema(), 2, nil, nil, func(part int) (urel.Iterator, error) {
+	ex := New(intSchema(), 2, nil, func(part int) (urel.Iterator, error) {
 		if part == 0 {
 			return nil, fmt.Errorf("cannot open")
 		}
@@ -116,9 +116,9 @@ func TestExchangeEarlyClose(t *testing.T) {
 		big[i] = int64(i)
 	}
 	var stats Stats
-	ex := New(intSchema(), 8, nil, &stats, func(part int) (urel.Iterator, error) {
+	ex := New(intSchema(), 8, nil, func(part int) (urel.Iterator, error) {
 		return &sliceIter{vals: big}, nil
-	})
+	}, &stats)
 	if _, err := ex.Next(); err != nil {
 		t.Fatal(err)
 	}
@@ -144,13 +144,13 @@ func TestExchangeOnSmallPool(t *testing.T) {
 	for _, poolSize := range []int{1, 2, 8} {
 		pool := NewPool(poolSize)
 		var stats Stats
-		ex := New(intSchema(), 6, pool, &stats, func(part int) (urel.Iterator, error) {
+		ex := New(intSchema(), 6, pool, func(part int) (urel.Iterator, error) {
 			vals := make([]int64, 0, 10)
 			for i := 0; i < 10; i++ {
 				vals = append(vals, int64(part*10+i))
 			}
 			return &sliceIter{vals: vals}, nil
-		})
+		}, &stats)
 		got := drainInts(t, ex)
 		if len(got) != 60 {
 			t.Fatalf("pool %d: got %d values, want 60", poolSize, len(got))
@@ -181,13 +181,13 @@ func TestExchangeCloseCancelsQueuedTasks(t *testing.T) {
 	var opens atomic.Int64
 	var stats Stats
 	big := make([]int64, 5000)
-	ex := New(intSchema(), 8, pool, &stats, func(part int) (urel.Iterator, error) {
+	ex := New(intSchema(), 8, pool, func(part int) (urel.Iterator, error) {
 		opens.Add(1)
 		if part == 0 {
 			<-gate // hold the only pool worker mid-fragment
 		}
 		return &sliceIter{vals: big}, nil
-	})
+	}, &stats)
 	// Partition 0 occupies the single pool worker; partitions 1..7 are
 	// queued. Release the worker, then close before draining.
 	close(gate)

@@ -78,7 +78,7 @@ func (e *Executor) openParAggregate(n *plan.Aggregate, pc PartitionCatalog, npar
 
 // parAggregate is the partitioned aggregation barrier.
 func (e *Executor) parAggregate(n *plan.Aggregate, fp *fragPrep, pc PartitionCatalog, nparts int) (*urel.Rel, error) {
-	e.noteBreaker(nparts)
+	e.noteBreaker(n, nparts)
 	// Phase 1: per-partition partial aggregation (bucketing).
 	parts := make([]*grouper, nparts)
 	err := parallel.Run(e.Pool, nparts, func(part int) error {
@@ -253,7 +253,7 @@ func sortLess(n *plan.Sort, a, b keyedTuple) bool {
 // index; runs are internally stable; partitions are contiguous input
 // ranges — together that reproduces exactly the serial stable sort.
 func (e *Executor) parSort(n *plan.Sort, fp *fragPrep, pc PartitionCatalog, nparts int) (*urel.Rel, error) {
-	e.noteBreaker(nparts)
+	e.noteBreaker(n, nparts)
 	runs := make([][]keyedTuple, nparts)
 	err := parallel.Run(e.Pool, nparts, func(part int) error {
 		it, err := e.openPart(n.In, pc, fp.shared, part, nparts)
@@ -289,6 +289,16 @@ func (e *Executor) parSort(n *plan.Sort, fp *fragPrep, pc PartitionCatalog, npar
 	})
 	if err != nil {
 		return nil, err
+	}
+	if tr := e.Tracer; tr != nil {
+		// Count only runs that actually hold rows — the merge fan-in.
+		live := int64(0)
+		for _, run := range runs {
+			if len(run) > 0 {
+				live++
+			}
+		}
+		tr.Node(n).Counter("merge_runs").Store(live)
 	}
 	out := urel.New(n.Sch())
 	total := 0
@@ -334,7 +344,7 @@ func (e *Executor) openParDistinct(n *plan.Distinct, pc PartitionCatalog, nparts
 // set — keeping exactly the tuples (and the order) the serial distinct
 // keeps.
 func (e *Executor) parDistinct(n *plan.Distinct, fp *fragPrep, pc PartitionCatalog, nparts int) (*urel.Rel, error) {
-	e.noteBreaker(nparts)
+	e.noteBreaker(n, nparts)
 	type local struct {
 		keys   []string
 		tuples []urel.Tuple
@@ -384,11 +394,19 @@ func (e *Executor) parDistinct(n *plan.Distinct, fp *fragPrep, pc PartitionCatal
 	return out, nil
 }
 
-// noteBreaker records one partitioned breaker run in the engine stats.
-func (e *Executor) noteBreaker(nparts int) {
+// noteBreaker records one partitioned breaker run in the engine stats
+// and, when a trace is attached, in the statement's trace: the
+// per-query parallel snapshot plus a partitions extra on the breaker's
+// own operator line.
+func (e *Executor) noteBreaker(n plan.Node, nparts int) {
 	if e.Stats != nil {
 		e.Stats.Breakers.Add(1)
 		e.Stats.Partitions.Add(int64(nparts))
+	}
+	if tr := e.Tracer; tr != nil {
+		tr.Par.Breakers.Add(1)
+		tr.Par.Partitions.Add(int64(nparts))
+		tr.Node(n).Counter("partitions").Store(int64(nparts))
 	}
 }
 

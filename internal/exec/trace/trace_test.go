@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"maybms/internal/plan"
+	"maybms/internal/schema"
+	"maybms/internal/urel"
+)
+
+// fakeNode is a minimal plan node; pointer identity is all tracing
+// keys on.
+type fakeNode struct{}
+
+func (*fakeNode) Sch() *schema.Schema { return schema.New() }
+func (*fakeNode) Certain() bool       { return true }
+
+// fakeIter emits the given batch sizes then io.EOF.
+type fakeIter struct {
+	sizes  []int
+	closed bool
+}
+
+func (f *fakeIter) Sch() *schema.Schema { return schema.New() }
+
+func (f *fakeIter) Next() (*urel.Batch, error) {
+	if len(f.sizes) == 0 {
+		return nil, io.EOF
+	}
+	n := f.sizes[0]
+	f.sizes = f.sizes[1:]
+	return &urel.Batch{Tuples: make([]urel.Tuple, n)}, nil
+}
+
+func (f *fakeIter) Close() error {
+	f.closed = true
+	return nil
+}
+
+func drain(t *testing.T, it urel.Iterator) {
+	t.Helper()
+	for {
+		_, err := it.Next()
+		if err == io.EOF {
+			if err := it.Close(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Partition copies of one operator share one OpStats: two wrapped
+// iterators keyed by the same node must sum into the same counters.
+func TestWrapSharesStatsAcrossPartitions(t *testing.T) {
+	tr := New()
+	n := &fakeNode{}
+	a := &fakeIter{sizes: []int{3, 2}}
+	b := &fakeIter{sizes: []int{4}}
+	drain(t, tr.Wrap(n, a))
+	drain(t, tr.Wrap(n, b))
+	if !a.closed || !b.closed {
+		t.Fatal("wrapped Close did not reach the inner iterator")
+	}
+	st, ok := tr.Lookup(n)
+	if !ok {
+		t.Fatal("no stats recorded for the wrapped node")
+	}
+	if got := st.RowsOut.Load(); got != 9 {
+		t.Errorf("RowsOut = %d, want 9", got)
+	}
+	if got := st.Batches.Load(); got != 3 {
+		t.Errorf("Batches = %d, want 3", got)
+	}
+	if _, ok := tr.Lookup(&fakeNode{}); ok {
+		t.Error("Lookup of a never-executed node reported stats")
+	}
+}
+
+// Extras keep first-recorded order and survive concurrent increments.
+func TestCounterOrderAndConcurrency(t *testing.T) {
+	var st OpStats
+	st.Counter("build_rows").Add(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				st.Counter("samples").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	st.Counter("build_rows").Add(2)
+	ex := st.Extras()
+	if len(ex) != 2 || ex[0].Name != "build_rows" || ex[1].Name != "samples" {
+		t.Fatalf("Extras order = %v, want [build_rows samples]", ex)
+	}
+	if ex[0].Value != 3 || ex[1].Value != 800 {
+		t.Errorf("Extras values = %d, %d, want 3, 800", ex[0].Value, ex[1].Value)
+	}
+}
+
+// ObserveRelErr keeps the maximum across concurrent observers.
+func TestObserveRelErrMax(t *testing.T) {
+	var st OpStats
+	if _, ok := st.MaxRelErr(); ok {
+		t.Fatal("MaxRelErr reported a value before any observation")
+	}
+	var wg sync.WaitGroup
+	for _, v := range []float64{0.01, 0.5, 0.2, 0.07} {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			st.ObserveRelErr(v)
+		}(v)
+	}
+	wg.Wait()
+	if got, ok := st.MaxRelErr(); !ok || got != 0.5 {
+		t.Errorf("MaxRelErr = %v, %v, want 0.5, true", got, ok)
+	}
+}
+
+// Render annotates executed nodes with stats, marks never-executed
+// nodes, and appends the execution footer with the trace id.
+func TestRenderFooterAndNeverExecuted(t *testing.T) {
+	tr := New()
+	n := &fakeNode{}
+	out := tr.Render(n, 42*time.Millisecond, 7)
+	if !strings.Contains(out, "(never executed)") {
+		t.Errorf("unexecuted node not marked: %q", out)
+	}
+	if !strings.Contains(out, "rows=7") || !strings.Contains(out, "trace_id="+tr.ID) {
+		t.Errorf("footer missing rows or trace id: %q", out)
+	}
+	if strings.Contains(out, "parallel:") {
+		t.Errorf("parallel summary rendered without any parallel activity: %q", out)
+	}
+
+	drain(t, tr.Wrap(n, &fakeIter{sizes: []int{5}}))
+	st, _ := tr.Lookup(n)
+	st.Counter("partitions").Store(4)
+	st.ObserveRelErr(0.0123)
+	tr.Par.Breakers.Add(1)
+	tr.Par.Partitions.Add(4)
+	out = tr.Render(n, time.Millisecond, 5)
+	for _, want := range []string{"rows=5 batches=1", "partitions=4", "max_rel_err=0.0123", "parallel: exchanges=0 breakers=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Snapshot mirrors the recorded stats into the JSON shape.
+func TestSnapshot(t *testing.T) {
+	tr := New()
+	n := &fakeNode{}
+	drain(t, tr.Wrap(n, &fakeIter{sizes: []int{2, 2}}))
+	st, _ := tr.Lookup(n)
+	st.Counter("merge_runs").Store(3)
+	st.ObserveRelErr(0.25)
+	snap := tr.Snapshot(n)
+	if snap.Rows != 4 || snap.Batches != 2 {
+		t.Errorf("snapshot rows/batches = %d/%d, want 4/2", snap.Rows, snap.Batches)
+	}
+	if snap.Extras["merge_runs"] != 3 {
+		t.Errorf("snapshot extras = %v, want merge_runs=3", snap.Extras)
+	}
+	if snap.MaxRelErr != 0.25 {
+		t.Errorf("snapshot max_rel_err = %v, want 0.25", snap.MaxRelErr)
+	}
+	if snap.Op != plan.OpName(n) {
+		t.Errorf("snapshot op = %q, want %q", snap.Op, plan.OpName(n))
+	}
+}

@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"maybms/internal/exec/trace"
+	"maybms/internal/plan"
+	"maybms/internal/sql"
+	"maybms/internal/urel"
+)
+
+func drainCount(t testing.TB, it urel.Iterator) int64 {
+	t.Helper()
+	var rows int64
+	for {
+		b, err := it.Next()
+		if err == io.EOF {
+			if err := it.Close(); err != nil {
+				t.Fatal(err)
+			}
+			return rows
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows += int64(len(b.Tuples))
+	}
+}
+
+// The zero-trace hot path is unchanged: with a nil Tracer, Open hands
+// back the raw pipeline iterator itself — same type, same allocation
+// count as the internal untraced constructor — and only an attached
+// Tracer interposes the stats shim.
+func TestNilTracerAddsNothing(t *testing.T) {
+	cat, store, _ := fixture()
+	e := New(cat, store)
+	n := mustPlan(t, cat, `select a from t where a > 0`)
+
+	raw, err := e.open(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawType := reflect.TypeOf(raw)
+	drainCount(t, raw)
+
+	it, err := e.Open(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reflect.TypeOf(it); got != rawType {
+		t.Fatalf("nil-Tracer Open returned %v, want the raw %v", got, rawType)
+	}
+	drainCount(t, it)
+
+	rawAllocs := testing.AllocsPerRun(50, func() {
+		it, err := e.open(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainCount(t, it)
+	})
+	openAllocs := testing.AllocsPerRun(50, func() {
+		it, err := e.Open(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainCount(t, it)
+	})
+	if openAllocs != rawAllocs {
+		t.Errorf("nil-Tracer Open+drain allocates %.0f, raw pipeline %.0f — the no-trace path must add nothing", openAllocs, rawAllocs)
+	}
+
+	// And the tracer really does interpose when attached.
+	e.Tracer = trace.New()
+	defer func() { e.Tracer = nil }()
+	it, err = e.Open(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.TypeOf(it) == rawType {
+		t.Fatal("attached Tracer did not wrap the pipeline")
+	}
+	rows := drainCount(t, it)
+	st, ok := e.Tracer.Lookup(n)
+	if !ok || st.RowsOut.Load() != rows {
+		t.Fatalf("traced drain recorded %v rows, want %d", st, rows)
+	}
+}
+
+// BenchmarkOpenDrainUntraced pins the no-trace hot path for alloc
+// regression tracking (`go test -bench OpenDrainUntraced -benchmem`).
+func BenchmarkOpenDrainUntraced(b *testing.B) {
+	cat, store, _ := fixture()
+	e := New(cat, store)
+	st, err := sql.Parse(`select a from t where a > 0`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := plan.Build(st.(*sql.QueryStmt).Query, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := e.Open(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainCount(b, it)
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+// ETrace exercises the observability layer on the repair-key workload
+// database: each workload runs once with a Trace attached and the
+// per-operator execution statistics — rows, batches, wall time,
+// exchange/breaker partition counts, aconf sampling effort — are
+// emitted as BENCH_trace.json. Unlike EPar/EParAgg this is not a
+// timing benchmark: the artifact is the analyzed operator tree itself,
+// tracked across commits so a plan-shape or sampling-effort regression
+// shows up as a diff.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"maybms/internal/exec/trace"
+	"maybms/internal/sql"
+)
+
+// TraceWorkload is one traced query's observability snapshot.
+type TraceWorkload struct {
+	Name    string       `json:"name"`
+	Query   string       `json:"query"`
+	Millis  float64      `json:"ms"`
+	Rows    int          `json:"rows"`
+	TraceID string       `json:"trace_id"`
+	Plan    trace.OpSnap `json:"plan"`
+	// Parallel is the statement-scoped mirror of the engine's
+	// parallel-execution counters.
+	Parallel TracePar `json:"parallel"`
+}
+
+// TracePar is the per-statement parallel activity summary.
+type TracePar struct {
+	Exchanges  int64 `json:"exchanges"`
+	Breakers   int64 `json:"breakers"`
+	Partitions int64 `json:"partitions"`
+	InlineRuns int64 `json:"inline_runs"`
+}
+
+// TraceReport is the BENCH_trace.json document.
+type TraceReport struct {
+	Rows        int             `json:"rows"`
+	Parallelism int             `json:"parallelism"`
+	NumCPU      int             `json:"num_cpu"`
+	Quick       bool            `json:"quick"`
+	Workloads   []TraceWorkload `json:"workloads"`
+	Note        string          `json:"note"`
+}
+
+// ETrace runs each workload once with per-operator tracing attached
+// and writes the stats as BENCH_trace.json (when jsonPath is
+// non-empty). parallelism <= 0 uses GOMAXPROCS.
+func ETrace(w io.Writer, opts Options, jsonPath string, parallelism int) *TraceReport {
+	rows := 100000
+	if opts.Quick {
+		rows = 20000
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	workloads := []TraceWorkload{
+		{Name: "scan_filter_count", Query: `select count(*) from base where val % 7 = 3 and id % 2 = 0`},
+		{Name: "group_conf_lineage", Query: `select grp, conf() from u where val % 2 = 0 group by grp order by grp limit 50`},
+		{Name: "group_aconf_montecarlo", Query: `select grp % 16, aconf(0.2, 0.05) from u group by grp % 16 order by 1`},
+	}
+
+	fmt.Fprintln(w, "== ETrace: per-operator execution tracing (EXPLAIN ANALYZE stats as a bench artifact) ==")
+	fmt.Fprintf(w, "rows=%d  parallelism=%d  NumCPU=%d\n", rows, parallelism, runtime.NumCPU())
+
+	db := buildParDB(rows, parallelism, opts.Seed)
+	eng := db.Engine()
+	for wi := range workloads {
+		wl := &workloads[wi]
+		stmts, err := sql.ParseAll(wl.Query)
+		if err != nil || len(stmts) != 1 {
+			fmt.Fprintf(w, "%s: bad workload query: %v\n", wl.Name, err)
+			continue
+		}
+		tr := trace.New()
+		start := time.Now()
+		res, root, err := eng.RunStatementTraced(stmts[0], tr)
+		dur := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", wl.Name, err)
+			continue
+		}
+		wl.Millis = float64(dur.Microseconds()) / 1000
+		wl.Rows = len(res.Rel.Tuples)
+		wl.TraceID = tr.ID
+		wl.Plan = tr.Snapshot(root)
+		wl.Parallel = TracePar{
+			Exchanges:  tr.Par.Exchanges.Load(),
+			Breakers:   tr.Par.Breakers.Load(),
+			Partitions: tr.Par.Partitions.Load(),
+			InlineRuns: tr.Par.InlineRuns.Load(),
+		}
+		fmt.Fprintf(w, "%-24s %10.2fms  rows=%-6d exchanges=%d breakers=%d partitions=%d\n",
+			wl.Name, wl.Millis, wl.Rows, wl.Parallel.Exchanges, wl.Parallel.Breakers, wl.Parallel.Partitions)
+		for _, line := range strings.Split(strings.TrimRight(tr.Render(root, dur, int64(wl.Rows)), "\n"), "\n") {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+	}
+
+	report := &TraceReport{
+		Rows:        rows,
+		Parallelism: parallelism,
+		NumCPU:      runtime.NumCPU(),
+		Quick:       opts.Quick,
+		Workloads:   workloads,
+		Note: "per-operator stats of one traced run per workload; wall times vary run to run, " +
+			"but plan shape, row counts, partition counts, and aconf sampling effort are " +
+			"deterministic for a fixed seed and should not drift across commits.",
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "writing %s: %v\n", jsonPath, err)
+		} else {
+			fmt.Fprintf(w, "wrote %s\n", jsonPath)
+		}
+	}
+	return report
+}

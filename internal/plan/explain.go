@@ -8,19 +8,33 @@ import (
 // Explain renders a plan tree as an indented outline, used by the
 // shell's EXPLAIN and by planner tests asserting on plan shapes.
 func Explain(n Node) string {
+	return ExplainFunc(n, nil)
+}
+
+// ExplainFunc renders a plan tree like Explain, appending annot(node)
+// to each operator's line when annot is non-nil and returns a
+// non-empty string — how EXPLAIN ANALYZE attaches live execution stats
+// to the static outline without the plan package knowing about traces.
+func ExplainFunc(n Node, annot func(Node) string) string {
 	var b strings.Builder
-	explain(&b, n, 0)
+	explain(&b, n, 0, annot)
 	return b.String()
 }
 
-func explain(b *strings.Builder, n Node, depth int) {
+func explain(b *strings.Builder, n Node, depth int, annot func(Node) string) {
 	indent := strings.Repeat("  ", depth)
 	certainty := "uncertain"
 	if n.Certain() {
 		certainty = "certain"
 	}
 	line := func(format string, args ...interface{}) {
-		fmt.Fprintf(b, "%s%s [%s] %s\n", indent, opName(n), certainty, fmt.Sprintf(format, args...))
+		fmt.Fprintf(b, "%s%s [%s] %s", indent, OpName(n), certainty, fmt.Sprintf(format, args...))
+		if annot != nil {
+			if a := annot(n); a != "" {
+				fmt.Fprintf(b, " %s", a)
+			}
+		}
+		b.WriteByte('\n')
 	}
 	switch n := n.(type) {
 	case *Scan:
@@ -29,60 +43,85 @@ func explain(b *strings.Builder, n Node, depth int) {
 		line("")
 	case *Rename:
 		line("as=%s", n.sch.Cols[0].Rel)
-		explain(b, n.In, depth+1)
 	case *Product:
 		line("")
-		explain(b, n.L, depth+1)
-		explain(b, n.R, depth+1)
 	case *HashJoin:
 		line("lkeys=%v rkeys=%v", n.LKeys, n.RKeys)
-		explain(b, n.L, depth+1)
-		explain(b, n.R, depth+1)
 	case *Filter:
 		line("")
-		explain(b, n.In, depth+1)
 	case *SemiJoinIn:
 		line("")
-		explain(b, n.In, depth+1)
-		explain(b, n.Sub, depth+1)
 	case *Project:
 		line("items=%d tconf=%v", len(n.Items), n.HasTconf)
-		explain(b, n.In, depth+1)
 	case *Aggregate:
 		names := make([]string, len(n.Aggs))
 		for i, a := range n.Aggs {
 			names[i] = aggName(a.Kind)
 		}
 		line("groupby=%d aggs=%v", len(n.GroupBy), names)
-		explain(b, n.In, depth+1)
 	case *RepairKey:
 		line("keys=%v weighted=%v", n.Keys, n.Weight != nil)
-		explain(b, n.In, depth+1)
 	case *PickTuples:
 		line("independently prob=%v", n.Prob != nil)
-		explain(b, n.In, depth+1)
 	case *UnionAll:
 		line("")
-		explain(b, n.L, depth+1)
-		explain(b, n.R, depth+1)
 	case *Distinct:
 		line("")
-		explain(b, n.In, depth+1)
 	case *Possible:
 		line("")
-		explain(b, n.In, depth+1)
 	case *Sort:
 		line("keys=%d", len(n.Keys))
-		explain(b, n.In, depth+1)
 	case *Limit:
 		line("n=%d offset=%d", n.N, n.Offset)
-		explain(b, n.In, depth+1)
 	default:
 		line("?")
 	}
+	for _, c := range Children(n) {
+		explain(b, c, depth+1, annot)
+	}
 }
 
-func opName(n Node) string {
+// Children returns a node's plan inputs in explain order, letting
+// callers outside the package (the trace renderer, the bench trace
+// exporter) walk plan trees without enumerating node types themselves.
+func Children(n Node) []Node {
+	switch n := n.(type) {
+	case *Rename:
+		return []Node{n.In}
+	case *Product:
+		return []Node{n.L, n.R}
+	case *HashJoin:
+		return []Node{n.L, n.R}
+	case *Filter:
+		return []Node{n.In}
+	case *SemiJoinIn:
+		return []Node{n.In, n.Sub}
+	case *Project:
+		return []Node{n.In}
+	case *Aggregate:
+		return []Node{n.In}
+	case *RepairKey:
+		return []Node{n.In}
+	case *PickTuples:
+		return []Node{n.In}
+	case *UnionAll:
+		return []Node{n.L, n.R}
+	case *Distinct:
+		return []Node{n.In}
+	case *Possible:
+		return []Node{n.In}
+	case *Sort:
+		return []Node{n.In}
+	case *Limit:
+		return []Node{n.In}
+	default:
+		return nil
+	}
+}
+
+// OpName is the operator's display name in explain outlines and
+// traces.
+func OpName(n Node) string {
 	switch n.(type) {
 	case *Scan:
 		return "Scan"

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"maybms/internal/wire"
+)
+
+// syncBuffer is an io.Writer safe to read from the test while the
+// server writes slow-query lines under its own mutex.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// postQuery issues one /v1/query request and returns the response and
+// decoded body.
+func postQuery(t *testing.T, base, sql string, hdr map[string]string) (*http.Response, wire.QueryResponse) {
+	t.Helper()
+	body, _ := json.Marshal(wire.Request{SQL: sql})
+	req, err := http.NewRequest("POST", base+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/query %q: status %d: %s", sql, resp.StatusCode, raw)
+	}
+	var qr wire.QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatalf("decode query response: %v", err)
+	}
+	return resp, qr
+}
+
+// Every query response carries a trace id: generated when the client
+// sent none, echoed verbatim when it did.
+func TestTraceHeaderEchoedAndHonored(t *testing.T) {
+	log := &syncBuffer{}
+	base, _, _ := startServer(t, Options{SlowQueryLog: log})
+
+	resp, _ := postQuery(t, base, `select 1`, nil)
+	gen := resp.Header.Get(wire.TraceHeader)
+	if len(gen) != 16 {
+		t.Errorf("generated trace id %q, want 16 hex digits", gen)
+	}
+
+	resp, _ = postQuery(t, base, `select 2`, map[string]string{wire.TraceHeader: "client-trace-42"})
+	if got := resp.Header.Get(wire.TraceHeader); got != "client-trace-42" {
+		t.Errorf("trace header = %q, want the client-supplied id echoed", got)
+	}
+	// The client-supplied id reaches the slow-query log (threshold 0
+	// logs everything).
+	if !strings.Contains(log.String(), `"trace_id":"client-trace-42"`) {
+		t.Errorf("slow-query log missing client trace id:\n%s", log.String())
+	}
+}
+
+// At threshold 0 every statement emits one JSON log line with the
+// analyzed operator tree.
+func TestSlowQueryLog(t *testing.T) {
+	log := &syncBuffer{}
+	base, _, _ := startServer(t, Options{SlowQueryLog: log, SlowQueryThreshold: 0})
+
+	_, qr := postQuery(t, base, `select 1 + 2`, nil)
+	if len(qr.Rows) != 1 {
+		t.Fatalf("query returned %d rows, want 1", len(qr.Rows))
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(log.String()))
+	var entry struct {
+		Time       string   `json:"time"`
+		TraceID    string   `json:"trace_id"`
+		Endpoint   string   `json:"endpoint"`
+		SQL        string   `json:"sql"`
+		DurationMs float64  `json:"duration_ms"`
+		Rows       int64    `json:"rows"`
+		Plan       []string `json:"plan"`
+	}
+	found := false
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &entry); err != nil {
+			t.Fatalf("slow-query line is not JSON: %v: %s", err, sc.Text())
+		}
+		if entry.SQL == `select 1 + 2` {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no slow-query line for the statement:\n%s", log.String())
+	}
+	if entry.Endpoint != "query" || entry.Rows != 1 || entry.TraceID == "" {
+		t.Errorf("slow-query entry = %+v, want endpoint=query rows=1 and a trace id", entry)
+	}
+	if len(entry.Plan) == 0 || !strings.Contains(strings.Join(entry.Plan, "\n"), "execution:") {
+		t.Errorf("slow-query entry missing the analyzed plan: %v", entry.Plan)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, entry.Time); err != nil {
+		t.Errorf("slow-query timestamp %q not RFC3339: %v", entry.Time, err)
+	}
+
+	// Above the threshold nothing is logged.
+	quiet := &syncBuffer{}
+	base2, _, _ := startServer(t, Options{SlowQueryLog: quiet, SlowQueryThreshold: time.Hour})
+	postQuery(t, base2, `select 1`, nil)
+	if quiet.String() != "" {
+		t.Errorf("sub-threshold query was logged:\n%s", quiet.String())
+	}
+}
+
+// /metrics exposes cumulative latency and row-count histograms after
+// queries run.
+func TestMetricsHistograms(t *testing.T) {
+	base, _, _ := startServer(t, Options{})
+	for i := 0; i < 3; i++ {
+		postQuery(t, base, fmt.Sprintf(`select %d`, i), nil)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, want := range []string{
+		`maybms_query_duration_seconds_bucket{endpoint="query",le="+Inf"} 3`,
+		`maybms_query_duration_seconds_count{endpoint="query"} 3`,
+		`maybms_query_duration_seconds_bucket{endpoint="exec",le="+Inf"} 0`,
+		`maybms_query_rows_returned_bucket{le="1"} 3`,
+		`maybms_query_rows_returned_count 3`,
+		`maybms_parallel_inline_runs_total`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Buckets are cumulative: every le bound counts at least as many
+	// observations as the one before it.
+	last := int64(-1)
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, `maybms_query_duration_seconds_bucket{endpoint="query"`) {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &n); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = n
+	}
+}
+
+// pprof endpoints exist only when opted in.
+func TestPprofGated(t *testing.T) {
+	off, _, _ := startServer(t, Options{})
+	resp, err := http.Get(off + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without -pprof: status %d, want 404", resp.StatusCode)
+	}
+
+	on, _, _ := startServer(t, Options{Pprof: true})
+	resp, err = http.Get(on + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof with -pprof: status %d, want a 200 index page", resp.StatusCode)
+	}
+}
+
+// The stream endpoint logs slow queries too, with rows counted across
+// all frames.
+func TestStreamSlowQueryLog(t *testing.T) {
+	log := &syncBuffer{}
+	base, mdb, _ := startServer(t, Options{SlowQueryLog: log, SlowQueryThreshold: 0})
+	mdb.MustExec(`create table s (x int)`)
+	mdb.MustExec(`insert into s values (1), (2), (3), (4), (5)`)
+
+	body, _ := json.Marshal(wire.Request{SQL: `select x from s order by x`})
+	resp, err := http.Post(base+"/v1/query/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get(wire.TraceHeader) == "" {
+		t.Error("stream response carries no trace id header")
+	}
+	if !strings.Contains(log.String(), `"endpoint":"stream"`) || !strings.Contains(log.String(), `"rows":5`) {
+		t.Errorf("stream slow-query line missing or wrong:\n%s", log.String())
+	}
+}

@@ -33,12 +33,15 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"maybms"
 	dbpkg "maybms/internal/db"
+	"maybms/internal/exec/trace"
+	planpkg "maybms/internal/plan"
 	sqlpkg "maybms/internal/sql"
 	"maybms/internal/wire"
 )
@@ -65,6 +68,19 @@ type Options struct {
 	// (maybms.Options.WorkerPool); zero leaves the engine's
 	// configuration untouched.
 	WorkerPool int
+	// SlowQueryLog, when non-nil, enables the slow-query log: every
+	// statement executes with a trace attached, and any request whose
+	// statement takes at least SlowQueryThreshold is logged as one JSON
+	// line (trace id, SQL, duration, rows, analyzed operator tree).
+	SlowQueryLog io.Writer
+	// SlowQueryThreshold is the duration at or above which a traced
+	// request is logged; zero logs every request. Ignored when
+	// SlowQueryLog is nil.
+	SlowQueryThreshold time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the server's
+	// handler. Off by default: profiling endpoints expose internals and
+	// cost CPU, so they are strictly opt-in.
+	Pprof bool
 }
 
 func (o *Options) fill() {
@@ -110,6 +126,17 @@ type Server struct {
 
 	done chan struct{}
 
+	// slowMu serialises slow-query log writes so concurrent handlers
+	// cannot interleave JSON lines.
+	slowMu sync.Mutex
+
+	// Fixed-bucket latency histograms by endpoint, plus the
+	// result-size histogram; all surfaced on /metrics.
+	queryDur  *histogram
+	execDur   *histogram
+	streamDur *histogram
+	rowsHist  *histogram
+
 	start           time.Time
 	queriesTotal    atomic.Int64
 	streamsTotal    atomic.Int64
@@ -136,12 +163,16 @@ func New(mdb *maybms.DB, opts Options) *Server {
 		mdb.SetWorkerPool(opts.WorkerPool)
 	}
 	s := &Server{
-		db:       mdb,
-		eng:      mdb.Engine(),
-		opts:     opts,
-		sessions: map[string]*session{},
-		done:     make(chan struct{}),
-		start:    time.Now(),
+		db:        mdb,
+		eng:       mdb.Engine(),
+		opts:      opts,
+		sessions:  map[string]*session{},
+		done:      make(chan struct{}),
+		start:     time.Now(),
+		queryDur:  newHistogram(durationBuckets),
+		execDur:   newHistogram(durationBuckets),
+		streamDur: newHistogram(durationBuckets),
+		rowsHist:  newHistogram(rowsBuckets),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	interval := opts.SessionIdle / 4
@@ -192,6 +223,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/import", s.handleImport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -277,13 +315,19 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*session
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.queriesTotal.Add(1)
+	tid := traceID(r)
+	w.Header().Set(wire.TraceHeader, tid)
 	sess, src, err := s.decodeRequest(w, r)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	defer s.releaseSession(sess)
-	res, err := s.runScript(sess, src)
+	tr := s.newTrace(tid)
+	start := time.Now()
+	res, root, err := s.runScriptTraced(sess, src, tr)
+	dur := time.Since(start)
+	s.queryDur.observe(dur.Seconds())
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -293,6 +337,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rows := maybms.RowsFromRel(res.Rel)
+	s.rowsHist.observe(float64(len(rows.Data)))
+	s.logSlow("query", src, tr, root, dur, int64(len(rows.Data)))
 	cells, err := wire.EncodeRows(rows.Data)
 	if err != nil {
 		s.writeError(w, &httpError{code: http.StatusInternalServerError, msg: err.Error()})
@@ -317,6 +363,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // result is streamed.
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	s.streamsTotal.Add(1)
+	tid := traceID(r)
+	w.Header().Set(wire.TraceHeader, tid)
 	sess, src, err := s.decodeRequest(w, r)
 	if err != nil {
 		s.writeError(w, err)
@@ -333,15 +381,18 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("server: streaming requires a single query statement"))
 		return
 	}
+	tr := s.newTrace(tid)
+	start := time.Now()
 	var cur *maybms.RowsCursor
+	var root planpkg.Node
 	if sqlpkg.ReadOnly(st) {
 		s.readStmtsTotal.Add(1)
-		ecur, err := s.eng.OpenQueryStmt(st)
+		ecur, n, err := s.eng.OpenQueryStmtTraced(st, tr)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
-		cur = maybms.NewRowsCursor(ecur)
+		cur, root = maybms.NewRowsCursor(ecur), n
 	} else {
 		s.writeStmtsTotal.Add(1)
 		release, err := s.claimWrite(sess)
@@ -349,13 +400,13 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, err)
 			return
 		}
-		res, err := s.eng.RunStatement(st)
+		res, n, err := s.eng.RunStatementTraced(st, tr)
 		release()
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
-		cur = maybms.RowsCursorFromRel(res.Rel)
+		cur, root = maybms.RowsCursorFromRel(res.Rel), n
 	}
 	defer cur.Close()
 
@@ -414,6 +465,10 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		total += int64(len(page.Data))
 		s.rowsStreamed.Add(int64(len(page.Data)))
 	}
+	dur := time.Since(start)
+	s.streamDur.observe(dur.Seconds())
+	s.rowsHist.observe(float64(total))
+	s.logSlow("stream", src, tr, root, dur, total)
 	send(wire.StreamFrame{Done: &wire.StreamDone{RowsStreamed: total}})
 }
 
@@ -429,17 +484,24 @@ func singleQueryStmt(stmts []sqlpkg.Statement) (*sqlpkg.QueryStmt, bool) {
 
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	s.execsTotal.Add(1)
+	tid := traceID(r)
+	w.Header().Set(wire.TraceHeader, tid)
 	sess, src, err := s.decodeRequest(w, r)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	defer s.releaseSession(sess)
-	res, err := s.runScript(sess, src)
+	tr := s.newTrace(tid)
+	start := time.Now()
+	res, root, err := s.runScriptTraced(sess, src, tr)
+	dur := time.Since(start)
+	s.execDur.observe(dur.Seconds())
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
+	s.logSlow("exec", src, tr, root, dur, int64(res.RowsAffected))
 	writeJSON(w, http.StatusOK, wire.ExecResponse{RowsAffected: res.RowsAffected, Msg: res.Msg})
 }
 
@@ -490,22 +552,31 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 // runScript parses and executes a script on behalf of sess (nil for
 // the anonymous context), returning the last statement's result.
 func (s *Server) runScript(sess *session, src string) (*dbpkg.Result, error) {
+	res, _, err := s.runScriptTraced(sess, src, nil)
+	return res, err
+}
+
+// runScriptTraced is runScript with tr (when non-nil) attached to
+// every statement; it also returns the last statement's plan root, for
+// rendering the analyzed tree in the slow-query log.
+func (s *Server) runScriptTraced(sess *session, src string, tr *trace.Trace) (*dbpkg.Result, planpkg.Node, error) {
 	stmts, err := sqlpkg.ParseAll(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var last *dbpkg.Result
+	var root planpkg.Node
 	for _, st := range stmts {
-		r, err := s.runStatement(sess, st)
+		r, n, err := s.runStatementTraced(sess, st, tr)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		last = r
+		last, root = r, n
 	}
 	if last == nil {
-		return &dbpkg.Result{Msg: "empty script"}, nil
+		return &dbpkg.Result{Msg: "empty script"}, nil, nil
 	}
-	return last, nil
+	return last, root, nil
 }
 
 // runStatement executes one statement, enforcing the session/
@@ -514,10 +585,19 @@ func (s *Server) runScript(sess *session, src string) (*dbpkg.Result, error) {
 // so session management, health, and metrics stay responsive during
 // long statements.
 func (s *Server) runStatement(sess *session, st sqlpkg.Statement) (*dbpkg.Result, error) {
+	res, _, err := s.runStatementTraced(sess, st, nil)
+	return res, err
+}
+
+// runStatementTraced is runStatement with tr (when non-nil) attached
+// to the statement's executor. Transaction control has no plan and is
+// never traced; everything else routes through the engine's traced
+// entry point, which returns the query's plan root when there is one.
+func (s *Server) runStatementTraced(sess *session, st sqlpkg.Statement, tr *trace.Trace) (*dbpkg.Result, planpkg.Node, error) {
 	switch st.(type) {
 	case *sqlpkg.Begin:
 		if sess == nil {
-			return nil, errTxnNeedsSession
+			return nil, nil, errTxnNeedsSession
 		}
 		s.txnMu.Lock()
 		defer s.txnMu.Unlock()
@@ -529,12 +609,12 @@ func (s *Server) runStatement(sess *session, st sqlpkg.Statement) (*dbpkg.Result
 		// txnMu and cleans up right after us.)
 		if _, live := s.sessions[sess.token]; !live {
 			s.mu.Unlock()
-			return nil, errNoSession
+			return nil, nil, errNoSession
 		}
 		if s.txnOwner != "" && s.txnOwner != sess.token {
 			s.mu.Unlock()
 			s.txnConflicts.Add(1)
-			return nil, errTxnHeld
+			return nil, nil, errTxnHeld
 		}
 		// Claim the slot BEFORE draining writers: from here on
 		// claimWrite rejects new foreign one-shot writes, so writers
@@ -556,13 +636,13 @@ func (s *Server) runStatement(sess *session, st sqlpkg.Statement) (*dbpkg.Result
 			s.mu.Lock()
 			s.txnOwner = prev
 			s.mu.Unlock()
-			return nil, err
+			return nil, nil, err
 		}
-		return r, nil
+		return r, nil, nil
 
 	case *sqlpkg.Commit, *sqlpkg.Rollback:
 		if sess == nil {
-			return nil, errTxnNeedsSession
+			return nil, nil, errTxnNeedsSession
 		}
 		s.txnMu.Lock()
 		defer s.txnMu.Unlock()
@@ -570,17 +650,17 @@ func (s *Server) runStatement(sess *session, st sqlpkg.Statement) (*dbpkg.Result
 		if s.txnOwner != "" && s.txnOwner != sess.token {
 			s.mu.Unlock()
 			s.txnConflicts.Add(1)
-			return nil, errTxnHeld
+			return nil, nil, errTxnHeld
 		}
 		s.mu.Unlock()
 		r, err := s.eng.RunStatement(st)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		s.mu.Lock()
 		s.txnOwner = ""
 		s.mu.Unlock()
-		return r, nil
+		return r, nil, nil
 
 	default:
 		if sqlpkg.ReadOnly(st) {
@@ -588,15 +668,15 @@ func (s *Server) runStatement(sess *session, st sqlpkg.Statement) (*dbpkg.Result
 			// the engine's RWMutex lets them run in parallel, which is
 			// the whole point of the classifier.
 			s.readStmtsTotal.Add(1)
-			return s.eng.RunStatement(st)
+			return s.eng.RunStatementTraced(st, tr)
 		}
 		s.writeStmtsTotal.Add(1)
 		release, err := s.claimWrite(sess)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer release()
-		return s.eng.RunStatement(st)
+		return s.eng.RunStatementTraced(st, tr)
 	}
 }
 
@@ -670,6 +750,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "maybms_parallel_queries_total %d\n", par.Exchanges.Load())
 	fmt.Fprintf(w, "maybms_parallel_breakers_total %d\n", par.Breakers.Load())
 	fmt.Fprintf(w, "maybms_parallel_partitions_total %d\n", par.Partitions.Load())
+	fmt.Fprintf(w, "maybms_parallel_inline_runs_total %d\n", par.InlineRuns.Load())
 	fmt.Fprintf(w, "maybms_parallel_workers_busy %d\n", par.WorkersBusy.Load())
 	pool := s.eng.WorkerPool()
 	fmt.Fprintf(w, "maybms_pool_size %d\n", pool.Size())
@@ -678,4 +759,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "maybms_pool_fragments_queued %d\n", pool.Queued())
 	fmt.Fprintf(w, "maybms_pool_runs_total %d\n", pool.PoolRuns())
 	fmt.Fprintf(w, "maybms_pool_inline_runs_total %d\n", pool.InlineRuns())
+	s.queryDur.write(w, "maybms_query_duration_seconds", `endpoint="query"`)
+	s.execDur.write(w, "maybms_query_duration_seconds", `endpoint="exec"`)
+	s.streamDur.write(w, "maybms_query_duration_seconds", `endpoint="stream"`)
+	s.rowsHist.write(w, "maybms_query_rows_returned", "")
 }

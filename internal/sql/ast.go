@@ -73,8 +73,13 @@ type Rollback struct{}
 type QueryStmt struct{ Query Query }
 
 // ExplainStmt is EXPLAIN <query>: it returns the plan outline instead
-// of running the query.
-type ExplainStmt struct{ Query Query }
+// of running the query. With Analyze set (EXPLAIN ANALYZE <query>) the
+// query actually executes — rows are drained and discarded — and the
+// outline is annotated with per-operator execution statistics.
+type ExplainStmt struct {
+	Query   Query
+	Analyze bool
+}
 
 func (*CreateTable) stmt() {}
 func (*DropTable) stmt()   {}

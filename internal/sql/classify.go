@@ -23,6 +23,11 @@ func ReadOnly(s Statement) bool {
 		// EXPLAIN only builds the plan; the uncertainty-introducing
 		// operators allocate variables at execution time, not planning
 		// time, so even an EXPLAIN of a repair-key query is read-only.
+		// EXPLAIN ANALYZE runs the query for real, so it inherits the
+		// query's own classification.
+		if s.Analyze {
+			return QueryReadOnly(s.Query)
+		}
 		return true
 	default:
 		// DDL, DML, and transaction control are writes.

@@ -136,11 +136,12 @@ func (p *parser) statement() (Statement, error) {
 	case p.peekKw("delete"):
 		return p.delete()
 	case p.acceptKw("explain"):
+		analyze := p.acceptKw("analyze")
 		q, err := p.query()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Query: q}, nil
+		return &ExplainStmt{Query: q, Analyze: analyze}, nil
 	case p.acceptKw("begin"):
 		p.acceptKw("transaction")
 		return &Begin{}, nil

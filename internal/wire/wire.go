@@ -88,6 +88,12 @@ type StreamDone struct {
 // SessionHeader carries the session token on authenticated requests.
 const SessionHeader = "X-Maybms-Session"
 
+// TraceHeader carries the query trace id. Clients may set it to
+// propagate their own id; otherwise the server generates one. The
+// server echoes the id on every response so a slow-query log line can
+// be joined with the request that caused it.
+const TraceHeader = "X-Maybms-Trace"
+
 // Cell is one result value: nil, int64, float64, string, or bool —
 // the same dynamic types maybms.Rows uses. It marshals as a tagged
 // object ({"i":1}, {"f":0.5}, {"s":"x"}, {"b":true}) or JSON null.
