@@ -23,6 +23,7 @@
 //	            as they are produced (constant memory, LIMIT stops
 //	            the scan early)
 //	\timing     toggle per-statement wall-time reporting
+//	\plancache  show normalized-plan cache hit/miss/entry counts
 //	\save PATH  snapshot the database
 //	\load PATH  restore a snapshot
 //	\q          quit (saving if -db was given)
@@ -254,6 +255,13 @@ func metaCommand(db *maybms.DB, cmd, dbPath string) (quit bool) {
 		if err := streamQuery(db, src); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
+	case "\\plancache":
+		hits, misses, entries := db.PlanCacheStats()
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses) * 100
+		}
+		fmt.Printf("plan cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n", hits, misses, rate, entries)
 	case "\\save":
 		if len(fields) != 2 {
 			fmt.Fprintln(os.Stderr, "usage: \\save PATH")

@@ -22,6 +22,43 @@ import (
 	"maybms/internal/urel"
 )
 
+// planner abstracts the two statement-planning scopes — the live
+// database under the exclusive lock and a read snapshot — so the
+// EXPLAIN paths route through the plan cache and optimizer exactly
+// like real execution, and can report the cache outcome the query
+// itself would have had.
+type planner interface {
+	// planFor plans q through the normalized-plan cache (see
+	// Database.planQuery); unlike Snapshot.Query it accepts write
+	// queries, which plan fine and simply bypass the cache.
+	planFor(q sql.Query) (plan.Node, []types.Value, string, bool, error)
+	// home is the owning database (for feedback recording).
+	home() *Database
+}
+
+func (d *Database) planFor(q sql.Query) (plan.Node, []types.Value, string, bool, error) {
+	return d.planQuery(q, d, d, d.planGen.Load())
+}
+func (d *Database) home() *Database { return d }
+
+func (s *Snapshot) planFor(q sql.Query) (plan.Node, []types.Value, string, bool, error) {
+	return s.db.planQuery(q, s, s, s.gen)
+}
+func (s *Snapshot) home() *Database { return s.db }
+
+// cacheLine renders the plan-cache outcome appended to both EXPLAIN
+// flavours' outlines.
+func cacheLine(fp string, hit bool) string {
+	switch {
+	case fp == "":
+		return "plan cache: bypass (not cacheable)\n"
+	case hit:
+		return "plan cache: hit\n"
+	default:
+		return "plan cache: miss\n"
+	}
+}
+
 // planResult renders multi-line explain text as the single-TEXT-column
 // "plan" relation both EXPLAIN flavours return.
 func planResult(text string) *Result {
@@ -36,14 +73,17 @@ func planResult(text string) *Result {
 // and discarded, so result semantics (world-set allocation, sampling
 // effort, everything) are byte-identical to running the query — and
 // renders the plan outline annotated with the recorded per-operator
-// stats. cat must be the catalog ex executes against.
-func explainAnalyze(s *sql.ExplainStmt, cat plan.Catalog, ex *exec.Executor, tr *trace.Trace) (*Result, plan.Node, error) {
-	n, err := plan.Build(s.Query, cat)
+// stats. p must be the planning scope ex executes against. The
+// observed scan-pipeline cardinalities are fed back to the plan cache,
+// so an EXPLAIN ANALYZE teaches the planner about the query shape.
+func explainAnalyze(s *sql.ExplainStmt, p planner, ex *exec.Executor, tr *trace.Trace) (*Result, plan.Node, error) {
+	n, args, fp, hit, err := p.planFor(s.Query)
 	if err != nil {
 		return nil, nil, err
 	}
 	ex.Tracer = tr
-	defer func() { ex.Tracer = nil }()
+	ex.Args = args
+	defer func() { ex.Tracer, ex.Args = nil, nil }()
 	start := time.Now()
 	it, err := ex.Open(n)
 	if err != nil {
@@ -53,7 +93,8 @@ func explainAnalyze(s *sql.ExplainStmt, cat plan.Catalog, ex *exec.Executor, tr 
 	if err != nil {
 		return nil, nil, err
 	}
-	return planResult(tr.Render(n, time.Since(start), rows)), n, nil
+	p.home().recordFeedback(fp, n, tr)
+	return planResult(tr.Render(n, time.Since(start), rows) + cacheLine(fp, hit)), n, nil
 }
 
 // drainDiscard exhausts an iterator counting rows without keeping
@@ -90,10 +131,11 @@ func (d *Database) RunStatementTraced(s sql.Statement, tr *trace.Trace) (*Result
 		switch s := s.(type) {
 		case *sql.QueryStmt:
 			snap.exec.Tracer = tr
-			n, err := plan.Build(s.Query, snap)
+			n, args, fp, _, err := snap.planFor(s.Query)
 			if err != nil {
 				return nil, nil, err
 			}
+			snap.exec.Args = args
 			it, err := snap.exec.Open(n)
 			if err != nil {
 				return nil, n, err
@@ -102,6 +144,10 @@ func (d *Database) RunStatementTraced(s sql.Statement, tr *trace.Trace) (*Result
 			if err != nil {
 				return nil, n, err
 			}
+			// Feed the observed scan-pipeline cardinalities back to
+			// the planner: the next planning of this query shape uses
+			// measured counts instead of heuristics.
+			d.recordFeedback(fp, n, tr)
 			return &Result{Rel: rel}, n, nil
 		case *sql.ExplainStmt:
 			if s.Analyze {

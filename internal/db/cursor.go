@@ -81,7 +81,10 @@ func (d *Database) OpenQueryStmtTraced(qs *sql.QueryStmt, tr *trace.Trace) (*Cur
 	if tr != nil {
 		snap.exec.Tracer = tr
 	}
-	n, err := plan.Build(qs.Query, snap)
+	// Plan through the optimizer and plan cache; the snapshot installs
+	// the normalized literal bindings on its executor. (Cursors do not
+	// feed trace cardinalities back — the stream outlives this call.)
+	n, err := snap.plan(qs.Query)
 	if err != nil {
 		snap.Close()
 		return nil, nil, err

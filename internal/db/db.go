@@ -50,6 +50,15 @@ type Database struct {
 	// cursors); surfaced as maybms_snapshots_open.
 	snapsOpen atomic.Int64
 
+	// plans is the normalized-plan cache plus the trace-feedback
+	// store; planGen is its invalidation generation, bumped by every
+	// write-classified statement (see plancache.go). planGen is read
+	// under d.mu (either mode) and bumped only under the exclusive
+	// lock, so a generation captured together with a snapshot is
+	// consistent with that snapshot's state.
+	plans   *planCache
+	planGen atomic.Int64
+
 	inTxn  bool
 	undo   []func() error
 	wsSnap int
@@ -75,6 +84,7 @@ func New() *Database {
 	d := &Database{
 		tables: map[string]*storage.Table{},
 		store:  ws.NewStore(),
+		plans:  newPlanCache(),
 	}
 	d.exec = exec.New(d, d.store)
 	d.exec.Parallelism = runtime.GOMAXPROCS(0)
@@ -324,6 +334,12 @@ func (d *Database) runRead(s sql.Statement) (*Result, error) {
 }
 
 func (d *Database) runLocked(s sql.Statement) (*Result, error) {
+	// Every statement routed here was classified a write (DDL, DML,
+	// transaction control, or a query containing repair-key /
+	// pick-tuples): invalidate cached plans up front, before anything
+	// can observe state this statement is about to change. Transaction
+	// control over-invalidates harmlessly.
+	d.bumpPlanGen()
 	switch s := s.(type) {
 	case *sql.Begin:
 		if d.inTxn {
@@ -392,15 +408,16 @@ func (d *Database) runLocked(s sql.Statement) (*Result, error) {
 	}
 }
 
-// explain builds the plan against the given catalog (the live database
-// under the exclusive lock, or a snapshot on the read path) and
-// renders its outline.
-func explain(s *sql.ExplainStmt, cat plan.Catalog) (*Result, error) {
-	n, err := plan.Build(s.Query, cat)
+// explain plans the query through the optimizer and plan cache
+// (against the live database under the exclusive lock, or a snapshot
+// on the read path) and renders the optimized outline plus the cache
+// outcome the real execution would have had.
+func explain(s *sql.ExplainStmt, p planner) (*Result, error) {
+	n, _, fp, hit, err := p.planFor(s.Query)
 	if err != nil {
 		return nil, err
 	}
-	return planResult(plan.Explain(n)), nil
+	return planResult(plan.Explain(n) + cacheLine(fp, hit)), nil
 }
 
 // query plans and runs a query through the streaming executor,
@@ -414,12 +431,17 @@ func (d *Database) query(q sql.Query) (*urel.Rel, error) {
 }
 
 // queryPlanned is query, also returning the plan root (for traced
-// callers that render the analyzed tree).
+// callers that render the analyzed tree). The plan goes through the
+// optimizer and the normalized-plan cache like the read path's; the
+// caller holds the exclusive lock, whose entry bump means lookups here
+// always replan — correct, since this statement may be mid-mutation.
 func (d *Database) queryPlanned(q sql.Query) (*urel.Rel, plan.Node, error) {
-	n, err := plan.Build(q, d)
+	n, args, _, _, err := d.planQuery(q, d, d, d.planGen.Load())
 	if err != nil {
 		return nil, nil, err
 	}
+	d.exec.Args = args
+	defer func() { d.exec.Args = nil }()
 	it, err := d.exec.Open(n)
 	if err != nil {
 		return nil, n, err

@@ -176,6 +176,9 @@ func (d *Database) Load(r io.Reader) error {
 	}
 	d.store.Restore(dump.Domains)
 	d.tables = tables
+	// Loaded state replaces every table and the world-set store:
+	// nothing planned before is trustworthy.
+	d.bumpPlanGen()
 	return nil
 }
 

@@ -1,0 +1,230 @@
+package db
+
+// Normalized-plan cache. Read-only queries are normalized
+// (sql.NormalizeQuery parameterizes literals out), fingerprinted, and
+// their optimized plans cached: the second execution of the same query
+// shape skips parsing-independent planning work — build, pushdown,
+// join ordering — and runs the cached tree with the fresh literal
+// values bound as executor arguments. Correctness does not depend on
+// the cache: a cached plan differs from a fresh one only in the
+// planning work saved, never in the rows produced, and a generation
+// counter bumped by every write-classified statement (DDL, DML,
+// repair-key / pick-tuples queries, transactions, snapshot loads)
+// invalidates every entry wholesale, so a plan built against a
+// dropped or mutated schema can never be replayed.
+//
+// The cache also keeps the trace-feedback store: when a traced
+// execution finishes, the observed cardinality at the top of each scan
+// leaf pipeline is recorded under the query's fingerprint, keyed by
+// Scan.Ord. The next planning of the same shape feeds those counts to
+// the optimizer (plan.OptOptions.Feedback), replacing the textbook
+// selectivity guesses with measured ones.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"maybms/internal/exec/trace"
+	"maybms/internal/plan"
+	"maybms/internal/sql"
+	"maybms/internal/types"
+)
+
+// planCacheCap bounds the number of cached plans; beyond it the least
+// recently used entry is evicted.
+const planCacheCap = 256
+
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element // fingerprint -> *cacheEntry element
+	lru     *list.List               // front = most recently used
+	cap     int
+
+	// feedback holds trace-observed cardinalities per fingerprint:
+	// Scan.Ord -> rows out of that scan's leaf pipeline.
+	feedback map[string]map[int]int64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	fp   string
+	node plan.Node
+	gen  int64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		cap:      planCacheCap,
+		feedback: map[string]map[int]int64{},
+	}
+}
+
+// lookup returns the cached plan for fp if one exists at the current
+// generation, counting the hit or miss.
+func (c *planCache) lookup(fp string, gen int64) (plan.Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if ok {
+		e := el.Value.(*cacheEntry)
+		if e.gen == gen {
+			c.lru.MoveToFront(el)
+			c.hits.Add(1)
+			return e.node, true
+		}
+		// Stale generation: a write happened since this plan was
+		// built. Drop it; the caller replans against current state.
+		c.lru.Remove(el)
+		delete(c.entries, fp)
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// insert caches a freshly optimized plan, evicting the least recently
+// used entry when full.
+func (c *planCache) insert(fp string, n plan.Node, gen int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fp]; ok {
+		el.Value.(*cacheEntry).node = n
+		el.Value.(*cacheEntry).gen = gen
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[fp] = c.lru.PushFront(&cacheEntry{fp: fp, node: n, gen: gen})
+	for c.lru.Len() > c.cap {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.entries, el.Value.(*cacheEntry).fp)
+	}
+}
+
+// feedbackFor returns the recorded cardinalities for fp (nil when none
+// or when the query did not normalize).
+func (c *planCache) feedbackFor(fp string, ok bool) map[int]int64 {
+	if !ok {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.feedback[fp]
+}
+
+// record stores trace-observed chain cardinalities for fp. When the
+// observations change what the planner would see, the cached plan for
+// fp is dropped so the next execution replans with the measured
+// counts.
+func (c *planCache) record(fp string, obs map[int]int64) {
+	if fp == "" || len(obs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.feedback[fp]
+	same := len(prev) == len(obs)
+	if same {
+		for k, v := range obs {
+			if prev[k] != v {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return
+	}
+	c.feedback[fp] = obs
+	if el, ok := c.entries[fp]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, fp)
+	}
+}
+
+// stats reports cumulative hits, misses, and the live entry count.
+func (c *planCache) stats() (hits, misses, entries int64) {
+	c.mu.Lock()
+	n := int64(c.lru.Len())
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), n
+}
+
+// PlanCacheStats reports the plan cache's cumulative hit and miss
+// counts and its current entry count, for the metrics endpoint and the
+// shell's \plancache command.
+func (d *Database) PlanCacheStats() (hits, misses, entries int64) {
+	return d.plans.stats()
+}
+
+// bumpPlanGen advances the plan-cache generation, invalidating every
+// cached plan. Called (under the exclusive lock) by every
+// write-classified statement and by snapshot loads — any event that
+// can change schemas, table contents, or the world-set store.
+func (d *Database) bumpPlanGen() { d.planGen.Add(1) }
+
+// planQuery compiles a query through the normalized-plan cache and the
+// cost-aware optimizer. cat is the catalog to plan against, est the
+// row-count source for the same state (a Snapshot on the read path,
+// the live database under the exclusive lock), and gen the plan-cache
+// generation consistent with that state.
+//
+// The returned args must be installed as the statement executor's Args
+// before the plan is opened: a cached (or freshly normalized) plan
+// reads its literals from there. fp is the normalized fingerprint (""
+// when the query does not normalize) and hit reports whether the plan
+// came from the cache.
+func (d *Database) planQuery(q sql.Query, cat plan.Catalog, est plan.Estimator, gen int64) (n plan.Node, args []types.Value, fp string, hit bool, err error) {
+	var (
+		norm sql.Query
+		ok   bool
+	)
+	if sql.QueryReadOnly(q) {
+		norm, args, fp, ok = sql.NormalizeQuery(q)
+	}
+	if ok {
+		if cached, found := d.plans.lookup(fp, gen); found {
+			return cached, args, fp, true, nil
+		}
+	}
+	build := q
+	if ok {
+		build = norm
+	}
+	n, err = plan.Build(build, cat)
+	if err != nil && ok {
+		// The parameterized form failed to plan (a construct that
+		// needs the literal at plan time slipped past normalization's
+		// freeze list). Fall back to the original query, uncached.
+		ok, args, fp = false, nil, ""
+		n, err = plan.Build(q, cat)
+	}
+	if err != nil {
+		return nil, nil, "", false, err
+	}
+	n = plan.Optimize(n, plan.OptOptions{Est: est, Feedback: d.plans.feedbackFor(fp, ok)})
+	if ok && plan.Cacheable(n) {
+		d.plans.insert(fp, n, gen)
+	}
+	return n, args, fp, false, nil
+}
+
+// recordFeedback harvests trace-observed scan-pipeline cardinalities
+// from a completed traced execution of the plan cached under fp.
+func (d *Database) recordFeedback(fp string, n plan.Node, tr *trace.Trace) {
+	if fp == "" || n == nil || tr == nil {
+		return
+	}
+	obs := plan.ObserveChains(n, func(top plan.Node) (int64, bool) {
+		st, ok := tr.Lookup(top)
+		if !ok {
+			return 0, false
+		}
+		return st.RowsOut.Load(), true
+	})
+	d.plans.record(fp, obs)
+}

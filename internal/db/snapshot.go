@@ -39,6 +39,11 @@ type Snapshot struct {
 	store  *ws.Store // frozen prefix view (ws.Store.Freeze)
 	exec   *exec.Executor
 	db     *Database
+	// gen is the plan-cache generation captured with the snapshot
+	// (under the same read lock, so it is consistent with the frozen
+	// tables): cached plans are valid for this snapshot exactly when
+	// their generation matches.
+	gen    int64
 	closed atomic.Bool
 }
 
@@ -90,6 +95,7 @@ func (d *Database) snapshotLocked(scope map[string]bool) *Snapshot {
 		tables: make(map[string]*storage.Snapshot, len(d.tables)),
 		store:  d.store.Freeze(),
 		db:     d,
+		gen:    d.planGen.Load(),
 	}
 	for n, t := range d.tables {
 		if scope != nil && !scope[n] {
@@ -188,18 +194,40 @@ func (s *Snapshot) TableLen(name string) (int, error) {
 
 // Query plans and runs a read-only query against the snapshot,
 // draining the streaming pipeline into a materialised result. No
-// engine lock is held at any point.
+// engine lock is held at any point. Planning goes through the
+// database's normalized-plan cache and the cost-aware optimizer: a
+// repeated query shape reuses its cached plan with fresh literal
+// bindings (see plancache.go).
 func (s *Snapshot) Query(q sql.Query) (*urel.Rel, error) {
-	if !sql.QueryReadOnly(q) {
-		return nil, fmt.Errorf("db: internal: write query (repair-key/pick-tuples) run against a snapshot")
-	}
-	n, err := plan.Build(q, s)
+	rel, _, err := s.queryPlanned(q)
+	return rel, err
+}
+
+// queryPlanned is Query, also returning the plan root for traced
+// callers.
+func (s *Snapshot) queryPlanned(q sql.Query) (*urel.Rel, plan.Node, error) {
+	n, err := s.plan(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	it, err := s.exec.Open(n)
 	if err != nil {
+		return nil, n, err
+	}
+	rel, err := urel.Drain(it)
+	return rel, n, err
+}
+
+// plan compiles q against the snapshot through the plan cache and
+// installs the normalized literal bindings on the snapshot's executor.
+func (s *Snapshot) plan(q sql.Query) (plan.Node, error) {
+	if !sql.QueryReadOnly(q) {
+		return nil, fmt.Errorf("db: internal: write query (repair-key/pick-tuples) run against a snapshot")
+	}
+	n, args, _, _, err := s.db.planQuery(q, s, s, s.gen)
+	if err != nil {
 		return nil, err
 	}
-	return urel.Drain(it)
+	s.exec.Args = args
+	return n, nil
 }

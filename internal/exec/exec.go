@@ -66,6 +66,11 @@ type Executor struct {
 	// source instead and clears it.
 	Seed      int64
 	SeedValid bool
+	// Args is the argument vector of a parameterized plan (literals
+	// extracted by statement normalization); plan.Param expressions read
+	// it by index. Per-statement state like Tracer: Fork does not copy
+	// it.
+	Args []types.Value
 	// confCalls numbers the aconf invocations of this executor, so each
 	// derives a distinct, reproducible seed. The engine hands every
 	// read-only statement a fresh executor (via Fork), which restarts
@@ -165,7 +170,7 @@ func (e *Executor) rng() *rand.Rand {
 }
 
 func (e *Executor) evalCtx() *plan.EvalCtx {
-	return &plan.EvalCtx{Store: e.Store, Run: e.Run, Rng: e.rng()}
+	return &plan.EvalCtx{Store: e.Store, Run: e.Run, Rng: e.rng(), Args: e.Args}
 }
 
 // Run executes a plan recursively, materialising every operator's
@@ -261,6 +266,28 @@ func (e *Executor) Run(n plan.Node) (*urel.Rel, error) {
 				break
 			}
 			out.Append(t)
+		}
+		return out, nil
+
+	case *plan.Number:
+		in, err := e.Run(n.In)
+		if err != nil {
+			return nil, err
+		}
+		out := urel.New(n.Sch())
+		for i, t := range in.Tuples {
+			out.Append(urel.Tuple{Data: append(t.Data.Clone(), types.NewInt(int64(i))), Cond: t.Cond})
+		}
+		return out, nil
+
+	case *plan.Remap:
+		in, err := e.Run(n.In)
+		if err != nil {
+			return nil, err
+		}
+		out := urel.New(n.Sch())
+		for _, t := range in.Tuples {
+			out.Append(urel.Tuple{Data: t.Data.Project(n.Cols), Cond: t.Cond})
 		}
 		return out, nil
 

@@ -116,6 +116,20 @@ func (e *Executor) open(n plan.Node) (urel.Iterator, error) {
 		}
 		return &limitIter{in: in, sch: n.Sch(), skip: n.Offset, left: n.N}, nil
 
+	case *plan.Number:
+		in, err := e.Open(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &numberIter{in: in, sch: n.Sch()}, nil
+
+	case *plan.Remap:
+		in, err := e.Open(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &remapIter{in: in, cols: n.Cols, sch: n.Sch()}, nil
+
 	// Pipeline breakers: the whole input is materialised behind the
 	// boundary, then the operator's result streams out.
 	case *plan.Sort:
@@ -502,7 +516,12 @@ func (it *productIter) Close() error {
 }
 
 // hashJoinIter builds a hash table over the right input on first pull
-// and probes it with the streaming left input.
+// and probes it with the streaming left input. When the optimizer has
+// marked the left side as the smaller estimated input (BuildLeft), the
+// left is drained first instead and its key set prunes the right input
+// before the hash table is built — a semijoin reduction — after which
+// the buffered left tuples probe in their original order, so the
+// output is byte-identical to the right-build strategy either way.
 type hashJoinIter struct {
 	e       *Executor
 	n       *plan.HashJoin
@@ -518,28 +537,104 @@ type hashJoinIter struct {
 
 func (it *hashJoinIter) Sch() *schema.Schema { return it.n.Sch() }
 
+// buildMapSize turns an optimizer cardinality estimate into a sane
+// initial map size: the estimate guides pre-sizing but a wild
+// overestimate must not allocate an enormous empty table.
+func buildMapSize(est int64) int {
+	const lim = 1 << 20
+	if est <= 0 {
+		return 0
+	}
+	if est > lim {
+		return lim
+	}
+	return int(est)
+}
+
+// buildTable streams the right input into the hash table. keep, when
+// non-nil, is the probe-side key set: right tuples whose key is absent
+// can never join and are dropped before they occupy build memory.
+func (it *hashJoinIter) buildTable(keep map[string]struct{}) error {
+	rit, err := it.e.Open(it.n.R)
+	if err != nil {
+		return err
+	}
+	defer rit.Close()
+	size := buildMapSize(it.n.REst)
+	it.build = make(map[string][]urel.Tuple, size)
+	var rows, pruned int64
+	for {
+		b, err := rit.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, rt := range b.Tuples {
+			k := rt.Data.Project(it.n.RKeys).Key()
+			if keep != nil {
+				if _, ok := keep[k]; !ok {
+					pruned++
+					continue
+				}
+			}
+			it.build[k] = append(it.build[k], rt)
+			rows++
+		}
+	}
+	if tr := it.e.Tracer; tr != nil {
+		tr.Node(it.n).Counter("build_rows").Store(rows)
+		if keep != nil {
+			tr.Node(it.n).Counter("semijoin_pruned").Store(pruned)
+		}
+	}
+	return nil
+}
+
+// drainLeft materialises the probe side in stream order and collects
+// its non-NULL join keys for the semijoin reduction of the build side.
+// The left iterator is replaced by a replay over the buffer, so the
+// probe loop below runs unchanged.
+func (it *hashJoinIter) drainLeft() (map[string]struct{}, error) {
+	l, err := urel.Drain(it.left)
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[string]struct{}, buildMapSize(it.n.LEst))
+	for _, lt := range l.Tuples {
+		key := lt.Data.Project(it.n.LKeys)
+		null := false
+		for _, v := range key {
+			if v.IsNull() {
+				null = true
+				break
+			}
+		}
+		if !null {
+			keep[key.Key()] = struct{}{}
+		}
+	}
+	it.left = urel.NewRelIterator(l, urel.DefaultBatchSize)
+	return keep, nil
+}
+
 func (it *hashJoinIter) Next() (*urel.Batch, error) {
 	if it.done {
 		return nil, io.EOF
 	}
 	if it.build == nil {
-		rit, err := it.e.Open(it.n.R)
-		if err != nil {
+		var keep map[string]struct{}
+		if it.n.BuildLeft {
+			var err error
+			if keep, err = it.drainLeft(); err != nil {
+				it.done = true
+				return nil, err
+			}
+		}
+		if err := it.buildTable(keep); err != nil {
 			it.done = true
 			return nil, err
-		}
-		r, err := urel.Drain(rit)
-		if err != nil {
-			it.done = true
-			return nil, err
-		}
-		it.build = make(map[string][]urel.Tuple, len(r.Tuples))
-		for _, rt := range r.Tuples {
-			k := rt.Data.Project(it.n.RKeys).Key()
-			it.build[k] = append(it.build[k], rt)
-		}
-		if tr := it.e.Tracer; tr != nil {
-			tr.Node(it.n).Counter("build_rows").Store(int64(len(r.Tuples)))
 		}
 	}
 	out := make([]urel.Tuple, 0, urel.DefaultBatchSize)
@@ -686,6 +781,76 @@ func (it *semiJoinIter) Next() (*urel.Batch, error) {
 }
 
 func (it *semiJoinIter) Close() error {
+	it.done = true
+	return it.in.Close()
+}
+
+// numberIter appends a hidden column holding each tuple's position in
+// stream order. The counter is global across batches, so the operator
+// must see its input serially — plan.Number is unknown to the parallel
+// fragment detector and therefore never partitioned.
+type numberIter struct {
+	in   urel.Iterator
+	sch  *schema.Schema
+	pos  int64
+	done bool
+}
+
+func (it *numberIter) Sch() *schema.Schema { return it.sch }
+
+func (it *numberIter) Next() (*urel.Batch, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	b, err := it.in.Next()
+	if err != nil {
+		it.done = true
+		return nil, err
+	}
+	out := make([]urel.Tuple, 0, len(b.Tuples))
+	for _, t := range b.Tuples {
+		row := make(schema.Tuple, 0, len(t.Data)+1)
+		row = append(row, t.Data...)
+		row = append(row, types.NewInt(it.pos))
+		it.pos++
+		out = append(out, urel.Tuple{Data: row, Cond: t.Cond})
+	}
+	return &urel.Batch{Tuples: out}, nil
+}
+
+func (it *numberIter) Close() error {
+	it.done = true
+	return it.in.Close()
+}
+
+// remapIter is a pure positional projection (plan.Remap): output
+// column i is input column cols[i]; conditions pass through untouched.
+type remapIter struct {
+	in   urel.Iterator
+	cols []int
+	sch  *schema.Schema
+	done bool
+}
+
+func (it *remapIter) Sch() *schema.Schema { return it.sch }
+
+func (it *remapIter) Next() (*urel.Batch, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	b, err := it.in.Next()
+	if err != nil {
+		it.done = true
+		return nil, err
+	}
+	out := make([]urel.Tuple, 0, len(b.Tuples))
+	for _, t := range b.Tuples {
+		out = append(out, urel.Tuple{Data: t.Data.Project(it.cols), Cond: t.Cond})
+	}
+	return &urel.Batch{Tuples: out}, nil
+}
+
+func (it *remapIter) Close() error {
 	it.done = true
 	return it.in.Close()
 }

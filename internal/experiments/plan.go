@@ -1,0 +1,254 @@
+package experiments
+
+// EPlan exercises the cost-aware planner on a multi-join workload over
+// repair-key tables: selective predicates that pushdown sinks below
+// the joins, join inputs of skewed sizes that ordering and build-side
+// selection exploit, and a repeated-query phase that measures the
+// normalized-plan cache's hit rate and latency win. The artifact is
+// BENCH_plan.json: per-workload traced operator trees (rows entering
+// the top join make the pushdown win visible) plus the cache curve.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"maybms"
+	"maybms/internal/exec/trace"
+	"maybms/internal/plan"
+	"maybms/internal/sql"
+)
+
+// PlanWorkload is one planner workload's traced snapshot.
+type PlanWorkload struct {
+	Name   string  `json:"name"`
+	Query  string  `json:"query"`
+	Millis float64 `json:"ms"`
+	Rows   int     `json:"rows"`
+	// TopJoinInputRows sums the rows flowing into the topmost join
+	// operator — the number predicate pushdown and semijoin reduction
+	// exist to shrink.
+	TopJoinInputRows int64        `json:"top_join_input_rows"`
+	Plan             trace.OpSnap `json:"plan"`
+}
+
+// PlanCacheCurve reports the repeated-query phase.
+type PlanCacheCurve struct {
+	Query        string  `json:"query"`
+	Runs         int     `json:"runs"`
+	FirstMillis  float64 `json:"first_ms"`
+	CachedMillis float64 `json:"mean_cached_ms"`
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+// PlanReport is the BENCH_plan.json document.
+type PlanReport struct {
+	Rows      int            `json:"rows"`
+	NumCPU    int            `json:"num_cpu"`
+	Quick     bool           `json:"quick"`
+	Workloads []PlanWorkload `json:"workloads"`
+	Cache     PlanCacheCurve `json:"cache"`
+	Note      string         `json:"note"`
+}
+
+// buildPlanDB creates the planner workload: three tables of skewed
+// sizes joined by foreign keys, with the order fact table made
+// uncertain via repair-key so the joins run over a U-relation.
+func buildPlanDB(rows int, seed int64) *maybms.DB {
+	db := maybms.OpenOptions(maybms.Options{Seed: seed})
+	ncust := rows / 50
+	if ncust < 10 {
+		ncust = 10
+	}
+	nprod := rows / 200
+	if nprod < 5 {
+		nprod = 5
+	}
+	db.MustExec(`create table cust (id int, seg int)`)
+	db.MustExec(`create table prod (id int, cat int)`)
+	db.MustExec(`create table orders (id int, cid int, pid int, qty int, w float)`)
+	var b strings.Builder
+	flush := func(prefix string, vals []string) {
+		for lo := 0; lo < len(vals); lo += 5000 {
+			hi := lo + 5000
+			if hi > len(vals) {
+				hi = len(vals)
+			}
+			b.Reset()
+			b.WriteString(prefix)
+			b.WriteString(strings.Join(vals[lo:hi], ", "))
+			db.MustExec(b.String())
+		}
+	}
+	vals := make([]string, ncust)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("(%d, %d)", i, i%8)
+	}
+	flush("insert into cust values ", vals)
+	vals = make([]string, nprod)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("(%d, %d)", i, i%16)
+	}
+	flush("insert into prod values ", vals)
+	vals = make([]string, rows)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("(%d, %d, %d, %d, %g)",
+			i, (i*2654435761)%ncust, (i*40503)%nprod, (i/3)%10, 1.0+float64(i%5))
+	}
+	flush("insert into orders values ", vals)
+	// ~4 possible orders per id block: the uncertain fact table.
+	db.MustExec(`create table uorders as select id, cid, pid, qty from (repair key id in orders weight by w) r`)
+	return db
+}
+
+// topJoinInputRows finds the topmost join in the executed plan and
+// sums the traced row counts of its inputs.
+func topJoinInputRows(root plan.Node, tr *trace.Trace) int64 {
+	var join plan.Node
+	var find func(n plan.Node)
+	find = func(n plan.Node) {
+		if join != nil {
+			return
+		}
+		switch n.(type) {
+		case *plan.HashJoin, *plan.Product:
+			join = n
+			return
+		}
+		for _, c := range plan.Children(n) {
+			find(c)
+		}
+	}
+	find(root)
+	if join == nil {
+		return 0
+	}
+	var total int64
+	for _, c := range plan.Children(join) {
+		if st, ok := tr.Lookup(c); ok {
+			total += st.RowsOut.Load()
+		}
+	}
+	return total
+}
+
+// EPlan runs the planner benchmark, printing the table to w and
+// writing jsonPath (when non-empty).
+func EPlan(w io.Writer, opts Options, jsonPath string) *PlanReport {
+	rows := 50000
+	cacheRuns := 25
+	if opts.Quick {
+		rows = 10000
+		cacheRuns = 12
+	}
+
+	workloads := []PlanWorkload{
+		{
+			Name: "pushdown_3way_join",
+			Query: `select c.seg, p.cat, conf() from cust c, uorders o, prod p
+				where c.id = o.cid and p.id = o.pid and p.cat = 6 and c.seg = 2 and o.qty > 7
+				group by c.seg, p.cat`,
+		},
+		{
+			Name: "reorder_skewed_join",
+			Query: `select count(*) from uorders o, cust c, prod p
+				where o.cid = c.id and o.pid = p.id and p.cat = 1`,
+		},
+		{
+			Name: "semijoin_uncertain_probe",
+			Query: `select c.seg, count(*) from cust c, uorders o
+				where c.id = o.cid and c.seg = 5 group by c.seg`,
+		},
+	}
+
+	fmt.Fprintln(w, "== EPlan: cost-aware planning (pushdown, join order, plan cache) ==")
+	fmt.Fprintf(w, "rows=%d  NumCPU=%d  cache_runs=%d\n", rows, runtime.NumCPU(), cacheRuns)
+
+	db := buildPlanDB(rows, opts.Seed)
+	eng := db.Engine()
+	for wi := range workloads {
+		wl := &workloads[wi]
+		stmts, err := sql.ParseAll(wl.Query)
+		if err != nil || len(stmts) != 1 {
+			fmt.Fprintf(w, "%s: bad workload query: %v\n", wl.Name, err)
+			continue
+		}
+		tr := trace.New()
+		start := time.Now()
+		res, root, err := eng.RunStatementTraced(stmts[0], tr)
+		dur := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", wl.Name, err)
+			continue
+		}
+		wl.Millis = float64(dur.Microseconds()) / 1000
+		wl.Rows = len(res.Rel.Tuples)
+		wl.TopJoinInputRows = topJoinInputRows(root, tr)
+		wl.Plan = tr.Snapshot(root)
+		fmt.Fprintf(w, "%-26s %10.2fms  rows=%-6d top_join_input_rows=%d\n",
+			wl.Name, wl.Millis, wl.Rows, wl.TopJoinInputRows)
+	}
+
+	// Repeated-query phase: the first run plans and caches, the rest
+	// hit. Per-run latencies show the planning work saved.
+	curve := PlanCacheCurve{
+		Query: `select c.seg, p.cat, count(*) from cust c, uorders o, prod p
+			where c.id = o.cid and p.id = o.pid and p.cat = 2 and o.qty > 4
+			group by c.seg, p.cat order by c.seg, p.cat`,
+		Runs: cacheRuns,
+	}
+	h0, m0, _ := eng.PlanCacheStats()
+	var cachedTotal time.Duration
+	for i := 0; i < cacheRuns; i++ {
+		start := time.Now()
+		if _, err := db.Query(curve.Query); err != nil {
+			fmt.Fprintf(w, "cache curve: %v\n", err)
+			break
+		}
+		d := time.Since(start)
+		if i == 0 {
+			curve.FirstMillis = float64(d.Microseconds()) / 1000
+		} else {
+			cachedTotal += d
+		}
+	}
+	if cacheRuns > 1 {
+		curve.CachedMillis = float64(cachedTotal.Microseconds()) / 1000 / float64(cacheRuns-1)
+	}
+	h1, m1, _ := eng.PlanCacheStats()
+	curve.Hits, curve.Misses = h1-h0, m1-m0
+	if curve.Hits+curve.Misses > 0 {
+		curve.HitRate = float64(curve.Hits) / float64(curve.Hits+curve.Misses)
+	}
+	fmt.Fprintf(w, "plan cache: first=%.2fms cached=%.2fms hits=%d misses=%d hit_rate=%.1f%%\n",
+		curve.FirstMillis, curve.CachedMillis, curve.Hits, curve.Misses, curve.HitRate*100)
+
+	report := &PlanReport{
+		Rows:      rows,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     opts.Quick,
+		Workloads: workloads,
+		Cache:     curve,
+		Note: "traced operator trees of the optimized plans: pushed Filter nodes sit below the " +
+			"joins, so top_join_input_rows stays far below the fact-table cardinality; the cache " +
+			"curve repeats one query shape — every run after the first should hit (rate >= 0.9).",
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "writing %s: %v\n", jsonPath, err)
+		} else {
+			fmt.Fprintf(w, "wrote %s\n", jsonPath)
+		}
+	}
+	return report
+}

@@ -38,7 +38,11 @@ func explain(b *strings.Builder, n Node, depth int, annot func(Node) string) {
 	}
 	switch n := n.(type) {
 	case *Scan:
-		line("table=%s alias=%s cols=%d", n.Table, n.Alias, n.Sch().Len())
+		if n.EstRows > 0 {
+			line("table=%s alias=%s cols=%d est=%d", n.Table, n.Alias, n.Sch().Len(), n.EstRows)
+		} else {
+			line("table=%s alias=%s cols=%d", n.Table, n.Alias, n.Sch().Len())
+		}
 	case *Dual:
 		line("")
 	case *Rename:
@@ -46,9 +50,24 @@ func explain(b *strings.Builder, n Node, depth int, annot func(Node) string) {
 	case *Product:
 		line("")
 	case *HashJoin:
-		line("lkeys=%v rkeys=%v", n.LKeys, n.RKeys)
+		detail := fmt.Sprintf("lkeys=%v rkeys=%v", n.LKeys, n.RKeys)
+		if n.LEst > 0 || n.REst > 0 {
+			side := "right"
+			if n.BuildLeft {
+				side = "left"
+			}
+			detail += fmt.Sprintf(" lest=%d rest=%d build=%s", n.LEst, n.REst, side)
+		}
+		line("%s", detail)
 	case *Filter:
-		line("")
+		detail := ""
+		if n.Src != nil {
+			detail = "pred=" + ExprString(n.Src)
+		}
+		if n.Pushed {
+			detail += " pushed"
+		}
+		line("%s", detail)
 	case *SemiJoinIn:
 		line("")
 	case *Project:
@@ -73,6 +92,10 @@ func explain(b *strings.Builder, n Node, depth int, annot func(Node) string) {
 		line("keys=%d", len(n.Keys))
 	case *Limit:
 		line("n=%d offset=%d", n.N, n.Offset)
+	case *Number:
+		line("col=%s", n.sch.Cols[n.sch.Len()-1].Name)
+	case *Remap:
+		line("cols=%v", n.Cols)
 	default:
 		line("?")
 	}
@@ -113,6 +136,10 @@ func Children(n Node) []Node {
 	case *Sort:
 		return []Node{n.In}
 	case *Limit:
+		return []Node{n.In}
+	case *Number:
+		return []Node{n.In}
+	case *Remap:
 		return []Node{n.In}
 	default:
 		return nil
@@ -155,6 +182,10 @@ func OpName(n Node) string {
 		return "Sort"
 	case *Limit:
 		return "Limit"
+	case *Number:
+		return "Number"
+	case *Remap:
+		return "Remap"
 	default:
 		return fmt.Sprintf("%T", n)
 	}

@@ -40,6 +40,11 @@ type EvalCtx struct {
 	Run    NodeRunner
 	Rng    *rand.Rand
 	Params map[string]types.Value // reserved for future use
+	// Args holds the literal values extracted by statement
+	// normalization, indexed by sql.Param.Idx. A cached plan is the
+	// compiled normalized query; each execution supplies its own
+	// argument vector here.
+	Args []types.Value
 }
 
 // Compiled is a scalar expression bound to an input schema.
@@ -93,7 +98,7 @@ func compile(e sql.Expr, sch *schema.Schema, planSub func(q sql.Query) (Node, er
 // conservatively unshareable.
 func exprShareable(e sql.Expr) bool {
 	switch e := e.(type) {
-	case nil, sql.Lit, sql.ColRef:
+	case nil, sql.Lit, sql.ColRef, sql.Param:
 		return true
 	case *sql.Unary:
 		return exprShareable(e.E)
@@ -137,6 +142,18 @@ func compile1(e sql.Expr, sch *schema.Schema, planSub func(q sql.Query) (Node, e
 		return &Compiled{
 			eval: func(*EvalCtx, schema.Tuple) (types.Value, error) { return v, nil },
 			kind: v.Kind(),
+		}, nil
+
+	case sql.Param:
+		idx := e.Idx
+		return &Compiled{
+			kind: e.Kind,
+			eval: func(ctx *EvalCtx, _ schema.Tuple) (types.Value, error) {
+				if idx >= len(ctx.Args) {
+					return types.Null(), fmt.Errorf("plan: missing argument %d for parameterized plan", idx)
+				}
+				return ctx.Args[idx], nil
+			},
 		}, nil
 
 	case sql.ColRef:
@@ -588,6 +605,8 @@ func ExprString(e sql.Expr) string {
 	switch e := e.(type) {
 	case sql.Lit:
 		return "lit:" + e.Val.SQLLiteral()
+	case sql.Param:
+		return fmt.Sprintf("param:%d", e.Idx)
 	case sql.ColRef:
 		return "col:" + strings.ToLower(e.Rel) + "." + strings.ToLower(e.Name)
 	case *sql.Unary:

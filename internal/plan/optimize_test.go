@@ -1,0 +1,217 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"maybms/internal/schema"
+	"maybms/internal/sql"
+	"maybms/internal/types"
+)
+
+// testEst is a fixed table-cardinality source for optimizer tests.
+type testEst map[string]int
+
+func (e testEst) TableLen(name string) (int, error) {
+	n, ok := e[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("no table %q", name)
+	}
+	return n, nil
+}
+
+// joinCatalog extends the shared test catalog with a three-table
+// equi-join chain of skewed sizes.
+func joinCatalog() *fakeCatalog {
+	c := testCatalog()
+	c.tables["big"] = schema.New(
+		schema.Column{Name: "id", Kind: types.KindInt},
+		schema.Column{Name: "x", Kind: types.KindInt},
+	)
+	c.tables["mid"] = schema.New(
+		schema.Column{Name: "id", Kind: types.KindInt},
+		schema.Column{Name: "y", Kind: types.KindInt},
+	)
+	c.tables["small"] = schema.New(
+		schema.Column{Name: "id", Kind: types.KindInt},
+		schema.Column{Name: "z", Kind: types.KindInt},
+	)
+	return c
+}
+
+func buildOn(t *testing.T, cat *fakeCatalog, src string) Node {
+	t.Helper()
+	st, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	n, err := Build(st.(*sql.QueryStmt).Query, cat)
+	if err != nil {
+		t.Fatalf("build %q: %v", src, err)
+	}
+	return n
+}
+
+// TestPushdownThroughProjectAndJoin sinks an outer filter over a FROM
+// subquery through the subquery's projection and then to the correct
+// side of the join inside it.
+func TestPushdownThroughProjectAndJoin(t *testing.T) {
+	n := buildOn(t, testCatalog(),
+		`select x.a c0 from (select r.a a, s.c c from r, s where r.b = s.b) x where x.c = 'y'`)
+	n = Optimize(n, OptOptions{})
+	out := Explain(n)
+	// The filter must have moved below the join, onto the s side, and
+	// be flagged as pushed.
+	joinAt := strings.Index(out, "HashJoin")
+	filterAt := strings.Index(out, "pushed")
+	if joinAt < 0 || filterAt < 0 {
+		t.Fatalf("expected a HashJoin and a pushed filter, got:\n%s", out)
+	}
+	if filterAt < joinAt {
+		t.Errorf("pushed filter should render below the join, got:\n%s", out)
+	}
+	if !strings.Contains(out, "pred=") {
+		t.Errorf("pushed filter should carry its source predicate, got:\n%s", out)
+	}
+}
+
+// TestPushdownConvertsProductToHashJoin: when sinking exposes an
+// equality between the two sides of a cross product, the product
+// becomes a hash join.
+func TestPushdownConvertsProductToHashJoin(t *testing.T) {
+	n := buildOn(t, testCatalog(),
+		`select x.a c0 from (select r.a a, s.b b2 from r, s) x where x.a = x.b2`)
+	n = Optimize(n, OptOptions{})
+	out := Explain(n)
+	if strings.Contains(out, "Product") {
+		t.Errorf("equi-filter over a product should convert to a hash join, got:\n%s", out)
+	}
+	if !strings.Contains(out, "HashJoin") {
+		t.Errorf("expected a HashJoin, got:\n%s", out)
+	}
+}
+
+// TestPushdownKeepsSubqueryPredicatesPut: predicates containing
+// subqueries must never move — their evaluation can have side effects
+// (repair-key under an aggregate allocates world-set variables).
+func TestPushdownKeepsSubqueryPredicatesPut(t *testing.T) {
+	n := buildOn(t, testCatalog(),
+		`select x.a c0 from (select r.a a, s.c c from r, s where r.b = s.b) x where x.a in (select a from u)`)
+	n = Optimize(n, OptOptions{})
+	out := Explain(n)
+	join := strings.Index(out, "HashJoin")
+	semi := strings.Index(out, "SemiJoinIn")
+	if semi < 0 {
+		t.Skipf("IN-subquery planned without SemiJoinIn:\n%s", out)
+	}
+	if join >= 0 && semi > join {
+		t.Errorf("IN-subquery predicate must stay above the join, got:\n%s", out)
+	}
+}
+
+// TestReorderJoinsSmallestFirst: with skewed table sizes, the greedy
+// order starts from the smallest input, and the order-restoration
+// machinery (Number / Sort / Remap) wraps the region so emission order
+// is preserved.
+func TestReorderJoinsSmallestFirst(t *testing.T) {
+	cat := joinCatalog()
+	est := testEst{"big": 100000, "mid": 1000, "small": 10, "r": 100, "s": 100, "u": 100}
+	n := buildOn(t, cat,
+		`select count(*) c0 from big b, mid m, small s where b.id = m.id and m.id = s.id`)
+	n = Optimize(n, OptOptions{Est: est})
+	out := Explain(n)
+	if !strings.Contains(out, "Remap") || !strings.Contains(out, "Number") {
+		t.Fatalf("expected the reorder restoration operators, got:\n%s", out)
+	}
+	// The first (deepest-left) scan must now be the smallest table.
+	first := strings.Index(out, "table=small")
+	other := strings.Index(out, "table=big")
+	if first < 0 || other < 0 || first > other {
+		t.Errorf("smallest table should lead the join order, got:\n%s", out)
+	}
+	if !strings.Contains(out, "build=") {
+		t.Errorf("expected build-side annotations on the joins, got:\n%s", out)
+	}
+}
+
+// TestReorderRequiresSimpleLeaves: a join region containing a
+// repair-key leaf must never be reordered — variable allocation order
+// is observable.
+func TestReorderRequiresSimpleLeaves(t *testing.T) {
+	cat := joinCatalog()
+	est := testEst{"big": 100000, "mid": 1000, "small": 10, "r": 100, "s": 100, "u": 100}
+	n := buildOn(t, cat,
+		`select count(*) c0 from big b, mid m, (repair key a in r weight by b) w
+		 where b.id = m.id and m.id = w.a`)
+	n = Optimize(n, OptOptions{Est: est})
+	out := Explain(n)
+	if strings.Contains(out, "Remap") {
+		t.Errorf("region with a repair-key leaf must not be reordered, got:\n%s", out)
+	}
+}
+
+// TestStampEstimates: with an estimator, scans carry row estimates and
+// hash joins pick the smaller build side.
+func TestStampEstimates(t *testing.T) {
+	cat := joinCatalog()
+	est := testEst{"big": 100000, "mid": 1000, "small": 10, "r": 100, "s": 100, "u": 100}
+	n := buildOn(t, cat, `select count(*) c0 from big b, mid m where b.id = m.id`)
+	n = Optimize(n, OptOptions{Est: est})
+	out := Explain(n)
+	if !strings.Contains(out, "est=100000") || !strings.Contains(out, "est=1000") {
+		t.Errorf("scans should carry estimates, got:\n%s", out)
+	}
+	// big is on the left (FROM order), so the estimated-smaller left…
+	// no: mid is right and smaller, so the default right build stands.
+	if !strings.Contains(out, "lest=100000 rest=1000 build=right") {
+		t.Errorf("expected right build on the smaller input, got:\n%s", out)
+	}
+	// Flipped FROM order: the smaller input lands on the left and the
+	// build side flips with it.
+	n = buildOn(t, cat, `select count(*) c0 from mid m, big b where b.id = m.id`)
+	n = Optimize(n, OptOptions{Est: est})
+	out = Explain(n)
+	if !strings.Contains(out, "build=left") {
+		t.Errorf("expected left build when the left input is smaller, got:\n%s", out)
+	}
+}
+
+// TestFeedbackOverridesHeuristics: a trace-observed cardinality beats
+// the heuristic estimate for the same scan chain.
+func TestFeedbackOverridesHeuristics(t *testing.T) {
+	cat := joinCatalog()
+	est := testEst{"big": 100000, "mid": 1000, "small": 10, "r": 100, "s": 100, "u": 100}
+	n := buildOn(t, cat, `select count(*) c0 from mid m, big b where b.id = m.id and b.x = 7`)
+	n = Optimize(n, OptOptions{Est: est})
+	// Heuristic: big shrinks to 100000/10 = 10000 > mid's 1000 → right
+	// build. Feedback saying the filtered big chain is actually 5 rows
+	// must flip the estimates.
+	obs := ObserveChains(n, func(top Node) (int64, bool) { return 5, true })
+	// Scan ordinals are deterministic per query shape: rebuild and
+	// re-optimize with the observation in place.
+	n2 := buildOn(t, cat, `select count(*) c0 from mid m, big b where b.id = m.id and b.x = 7`)
+	var fb map[int]int64 = obs
+	n2 = Optimize(n2, OptOptions{Est: est, Feedback: fb})
+	out := Explain(n2)
+	if !strings.Contains(out, "rest=5") {
+		t.Errorf("feedback cardinality should replace the heuristic, got:\n%s", out)
+	}
+}
+
+// TestCacheable: plans with memoising subquery state must not be
+// cached; plain pipelines and repair-key roots classify correctly.
+func TestCacheable(t *testing.T) {
+	n := buildQuery(t, `select a c0 from r where b > 3`)
+	if !Cacheable(Optimize(n, OptOptions{})) {
+		t.Errorf("plain filtered scan should be cacheable")
+	}
+	n = buildQuery(t, `select a c0 from r where a in (select b from s)`)
+	if Cacheable(Optimize(n, OptOptions{})) {
+		t.Errorf("plan with an IN-subquery must not be cacheable")
+	}
+	n = buildQuery(t, `select a c0 from (repair key a in r weight by b) w`)
+	if Cacheable(Optimize(n, OptOptions{})) {
+		t.Errorf("repair-key plan must not be cacheable")
+	}
+}

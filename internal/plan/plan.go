@@ -24,6 +24,13 @@ type Scan struct {
 	Alias   string
 	sch     *schema.Schema
 	certain bool
+	// Ord is the scan's ordinal in builder traversal order, used by the
+	// optimizer to key trace-observed cardinalities back onto the plan
+	// shape (the traversal is deterministic per query shape).
+	Ord int
+	// EstRows is the optimizer's row estimate for this scan after local
+	// filters, or 0 when no estimate was computed.
+	EstRows int64
 }
 
 func (s *Scan) Sch() *schema.Schema { return s.sch }
@@ -56,6 +63,13 @@ type HashJoin struct {
 	L, R         Node
 	LKeys, RKeys []int
 	sch          *schema.Schema
+	// LEst and REst are optimizer row estimates for the two inputs
+	// (0 = unknown). The executor uses them to pick the build side and
+	// pre-size the build map.
+	LEst, REst int64
+	// BuildLeft tells the executor to materialise the left input as the
+	// build side instead of the right (set when LEst < REst).
+	BuildLeft bool
 }
 
 func (j *HashJoin) Sch() *schema.Schema { return j.sch }
@@ -68,6 +82,13 @@ func (j *HashJoin) Certain() bool { return j.L.Certain() && j.R.Certain() }
 type Filter struct {
 	In   Node
 	Pred *Compiled
+	// Src is the source AST of the predicate, kept so the optimizer can
+	// re-site the conjunct against a different schema. Nil for filters
+	// built outside the standard builder.
+	Src sql.Expr
+	// Pushed marks a predicate the optimizer moved below its original
+	// position; EXPLAIN renders the annotation.
+	Pushed bool
 }
 
 func (f *Filter) Sch() *schema.Schema { return f.In.Sch() }
@@ -104,6 +125,10 @@ type Project struct {
 	Items    []ProjItem
 	HasTconf bool
 	sch      *schema.Schema
+	// Srcs holds the source AST of each item, letting the optimizer
+	// push filters through the projection. Nil for synthetic
+	// projections (aggregate output shaping).
+	Srcs []sql.Expr
 }
 
 func (p *Project) Sch() *schema.Schema { return p.sch }
@@ -262,6 +287,10 @@ func Build(q sql.Query, cat Catalog) (Node, error) {
 
 type builder struct {
 	cat Catalog
+	// scanOrd numbers scans in traversal order; the traversal is
+	// deterministic, so the same query shape always yields the same
+	// numbering — the property the trace-feedback store relies on.
+	scanOrd int
 }
 
 func (b *builder) query(q sql.Query) (Node, error) {
@@ -386,7 +415,9 @@ func (b *builder) fromItem(fi sql.FromItem) (Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scan{Table: fi.Table, Alias: fi.Alias, sch: sch.WithRel(fi.Alias), certain: certain}, nil
+	ord := b.scanOrd
+	b.scanOrd++
+	return &Scan{Table: fi.Table, Alias: fi.Alias, sch: sch.WithRel(fi.Alias), certain: certain, Ord: ord}, nil
 }
 
 // splitConjuncts flattens nested ANDs.
@@ -424,7 +455,7 @@ func (b *builder) selectQ(q *sql.Select) (Node, error) {
 					continue
 				}
 				if pred, err := compile(c, n.Sch(), b.planSub()); err == nil {
-					nodes[i] = &Filter{In: nodes[i], Pred: pred}
+					nodes[i] = &Filter{In: nodes[i], Pred: pred, Src: c}
 					n = nodes[i]
 					used[j] = true
 					_ = pred
@@ -465,7 +496,7 @@ func (b *builder) selectQ(q *sql.Select) (Node, error) {
 					continue
 				}
 				if pred, err := compile(c, node.Sch(), b.planSub()); err == nil {
-					node = &Filter{In: node, Pred: pred}
+					node = &Filter{In: node, Pred: pred, Src: c}
 					used[j] = true
 				}
 			}
@@ -509,7 +540,7 @@ func (b *builder) selectQ(q *sql.Select) (Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		node = &Filter{In: node, Pred: pred}
+		node = &Filter{In: node, Pred: pred, Src: c}
 		used[j] = true
 	}
 
@@ -677,9 +708,10 @@ func itemName(it sql.SelectItem, i int) string {
 }
 
 func (b *builder) buildProject(in Node, items []sql.SelectItem, allowTconf bool) (Node, error) {
-	p := &Project{In: in}
+	p := &Project{In: in, Srcs: make([]sql.Expr, len(items))}
 	cols := make([]schema.Column, len(items))
 	for i, it := range items {
+		p.Srcs[i] = it.Expr
 		if fc, ok := it.Expr.(*sql.FuncCall); ok && fc.Name == "tconf" {
 			if !allowTconf {
 				return nil, fmt.Errorf("plan: tconf() not allowed here")

@@ -742,6 +742,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "maybms_stream_queries_total %d\n", s.streamsTotal.Load())
 	fmt.Fprintf(w, "maybms_rows_streamed_total %d\n", s.rowsStreamed.Load())
 	fmt.Fprintf(w, "maybms_snapshots_open %d\n", s.eng.SnapshotsOpen())
+	pcHits, pcMisses, pcEntries := s.eng.PlanCacheStats()
+	fmt.Fprintf(w, "maybms_plan_cache_hits_total %d\n", pcHits)
+	fmt.Fprintf(w, "maybms_plan_cache_misses_total %d\n", pcMisses)
+	fmt.Fprintf(w, "maybms_plan_cache_entries %d\n", pcEntries)
 	fmt.Fprintf(w, "maybms_statements_total{kind=\"read\"} %d\n", s.readStmtsTotal.Load())
 	fmt.Fprintf(w, "maybms_statements_total{kind=\"write\"} %d\n", s.writeStmtsTotal.Load())
 	fmt.Fprintf(w, "maybms_errors_total %d\n", s.errorsTotal.Load())

@@ -172,6 +172,16 @@ type ColRef struct {
 // Lit is a literal value.
 type Lit struct{ Val types.Value }
 
+// Param is a placeholder for a literal that was parameterized out
+// during statement normalization (see NormalizeQuery). It never comes
+// out of the parser; it exists so that queries differing only in
+// literal values share one normalized AST — and hence one cached plan —
+// with the concrete values supplied at execution time.
+type Param struct {
+	Idx  int // index into the per-execution argument vector
+	Kind types.Kind
+}
+
 // Unary applies NOT or - to an operand.
 type Unary struct {
 	Op string
@@ -231,6 +241,7 @@ type Cast struct {
 
 func (ColRef) expr()      {}
 func (Lit) expr()         {}
+func (Param) expr()       {}
 func (*Unary) expr()      {}
 func (*Binary) expr()     {}
 func (*FuncCall) expr()   {}

@@ -84,7 +84,7 @@ func exprReadOnly(e Expr) bool {
 	switch e := e.(type) {
 	case nil:
 		return true
-	case ColRef, Lit:
+	case ColRef, Lit, Param:
 		return true
 	case *Unary:
 		return exprReadOnly(e.E)

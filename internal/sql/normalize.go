@@ -1,0 +1,370 @@
+package sql
+
+// Statement normalization for the plan cache. Two queries that differ
+// only in literal values compile to the same plan shape, so the cache
+// key is the query with literals parameterized out: each Lit becomes a
+// Param indexed into a per-execution argument vector, and the
+// canonical rendering of the parameterized tree is the fingerprint.
+//
+// Normalization must never change what the planner sees in a way that
+// affects plan *shape*. Two spots in the compiler consume literal
+// values at plan time and therefore stay frozen:
+//
+//   - arguments of aggregate calls: aconf(eps, delta) requires numeric
+//     constants when the plan is built, so every expression under an
+//     aggregate call keeps its literals;
+//   - a bare integer literal in ORDER BY or GROUP BY, which is a
+//     positional column reference, not a value.
+//
+// Equal literals share one parameter slot (value dedup): WHERE a = 3
+// AND b = 3 normalizes both sides to ?0, so a later a = 5 AND b = 5
+// hits the same cache entry while a = 5 AND b = 7 does not — the
+// fingerprint distinguishes the sharing structure, which is exactly
+// what makes replaying the cached compiled predicates sound.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"maybms/internal/types"
+)
+
+type normalizer struct {
+	args []types.Value
+	idx  map[string]int // kind + rendered literal -> slot
+	ok   bool
+}
+
+// NormalizeQuery returns q with literals parameterized out, the
+// argument vector holding the extracted values, and a canonical
+// fingerprint of the parameterized tree. ok is false when the query
+// contains a construct normalization does not understand or must not
+// cache (repair-key and pick-tuples allocate world-set variables, so
+// their plans are never reusable); callers then plan the original
+// query uncached.
+func NormalizeQuery(q Query) (norm Query, args []types.Value, fp string, ok bool) {
+	n := &normalizer{idx: map[string]int{}, ok: true}
+	norm = n.query(q)
+	if !n.ok {
+		return nil, nil, "", false
+	}
+	var b strings.Builder
+	fpQuery(&b, norm)
+	return norm, n.args, b.String(), true
+}
+
+func (n *normalizer) param(l Lit) Expr {
+	key := l.Val.Kind().String() + "\x00" + l.Val.SQLLiteral()
+	if i, seen := n.idx[key]; seen {
+		return Param{Idx: i, Kind: l.Val.Kind()}
+	}
+	i := len(n.args)
+	n.idx[key] = i
+	n.args = append(n.args, l.Val)
+	return Param{Idx: i, Kind: l.Val.Kind()}
+}
+
+func (n *normalizer) query(q Query) Query {
+	switch q := q.(type) {
+	case nil:
+		return nil
+	case *Select:
+		out := &Select{
+			Possible: q.Possible,
+			Distinct: q.Distinct,
+			Limit:    q.Limit,
+			Offset:   q.Offset,
+			Where:    n.expr(q.Where, false),
+			Having:   n.expr(q.Having, false),
+		}
+		for _, it := range q.Items {
+			out.Items = append(out.Items, SelectItem{
+				Expr:  n.expr(it.Expr, false),
+				Alias: it.Alias,
+				Star:  it.Star,
+				Rel:   it.Rel,
+			})
+		}
+		for _, f := range q.From {
+			out.From = append(out.From, FromItem{
+				Table:    f.Table,
+				Subquery: n.query(f.Subquery),
+				Alias:    f.Alias,
+			})
+		}
+		for _, g := range q.GroupBy {
+			// A bare literal is positional; leave it alone.
+			if _, isLit := g.(Lit); isLit {
+				out.GroupBy = append(out.GroupBy, g)
+			} else {
+				out.GroupBy = append(out.GroupBy, n.expr(g, false))
+			}
+		}
+		for _, o := range q.OrderBy {
+			if _, isLit := o.Expr.(Lit); isLit {
+				out.OrderBy = append(out.OrderBy, o)
+			} else {
+				out.OrderBy = append(out.OrderBy, OrderItem{Expr: n.expr(o.Expr, false), Desc: o.Desc})
+			}
+		}
+		return out
+	case *Union:
+		return &Union{Left: n.query(q.Left), Right: n.query(q.Right), All: q.All}
+	default:
+		// RepairKey, PickTuples, and anything newer: not cacheable.
+		n.ok = false
+		return q
+	}
+}
+
+// expr rewrites literals to parameters. frozen propagates below
+// aggregate calls, where the compiler reads literal values at plan
+// time.
+func (n *normalizer) expr(e Expr, frozen bool) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case ColRef, Param:
+		return e
+	case Lit:
+		if frozen {
+			return e
+		}
+		return n.param(e)
+	case *Unary:
+		return &Unary{Op: e.Op, E: n.expr(e.E, frozen)}
+	case *Binary:
+		return &Binary{Op: e.Op, L: n.expr(e.L, frozen), R: n.expr(e.R, frozen)}
+	case *FuncCall:
+		sub := frozen || AggregateNames[strings.ToLower(e.Name)]
+		out := &FuncCall{Name: e.Name, Star: e.Star}
+		for _, a := range e.Args {
+			out.Args = append(out.Args, n.expr(a, sub))
+		}
+		return out
+	case *InList:
+		out := &InList{E: n.expr(e.E, frozen), Negate: e.Negate}
+		for _, x := range e.List {
+			out.List = append(out.List, n.expr(x, frozen))
+		}
+		return out
+	case *InSubquery:
+		return &InSubquery{E: n.expr(e.E, frozen), Query: n.query(e.Query), Negate: e.Negate}
+	case *Exists:
+		return &Exists{Query: n.query(e.Query), Negate: e.Negate}
+	case *IsNull:
+		return &IsNull{E: n.expr(e.E, frozen), Negate: e.Negate}
+	case *Between:
+		return &Between{E: n.expr(e.E, frozen), Lo: n.expr(e.Lo, frozen), Hi: n.expr(e.Hi, frozen), Negate: e.Negate}
+	case *Cast:
+		return &Cast{E: n.expr(e.E, frozen), Kind: e.Kind}
+	default:
+		n.ok = false
+		return e
+	}
+}
+
+// Fingerprint rendering: a canonical, unambiguous serialization of a
+// normalized query. It is not meant to re-parse — every construct is
+// wrapped in explicit delimiters so distinct trees cannot collide.
+
+func fpQuery(b *strings.Builder, q Query) {
+	switch q := q.(type) {
+	case nil:
+		b.WriteString("~")
+	case *Select:
+		b.WriteString("sel(")
+		if q.Possible {
+			b.WriteString("possible ")
+		}
+		if q.Distinct {
+			b.WriteString("distinct ")
+		}
+		for i, it := range q.Items {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if it.Star {
+				b.WriteString(it.Rel)
+				b.WriteString(".*")
+			} else {
+				fpExpr(b, it.Expr)
+				if it.Alias != "" {
+					b.WriteString(" as ")
+					b.WriteString(it.Alias)
+				}
+			}
+		}
+		b.WriteString(" from ")
+		for i, f := range q.From {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if f.Subquery != nil {
+				b.WriteByte('(')
+				fpQuery(b, f.Subquery)
+				b.WriteByte(')')
+			} else {
+				b.WriteString(f.Table)
+			}
+			if f.Alias != "" {
+				b.WriteByte(' ')
+				b.WriteString(f.Alias)
+			}
+		}
+		if q.Where != nil {
+			b.WriteString(" where ")
+			fpExpr(b, q.Where)
+		}
+		if len(q.GroupBy) > 0 {
+			b.WriteString(" group by ")
+			for i, g := range q.GroupBy {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fpExpr(b, g)
+			}
+		}
+		if q.Having != nil {
+			b.WriteString(" having ")
+			fpExpr(b, q.Having)
+		}
+		if len(q.OrderBy) > 0 {
+			b.WriteString(" order by ")
+			for i, o := range q.OrderBy {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fpExpr(b, o.Expr)
+				if o.Desc {
+					b.WriteString(" desc")
+				}
+			}
+		}
+		if q.Limit >= 0 {
+			fmt.Fprintf(b, " limit %d", q.Limit)
+		}
+		if q.Offset > 0 {
+			fmt.Fprintf(b, " offset %d", q.Offset)
+		}
+		b.WriteByte(')')
+	case *Union:
+		b.WriteString("union")
+		if q.All {
+			b.WriteString(" all")
+		}
+		b.WriteByte('(')
+		fpQuery(b, q.Left)
+		b.WriteByte(';')
+		fpQuery(b, q.Right)
+		b.WriteByte(')')
+	default:
+		b.WriteString("?query?")
+	}
+}
+
+func fpExpr(b *strings.Builder, e Expr) {
+	switch e := e.(type) {
+	case nil:
+		b.WriteString("~")
+	case ColRef:
+		if e.Rel != "" {
+			b.WriteString(e.Rel)
+			b.WriteByte('.')
+		}
+		b.WriteString(e.Name)
+	case Lit:
+		b.WriteString(e.Val.SQLLiteral())
+	case Param:
+		b.WriteByte('?')
+		b.WriteString(strconv.Itoa(e.Idx))
+		b.WriteByte(':')
+		b.WriteString(e.Kind.String())
+	case *Unary:
+		b.WriteByte('(')
+		b.WriteString(e.Op)
+		b.WriteByte(' ')
+		fpExpr(b, e.E)
+		b.WriteByte(')')
+	case *Binary:
+		b.WriteByte('(')
+		fpExpr(b, e.L)
+		b.WriteByte(' ')
+		b.WriteString(e.Op)
+		b.WriteByte(' ')
+		fpExpr(b, e.R)
+		b.WriteByte(')')
+	case *FuncCall:
+		b.WriteString(e.Name)
+		b.WriteByte('(')
+		if e.Star {
+			b.WriteByte('*')
+		}
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fpExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *InList:
+		b.WriteByte('(')
+		fpExpr(b, e.E)
+		if e.Negate {
+			b.WriteString(" not")
+		}
+		b.WriteString(" in [")
+		for i, x := range e.List {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fpExpr(b, x)
+		}
+		b.WriteString("])")
+	case *InSubquery:
+		b.WriteByte('(')
+		fpExpr(b, e.E)
+		if e.Negate {
+			b.WriteString(" not")
+		}
+		b.WriteString(" in ")
+		fpQuery(b, e.Query)
+		b.WriteByte(')')
+	case *Exists:
+		b.WriteByte('(')
+		if e.Negate {
+			b.WriteString("not ")
+		}
+		b.WriteString("exists ")
+		fpQuery(b, e.Query)
+		b.WriteByte(')')
+	case *IsNull:
+		b.WriteByte('(')
+		fpExpr(b, e.E)
+		b.WriteString(" is")
+		if e.Negate {
+			b.WriteString(" not")
+		}
+		b.WriteString(" null)")
+	case *Between:
+		b.WriteByte('(')
+		fpExpr(b, e.E)
+		if e.Negate {
+			b.WriteString(" not")
+		}
+		b.WriteString(" between ")
+		fpExpr(b, e.Lo)
+		b.WriteString(" and ")
+		fpExpr(b, e.Hi)
+		b.WriteByte(')')
+	case *Cast:
+		b.WriteString("cast(")
+		fpExpr(b, e.E)
+		b.WriteString(" as ")
+		b.WriteString(e.Kind.String())
+		b.WriteByte(')')
+	default:
+		b.WriteString("?expr?")
+	}
+}

@@ -90,7 +90,7 @@ func exprTables(e Expr, set map[string]bool) bool {
 	switch e := e.(type) {
 	case nil:
 		return true
-	case ColRef, Lit:
+	case ColRef, Lit, Param:
 		return true
 	case *Unary:
 		return exprTables(e.E, set)

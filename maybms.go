@@ -129,6 +129,14 @@ func (d *DB) SetSeed(seed int64) {
 	d.inner.SetSeed(seed)
 }
 
+// PlanCacheStats reports the normalized-plan cache's cumulative hit
+// and miss counts and its current entry count (see the engine's query
+// planning docs: read-only queries are normalized, fingerprinted, and
+// their optimized plans reused until a write invalidates them).
+func (d *DB) PlanCacheStats() (hits, misses, entries int64) {
+	return d.inner.PlanCacheStats()
+}
+
 // Engine exposes the underlying database engine for in-process
 // frontends (the network server, the experiment harness). Most callers
 // should stay on the DB API.
