@@ -16,7 +16,10 @@
 // writes the analyzed operator trees as BENCH_trace.json. -e plan runs
 // the cost-aware planner workload (multi-join queries with selective
 // filters over repair-key tables, plus a repeated-query plan-cache
-// curve) and writes BENCH_plan.json.
+// curve) and writes BENCH_plan.json. -e storage compares the disk
+// engine (WAL + segments) with the memory engine (gob snapshots):
+// cold-start, scan throughput, and fsync-on/off insert latency,
+// writing BENCH_storage.json.
 package main
 
 import (
@@ -28,7 +31,7 @@ import (
 )
 
 func main() {
-	which := flag.String("e", "all", "experiment to run: all, e1..e8, par, paragg, trace, plan")
+	which := flag.String("e", "all", "experiment to run: all, e1..e8, par, paragg, trace, plan, storage")
 	traceRun := flag.Bool("trace", false, "shorthand for -e trace: emit per-operator execution stats")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
 	seed := flag.Int64("seed", 2009, "random seed")
@@ -57,6 +60,8 @@ func main() {
 		experiments.ETrace(w, opts, *jsonPath, *parallelism)
 	case "plan":
 		experiments.EPlan(w, opts, *jsonPath)
+	case "storage":
+		experiments.EStorage(w, opts, *jsonPath)
 	case "all":
 		experiments.All(w, opts)
 	case "e1":

@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	maybms [-db snapshot.mdb] [-f script.sql]
-//	maybms serve [-listen :8094] [-db snapshot.mdb] [-max-sessions N] [-session-idle 5m]
+//	maybms [-db snapshot.mdb | -engine disk -data-dir DIR [-fsync]] [-f script.sql]
+//	maybms serve [-listen :8094] [-db snapshot.mdb | -engine disk -data-dir DIR [-fsync]] [-max-sessions N]
 //
 // With -db, the snapshot is loaded on start (if it exists) and saved
-// on \q. With -f, the script runs before the prompt appears (or the
-// shell exits if stdin is not wanted; combine with -batch).
+// on \q. With -engine disk -data-dir, the WAL-durable storage engine
+// persists every statement to the directory instead — no snapshot
+// file needed, and a crash recovers to the last committed statement.
+// With -f, the script runs before the prompt appears (or the shell
+// exits if stdin is not wanted; combine with -batch).
 //
 // The serve subcommand exposes the database over HTTP/JSON (see
 // internal/server for the API and the client package for the Go
@@ -24,8 +27,10 @@
 //	            the scan early)
 //	\timing     toggle per-statement wall-time reporting
 //	\plancache  show normalized-plan cache hit/miss/entry counts
+//	\engine     show the storage engine and its durability counters
+//	\checkpoint force a durable checkpoint (disk engine)
 //	\save PATH  snapshot the database
-//	\load PATH  restore a snapshot
+//	\load PATH  restore a snapshot (memory engine only)
 //	\q          quit (saving if -db was given)
 package main
 
@@ -54,9 +59,21 @@ func main() {
 	dbPath := flag.String("db", "", "snapshot file to load on start and save on exit")
 	script := flag.String("f", "", "SQL script to execute before the prompt")
 	batch := flag.Bool("batch", false, "exit after -f script (no prompt)")
+	dataDir := flag.String("data-dir", "", "data directory for the disk storage engine (implies -engine disk)")
+	engine := flag.String("engine", "", "storage engine: memory (default) or disk (requires -data-dir)")
+	fsyncOn := flag.Bool("fsync", false, "fsync the write-ahead log on every statement (disk engine; default batches fsyncs on a ~200ms timer)")
 	flag.Parse()
 
-	db := maybms.Open()
+	db, err := openEngine(*engine, *dataDir, *fsyncOn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maybms: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	if *dbPath != "" && db.EngineName() == "disk" {
+		fmt.Fprintln(os.Stderr, "maybms: -db snapshots and -data-dir are mutually exclusive; the disk engine persists on its own")
+		os.Exit(1)
+	}
 	if *dbPath != "" {
 		switch _, err := os.Stat(*dbPath); {
 		case err == nil:
@@ -121,6 +138,33 @@ func main() {
 		}
 	}
 	saveIfNeeded(db, *dbPath)
+}
+
+// openEngine builds the database for the selected storage engine.
+// The disk engine recovers tables and world-set variables from the
+// data directory's segments and write-ahead log before returning.
+func openEngine(engine, dataDir string, fsync bool) (*maybms.DB, error) {
+	if engine == "" {
+		if dataDir != "" {
+			engine = "disk"
+		} else {
+			engine = "memory"
+		}
+	}
+	switch engine {
+	case "memory":
+		if dataDir != "" {
+			return nil, fmt.Errorf("-data-dir requires -engine disk")
+		}
+		return maybms.Open(), nil
+	case "disk":
+		if dataDir == "" {
+			return nil, fmt.Errorf("-engine disk requires -data-dir")
+		}
+		return maybms.OpenDurable(maybms.Options{DataDir: dataDir, Fsync: fsync})
+	default:
+		return nil, fmt.Errorf("unknown storage engine %q (want memory or disk)", engine)
+	}
 }
 
 func saveIfNeeded(db *maybms.DB, path string) {
@@ -255,6 +299,24 @@ func metaCommand(db *maybms.DB, cmd, dbPath string) (quit bool) {
 		if err := streamQuery(db, src); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
+	case "\\engine":
+		st := db.StorageStats()
+		fmt.Printf("engine: %s\n", st.Engine)
+		if st.Engine == "disk" {
+			fmt.Printf("data dir: %s\n", st.DataDir)
+			fmt.Printf("fsync per statement: %v\n", st.Fsync)
+			fmt.Printf("wal: %d appends, %d fsyncs, %d bytes\n", st.WALAppends, st.WALFsyncs, st.WALBytes)
+			fmt.Printf("checkpoints: %d (last %.3fs), segments live: %d, compactions: %d\n",
+				st.Checkpoints, st.LastCheckpointSeconds, st.SegmentsLive, st.Compactions)
+		}
+	case "\\checkpoint":
+		if err := db.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else if db.EngineName() == "disk" {
+			fmt.Println("checkpoint complete")
+		} else {
+			fmt.Println("checkpoint: no-op on the memory engine")
+		}
 	case "\\plancache":
 		hits, misses, entries := db.PlanCacheStats()
 		rate := 0.0
@@ -275,6 +337,10 @@ func metaCommand(db *maybms.DB, cmd, dbPath string) (quit bool) {
 	case "\\load":
 		if len(fields) != 2 {
 			fmt.Fprintln(os.Stderr, "usage: \\load PATH")
+			return false
+		}
+		if db.EngineName() == "disk" {
+			fmt.Fprintln(os.Stderr, "error: cannot load a snapshot into a durable database")
 			return false
 		}
 		loaded, err := maybms.OpenFile(fields[1])

@@ -25,9 +25,20 @@ func serveCmd(args []string) {
 	workerPool := fs.Int("worker-pool", 0, "cap on partition-worker goroutines shared by all concurrent queries (0 = GOMAXPROCS); results are identical at every setting")
 	slowQuery := fs.Duration("slow-query", -1, "log queries at least this slow to stderr as JSON lines with their analyzed operator tree (0 logs every query; negative disables)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the server")
+	dataDir := fs.String("data-dir", "", "data directory for the disk storage engine (implies -engine disk)")
+	engine := fs.String("engine", "", "storage engine: memory (default) or disk (requires -data-dir)")
+	fsyncOn := fs.Bool("fsync", false, "fsync the write-ahead log on every statement (disk engine; default batches fsyncs on a ~200ms timer)")
 	fs.Parse(args)
 
-	db := maybms.Open()
+	db, err := openEngine(*engine, *dataDir, *fsyncOn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maybms serve: %v\n", err)
+		os.Exit(1)
+	}
+	if *dbPath != "" && db.EngineName() == "disk" {
+		fmt.Fprintln(os.Stderr, "maybms serve: -db snapshots and -data-dir are mutually exclusive; the disk engine persists on its own")
+		os.Exit(1)
+	}
 	if *dbPath != "" {
 		switch _, err := os.Stat(*dbPath); {
 		case err == nil:
@@ -85,4 +96,9 @@ func serveCmd(args []string) {
 	// snapshotting — a save during an open transaction is refused.
 	srv.Close()
 	saveIfNeeded(db, *dbPath)
+	// The disk engine checkpoints on Close, bounding the next start's
+	// WAL replay; everything was already durable before this point.
+	if err := db.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "maybms serve: close: %v\n", err)
+	}
 }

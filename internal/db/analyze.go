@@ -163,6 +163,20 @@ func (d *Database) RunStatementTraced(s sql.Statement, tr *trace.Trace) (*Result
 	defer d.mu.Unlock()
 	d.exec.Tracer = tr
 	defer func() { d.exec.Tracer = nil }()
+	res, n, err := d.runLockedTraced(s, tr)
+	// Write-classified statements (including write queries, which
+	// allocate world-set variables) must end their WAL batch even when
+	// they fail partway: see commitDurable.
+	if cerr := d.commitDurable(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, n, err
+	}
+	return res, n, nil
+}
+
+func (d *Database) runLockedTraced(s sql.Statement, tr *trace.Trace) (*Result, plan.Node, error) {
 	switch s := s.(type) {
 	case *sql.QueryStmt:
 		rel, n, err := d.queryPlanned(s.Query)

@@ -1,0 +1,89 @@
+package db
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// The maybms_snapshots_open gauge must drain to zero however a cursor
+// ends: fully streamed, closed mid-stream, or killed by a mid-stream
+// error. A leaked snapshot refcount pins copy-on-write row arrays
+// forever, so this is a regression test for every cursor exit path.
+func TestSnapshotsOpenDrainsToZero(t *testing.T) {
+	d := New()
+	var ins strings.Builder
+	ins.WriteString("create table t (a int, b int); insert into t values ")
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			ins.WriteString(", ")
+		}
+		fmt.Fprintf(&ins, "(%d, %d)", i, i%7)
+	}
+	ins.WriteString(";")
+	mustRun(t, d, ins.String())
+
+	if n := d.SnapshotsOpen(); n != 0 {
+		t.Fatalf("snapshots open before cursors: %d", n)
+	}
+
+	// Fully drained cursor: Next's io.EOF auto-closes.
+	c, err := d.OpenQuery("select a from t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := c.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := d.SnapshotsOpen(); n != 0 {
+		t.Fatalf("snapshots open after drained cursor: %d", n)
+	}
+
+	// Mid-stream close, with a concurrent write between batches and a
+	// second overlapping cursor — the write forces copy-on-write while
+	// both snapshots are live; both slots must come back.
+	c1, err := d.OpenQuery("select a, b from t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Next(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := d.OpenQuery("select b from t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, d, "update t set b = b + 1 where a < 10;")
+	if _, err := c2.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.SnapshotsOpen(); n != 2 {
+		t.Fatalf("snapshots open with two live cursors: %d, want 2", n)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if n := d.SnapshotsOpen(); n != 0 {
+		t.Fatalf("snapshots open after mid-stream closes: %d", n)
+	}
+
+	// Error mid-plan (unknown column): OpenQuery fails after the
+	// snapshot was captured; the failure path must release it.
+	if _, err := d.OpenQuery("select nope from t;"); err == nil {
+		t.Fatal("expected plan error")
+	}
+	if n := d.SnapshotsOpen(); n != 0 {
+		t.Fatalf("snapshots open after failed open: %d", n)
+	}
+}

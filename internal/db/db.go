@@ -21,6 +21,7 @@ import (
 	"maybms/internal/schema"
 	"maybms/internal/sql"
 	"maybms/internal/storage"
+	"maybms/internal/storage/disk"
 	"maybms/internal/types"
 	"maybms/internal/urel"
 	"maybms/internal/ws"
@@ -62,6 +63,11 @@ type Database struct {
 	inTxn  bool
 	undo   []func() error
 	wsSnap int
+
+	// durable is the WAL-backed store when the database was opened on
+	// a data directory (Open with DataDir); nil for the memory engine.
+	// Every write-classified statement ends with commitDurable.
+	durable *disk.Store
 }
 
 // Result is the outcome of one statement.
@@ -300,7 +306,14 @@ func (d *Database) RunStatement(s sql.Statement) (*Result, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.runLocked(s)
+	res, err := d.runLocked(s)
+	if cerr := d.commitDurable(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // runRead executes a statement already classified read-only against a
@@ -481,14 +494,25 @@ func (d *Database) QueryRel(src string, materialised bool) (*urel.Rel, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	var rel *urel.Rel
 	if !materialised {
-		return d.query(qs.Query)
+		rel, err = d.query(qs.Query)
+	} else {
+		var n plan.Node
+		n, err = plan.Build(qs.Query, d)
+		if err == nil {
+			rel, err = d.exec.Run(n)
+		}
 	}
-	n, err := plan.Build(qs.Query, d)
+	// A write-classified query (repair-key / pick-tuples) may have
+	// allocated world-set variables; end its WAL batch.
+	if cerr := d.commitDurable(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, err
 	}
-	return d.exec.Run(n)
+	return rel, nil
 }
 
 // logUndo records an inverse operation while in a transaction.
@@ -526,9 +550,17 @@ func (d *Database) createTable(s *sql.CreateTable) (*Result, error) {
 			seen[cname] = true
 			cols[i] = schema.Column{Name: cname, Kind: kind}
 		}
-		t = storage.NewTable(name, schema.New(cols...))
+		t, err = d.newTable(name, schema.New(cols...))
+		if err != nil {
+			return nil, err
+		}
 		for _, tup := range rel.Tuples {
 			if _, err := t.Insert(tup.Clone()); err != nil {
+				// Net out the durable create+inserts logged so far: the
+				// statement failed and the table never becomes visible.
+				if d.durable != nil {
+					d.durable.DropTable(name)
+				}
 				return nil, err
 			}
 			inserted++
@@ -544,11 +576,18 @@ func (d *Database) createTable(s *sql.CreateTable) (*Result, error) {
 			seen[cname] = true
 			cols[i] = schema.Column{Name: cname, Kind: c.Kind}
 		}
-		t = storage.NewTable(name, schema.New(cols...))
+		tt, err := d.newTable(name, schema.New(cols...))
+		if err != nil {
+			return nil, err
+		}
+		t = tt
 	}
 	d.tables[name] = t
 	d.logUndo(func() error {
 		delete(d.tables, name)
+		if d.durable != nil {
+			return d.durable.DropTable(name)
+		}
 		return nil
 	})
 	return &Result{Msg: fmt.Sprintf("CREATE TABLE %s", name), RowsAffected: inserted}, nil
@@ -564,8 +603,20 @@ func (d *Database) dropTable(s *sql.DropTable) (*Result, error) {
 		return nil, fmt.Errorf("db: table %q does not exist", s.Name)
 	}
 	delete(d.tables, name)
+	if d.durable != nil {
+		if err := d.durable.DropTable(name); err != nil {
+			d.tables[name] = t
+			return nil, err
+		}
+	}
 	d.logUndo(func() error {
 		d.tables[name] = t
+		if d.durable != nil {
+			// Re-register the dropped engine and re-log its contents:
+			// the durable store treats a rolled-back drop as a fresh
+			// create, since the old segment files may already be gone.
+			return d.durable.RestoreTable(name, t.Engine())
+		}
 		return nil
 	})
 	return &Result{Msg: fmt.Sprintf("DROP TABLE %s", name)}, nil

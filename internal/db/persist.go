@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"maybms/internal/lineage"
 	"maybms/internal/schema"
@@ -137,6 +138,9 @@ func (d *Database) Load(r io.Reader) error {
 	if d.inTxn {
 		return fmt.Errorf("db: cannot load during a transaction")
 	}
+	if d.durable != nil {
+		return fmt.Errorf("db: cannot load a snapshot into a durable database; open a fresh data directory instead")
+	}
 	var dump dbDump
 	if err := gob.NewDecoder(r).Decode(&dump); err != nil {
 		return fmt.Errorf("db: load: %v", err)
@@ -171,7 +175,9 @@ func (d *Database) Load(r io.Reader) error {
 			rows[i] = urel.Tuple{Data: data, Cond: cond}
 			dead[i] = rd.Dead
 		}
-		t.LoadRows(rows, dead)
+		if err := t.LoadRows(rows, dead); err != nil {
+			return fmt.Errorf("db: load: %v", err)
+		}
 		tables[td.Name] = t
 	}
 	d.store.Restore(dump.Domains)
@@ -182,17 +188,50 @@ func (d *Database) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile snapshots the database to a file.
+// SaveFile snapshots the database to a file. The write is atomic:
+// the snapshot goes to a temp file in the same directory, is synced,
+// and then renamed over path, so a crash (or encoding error) mid-save
+// can never leave a torn half-written snapshot as the only copy.
 func (d *Database) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return saveAtomic(path, d.Save)
+}
+
+// saveAtomic writes via fn into a temp file next to path, fsyncs it,
+// and renames it into place — the POSIX recipe for "either the old
+// file or the complete new file, never a torn mix". On any error the
+// temp file is removed and path is left untouched.
+func saveAtomic(path string, fn func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := d.Save(f); err != nil {
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err := fn(f); err != nil {
 		return err
 	}
-	return f.Sync()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	tmp = "" // committed; nothing to clean up
+	// Make the rename itself durable.
+	if dh, err := os.Open(dir); err == nil {
+		dh.Sync()
+		dh.Close()
+	}
+	return nil
 }
 
 // LoadFile restores the database from a file snapshot.

@@ -1,0 +1,109 @@
+package db
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A failed SaveFile must leave the previous snapshot untouched: the
+// save goes to a temp file and only a complete, synced snapshot is
+// renamed over the old one. (The regression: writing into the target
+// path directly truncates the old snapshot before the failure.)
+func TestSaveFileFailureKeepsOldSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+
+	d := New()
+	mustRun(t, d, "create table t (a int); insert into t values (1), (2), (3);")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saving mid-transaction fails after the temp file is created; the
+	// snapshot on disk must be byte-identical to the good one and no
+	// temp litter may remain.
+	mustRun(t, d, "begin; insert into t values (4);")
+	if err := d.SaveFile(path); err == nil {
+		t.Fatal("SaveFile during a transaction should fail")
+	}
+	mustRun(t, d, "rollback;")
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("old snapshot destroyed by failed save: %v", err)
+	}
+	if string(after) != string(good) {
+		t.Fatal("failed save modified the existing snapshot")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("failed save left temp file %s", e.Name())
+		}
+	}
+
+	// The surviving snapshot must load.
+	d2 := New()
+	if err := d2.LoadFile(path); err != nil {
+		t.Fatalf("LoadFile after failed save: %v", err)
+	}
+	res := mustRun(t, d2, "select count(*) as n from t;")
+	if len(res.Rel.Tuples) != 1 || res.Rel.Tuples[0].Data[0].Int() != 3 {
+		t.Fatalf("loaded snapshot wrong: %v", res.Rel.Tuples)
+	}
+}
+
+// A successful SaveFile leaves exactly the snapshot and no temp files.
+func TestSaveFileLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+	d := New()
+	mustRun(t, d, "create table t (a int); insert into t values (1);")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveFile(path); err != nil { // overwrite path too
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "db.snap" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory after save = %v, want [db.snap]", names)
+	}
+}
+
+// Loading a gob snapshot into a durable database must refuse: the
+// WAL/segment state cannot be wholesale-replaced behind the log.
+func TestLoadRefusedOnDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+	mem := New()
+	mustRun(t, mem, "create table t (a int);")
+	if err := mem.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := Open(Options{DataDir: filepath.Join(dir, "data")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.LoadFile(path); err == nil || !strings.Contains(err.Error(), "durable") {
+		t.Fatalf("LoadFile on durable db: err = %v, want durable refusal", err)
+	}
+}

@@ -1,0 +1,301 @@
+package experiments
+
+// EStorage benchmarks the pluggable storage engines against each
+// other: cold-start (disk-engine recovery from a checkpointed
+// directory and from a WAL-replay-heavy crash image, vs loading the
+// gob snapshot of the same data), full-scan throughput, and
+// per-statement insert latency with and without per-statement fsync.
+// The artifact is BENCH_storage.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"maybms"
+)
+
+// StorageColdStart reports how long a fresh process takes to reach a
+// queryable database holding the same rows, per recovery path.
+type StorageColdStart struct {
+	Rows int `json:"rows"`
+	// DiskOpenMillis opens a checkpointed data directory: segments
+	// load, the rotated WAL is empty.
+	DiskOpenMillis float64 `json:"disk_open_ms"`
+	// DiskReplayMillis opens a crash image whose rows live entirely in
+	// the WAL (nothing was checkpointed): pure replay cost.
+	DiskReplayMillis float64 `json:"disk_replay_ms"`
+	// SnapshotLoadMillis loads the memory engine's gob snapshot of the
+	// same database.
+	SnapshotLoadMillis float64 `json:"snapshot_load_ms"`
+}
+
+// StorageScan is full-table-scan throughput on one engine.
+type StorageScan struct {
+	Engine     string  `json:"engine"`
+	Rows       int     `json:"rows"`
+	Reps       int     `json:"reps"`
+	Millis     float64 `json:"ms"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// StorageInsert is per-statement insert latency under one durability
+// configuration.
+type StorageInsert struct {
+	Config      string  `json:"config"`
+	Inserts     int     `json:"inserts"`
+	MeanMicros  float64 `json:"mean_us"`
+	P99Micros   float64 `json:"p99_us"`
+	TotalMillis float64 `json:"total_ms"`
+}
+
+// StorageReport is the BENCH_storage.json document.
+type StorageReport struct {
+	Rows      int              `json:"rows"`
+	NumCPU    int              `json:"num_cpu"`
+	Quick     bool             `json:"quick"`
+	ColdStart StorageColdStart `json:"cold_start"`
+	Scans     []StorageScan    `json:"scans"`
+	Inserts   []StorageInsert  `json:"inserts"`
+	Note      string           `json:"note"`
+}
+
+// fillStorageTable bulk-loads the benchmark table: a wide-ish fact
+// table plus a repair-key derivative so segments carry lineage too.
+func fillStorageTable(db *maybms.DB, rows int) {
+	db.MustExec(`create table big (id int, grp int, val int, name text, w float)`)
+	var b strings.Builder
+	for lo := 0; lo < rows; lo += 5000 {
+		hi := lo + 5000
+		if hi > rows {
+			hi = rows
+		}
+		b.Reset()
+		b.WriteString("insert into big values ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%d, %d, %d, 'row-%d', %g)", i, i%64, (i*37)%211, i, 1.0+float64(i%5))
+		}
+		db.MustExec(b.String())
+	}
+	db.MustExec(`create table ubig as select id, grp, val from (repair key grp in big weight by w) r`)
+}
+
+func copyDataDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanThroughput times reps full scans of big on one open database.
+func scanThroughput(db *maybms.DB, engine string, rows, reps int) StorageScan {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		res := db.MustQuery(`select count(*) from big where val >= 0`)
+		if got := res.Data[0][0].(int64); got != int64(rows) {
+			panic(fmt.Sprintf("scan on %s engine returned %d rows, want %d", engine, got, rows))
+		}
+	}
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	return StorageScan{
+		Engine: engine, Rows: rows, Reps: reps, Millis: ms,
+		RowsPerSec: float64(rows*reps) / (ms / 1000),
+	}
+}
+
+// insertLatency times n single-row inserts and reports mean and p99.
+func insertLatency(db *maybms.DB, config string, n int) StorageInsert {
+	db.MustExec(`create table ins (id int, name text)`)
+	lat := make([]float64, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		db.MustExec(fmt.Sprintf("insert into ins values (%d, 'v-%d')", i, i))
+		lat[i] = float64(time.Since(t0).Nanoseconds()) / 1000
+	}
+	total := float64(time.Since(start).Microseconds()) / 1000
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	sort.Float64s(lat)
+	return StorageInsert{
+		Config: config, Inserts: n,
+		MeanMicros:  sum / float64(n),
+		P99Micros:   lat[n*99/100],
+		TotalMillis: total,
+	}
+}
+
+// EStorage runs the storage-engine benchmark, printing the tables to w
+// and writing jsonPath (when non-empty).
+func EStorage(w io.Writer, opts Options, jsonPath string) *StorageReport {
+	rows := 100000
+	scanReps := 10
+	inserts := 2000
+	if opts.Quick {
+		rows = 10000
+		scanReps = 5
+		inserts = 300
+	}
+	fmt.Fprintln(w, "== EStorage: disk engine (WAL + segments) vs memory engine (gob snapshots) ==")
+	fmt.Fprintf(w, "rows=%d  NumCPU=%d\n", rows, runtime.NumCPU())
+
+	report := &StorageReport{Rows: rows, NumCPU: runtime.NumCPU(), Quick: opts.Quick}
+	report.ColdStart.Rows = rows
+	tmp, err := os.MkdirTemp("", "maybms-bench-storage-")
+	if err != nil {
+		fmt.Fprintf(w, "EStorage: %v\n", err)
+		return report
+	}
+	defer os.RemoveAll(tmp)
+
+	// Build the dataset once on each engine. The disk build fsyncs per
+	// statement so the directory is a complete crash image we can copy
+	// while it is still open — before Close checkpoints the WAL away.
+	dataDir := filepath.Join(tmp, "data")
+	ddb, err := maybms.OpenDurable(maybms.Options{
+		DataDir: dataDir, Fsync: true, CheckpointBytes: 1 << 40, Seed: opts.Seed,
+	})
+	if err != nil {
+		fmt.Fprintf(w, "EStorage: %v\n", err)
+		return report
+	}
+	fillStorageTable(ddb, rows)
+	replayDir := filepath.Join(tmp, "replay")
+	if err := copyDataDir(dataDir, replayDir); err != nil {
+		fmt.Fprintf(w, "EStorage: %v\n", err)
+		return report
+	}
+
+	mdb := maybms.OpenOptions(maybms.Options{Seed: opts.Seed})
+	fillStorageTable(mdb, rows)
+	snapPath := filepath.Join(tmp, "db.snap")
+	if err := mdb.SaveFile(snapPath); err != nil {
+		fmt.Fprintf(w, "EStorage: %v\n", err)
+		return report
+	}
+
+	// Scan throughput while both engines are warm and resident.
+	report.Scans = append(report.Scans,
+		scanThroughput(mdb, "memory", rows, scanReps),
+		scanThroughput(ddb, "disk", rows, scanReps),
+	)
+	for _, s := range report.Scans {
+		fmt.Fprintf(w, "scan   %-8s %9.2fms (%d reps)  %14.0f rows/s\n", s.Engine, s.Millis, s.Reps, s.RowsPerSec)
+	}
+	if err := ddb.Close(); err != nil {
+		fmt.Fprintf(w, "EStorage: close: %v\n", err)
+		return report
+	}
+
+	// Cold start: checkpointed directory, WAL-replay crash image, and
+	// the gob snapshot — all to a queryable database.
+	t0 := time.Now()
+	re, err := maybms.OpenDurable(maybms.Options{DataDir: dataDir})
+	if err != nil {
+		fmt.Fprintf(w, "EStorage: reopen: %v\n", err)
+		return report
+	}
+	report.ColdStart.DiskOpenMillis = float64(time.Since(t0).Microseconds()) / 1000
+	re.MustQuery(`select count(*) from big`)
+	re.Close()
+
+	t0 = time.Now()
+	rp, err := maybms.OpenDurable(maybms.Options{DataDir: replayDir})
+	if err != nil {
+		fmt.Fprintf(w, "EStorage: replay open: %v\n", err)
+		return report
+	}
+	report.ColdStart.DiskReplayMillis = float64(time.Since(t0).Microseconds()) / 1000
+	rp.MustQuery(`select count(*) from big`)
+	rp.Close()
+
+	t0 = time.Now()
+	if _, err := maybms.OpenFile(snapPath); err != nil {
+		fmt.Fprintf(w, "EStorage: snapshot load: %v\n", err)
+		return report
+	}
+	report.ColdStart.SnapshotLoadMillis = float64(time.Since(t0).Microseconds()) / 1000
+	fmt.Fprintf(w, "cold start: disk(checkpointed)=%.2fms  disk(wal replay)=%.2fms  snapshot(gob)=%.2fms\n",
+		report.ColdStart.DiskOpenMillis, report.ColdStart.DiskReplayMillis, report.ColdStart.SnapshotLoadMillis)
+
+	// Insert latency: the durability ladder. Each config gets its own
+	// fresh database so WAL growth from one run doesn't tax the next.
+	configs := []struct {
+		name string
+		open func() (*maybms.DB, func() error, error)
+	}{
+		{"memory", func() (*maybms.DB, func() error, error) {
+			d := maybms.Open()
+			return d, func() error { return nil }, nil
+		}},
+		{"disk fsync=off", func() (*maybms.DB, func() error, error) {
+			d, err := maybms.OpenDurable(maybms.Options{DataDir: filepath.Join(tmp, "ins-nofsync")})
+			if err != nil {
+				return nil, nil, err
+			}
+			return d, d.Close, nil
+		}},
+		{"disk fsync=on", func() (*maybms.DB, func() error, error) {
+			d, err := maybms.OpenDurable(maybms.Options{DataDir: filepath.Join(tmp, "ins-fsync"), Fsync: true})
+			if err != nil {
+				return nil, nil, err
+			}
+			return d, d.Close, nil
+		}},
+	}
+	for _, cfg := range configs {
+		d, closeFn, err := cfg.open()
+		if err != nil {
+			fmt.Fprintf(w, "EStorage: %s: %v\n", cfg.name, err)
+			continue
+		}
+		pt := insertLatency(d, cfg.name, inserts)
+		if err := closeFn(); err != nil {
+			fmt.Fprintf(w, "EStorage: %s: close: %v\n", cfg.name, err)
+		}
+		report.Inserts = append(report.Inserts, pt)
+		fmt.Fprintf(w, "insert %-15s mean=%8.1fµs  p99=%8.1fµs  (%d inserts, %.1fms total)\n",
+			pt.Config, pt.MeanMicros, pt.P99Micros, pt.Inserts, pt.TotalMillis)
+	}
+
+	report.Note = "scans run on the disk engine's resident heap mirror, so throughput should match " +
+		"the memory engine within noise; cold start trades the snapshot's full-file gob decode for " +
+		"segment loads plus WAL replay (replay-heavy images cost more, which is what checkpoints " +
+		"bound); per-statement fsync prices the durability ladder."
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "writing %s: %v\n", jsonPath, err)
+		} else {
+			fmt.Fprintf(w, "wrote %s\n", jsonPath)
+		}
+	}
+	return report
+}

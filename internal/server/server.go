@@ -767,4 +767,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.execDur.write(w, "maybms_query_duration_seconds", `endpoint="exec"`)
 	s.streamDur.write(w, "maybms_query_duration_seconds", `endpoint="stream"`)
 	s.rowsHist.write(w, "maybms_query_rows_returned", "")
+	st := s.eng.StorageStats()
+	fmt.Fprintf(w, "maybms_storage_engine{engine=%q} 1\n", st.Engine)
+	if st.Engine == "disk" {
+		fmt.Fprintf(w, "maybms_wal_appends_total %d\n", st.WALAppends)
+		fmt.Fprintf(w, "maybms_wal_fsyncs_total %d\n", st.WALFsyncs)
+		fmt.Fprintf(w, "maybms_wal_bytes_total %d\n", st.WALBytes)
+		fmt.Fprintf(w, "maybms_checkpoints_total %d\n", st.Checkpoints)
+		fmt.Fprintf(w, "maybms_checkpoint_seconds %g\n", st.LastCheckpointSeconds)
+		fmt.Fprintf(w, "maybms_segments_live %d\n", st.SegmentsLive)
+		fmt.Fprintf(w, "maybms_compactions_total %d\n", st.Compactions)
+	}
 }

@@ -1,0 +1,259 @@
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"maybms/internal/lineage"
+	"maybms/internal/schema"
+	"maybms/internal/storage/keyenc"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+	"maybms/internal/ws"
+)
+
+// WAL record types. A statement's records are delimited by a trailing
+// recCommit; replay buffers records until the commit and discards an
+// uncommitted tail, which is what gives statements (and transactions,
+// whose BEGIN..COMMIT span appends no commit record until the end)
+// all-or-nothing crash semantics.
+const (
+	recCommit      = 1
+	recCreateTable = 2
+	recDropTable   = 3
+	recInsert      = 4 // table, rowid, dead, tuple
+	recSetDead     = 5 // table, rowid, dead
+	recReplace     = 6 // table, rowid, tuple
+	recTruncate    = 7 // table
+	recWSVar       = 8 // world-set variable allocation: id, probs
+	recWSRollback  = 9 // world-set rollback to n variables
+)
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func decodeStr(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", nil, fmt.Errorf("disk: truncated string")
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+func decodeUvarint(b []byte) (uint64, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("disk: truncated varint")
+	}
+	return n, b[sz:], nil
+}
+
+func decodeVarint(b []byte) (int64, []byte, error) {
+	n, sz := binary.Varint(b)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("disk: truncated varint")
+	}
+	return n, b[sz:], nil
+}
+
+// appendTuple encodes a conditioned tuple: column count, each value in
+// the keyenc order-preserving encoding, then the lineage condition as
+// (var, val) pairs. The same payload is used in WAL insert/replace
+// records and in segment records.
+func appendTuple(b []byte, t urel.Tuple) []byte {
+	b = binary.AppendUvarint(b, uint64(len(t.Data)))
+	for _, v := range t.Data {
+		b = keyenc.AppendValue(b, v)
+	}
+	b = binary.AppendUvarint(b, uint64(len(t.Cond)))
+	for _, l := range t.Cond {
+		b = binary.AppendVarint(b, int64(l.Var))
+		b = binary.AppendVarint(b, int64(l.Val))
+	}
+	return b
+}
+
+func decodeTuple(b []byte) (urel.Tuple, []byte, error) {
+	ncols, b, err := decodeUvarint(b)
+	if err != nil {
+		return urel.Tuple{}, nil, err
+	}
+	var data schema.Tuple
+	if ncols > 0 {
+		data = make(schema.Tuple, ncols)
+		for i := range data {
+			data[i], b, err = keyenc.Value(b)
+			if err != nil {
+				return urel.Tuple{}, nil, err
+			}
+		}
+	}
+	nlits, b, err := decodeUvarint(b)
+	if err != nil {
+		return urel.Tuple{}, nil, err
+	}
+	var cond lineage.Cond
+	if nlits > 0 {
+		lits := make([]lineage.Lit, nlits)
+		for i := range lits {
+			var v, val int64
+			if v, b, err = decodeVarint(b); err != nil {
+				return urel.Tuple{}, nil, err
+			}
+			if val, b, err = decodeVarint(b); err != nil {
+				return urel.Tuple{}, nil, err
+			}
+			lits[i] = lineage.Lit{Var: ws.VarID(v), Val: int(val)}
+		}
+		var ok bool
+		if cond, ok = lineage.NewCond(lits...); !ok {
+			return urel.Tuple{}, nil, fmt.Errorf("disk: inconsistent lineage condition")
+		}
+	}
+	return urel.Tuple{Data: data, Cond: cond}, b, nil
+}
+
+func appendSchema(b []byte, sch *schema.Schema) []byte {
+	b = binary.AppendUvarint(b, uint64(sch.Len()))
+	for _, c := range sch.Cols {
+		b = appendStr(b, c.Rel)
+		b = appendStr(b, c.Name)
+		b = append(b, byte(c.Kind))
+	}
+	return b
+}
+
+func decodeSchema(b []byte) (*schema.Schema, []byte, error) {
+	n, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]schema.Column, n)
+	for i := range cols {
+		var rel, name string
+		if rel, b, err = decodeStr(b); err != nil {
+			return nil, nil, err
+		}
+		if name, b, err = decodeStr(b); err != nil {
+			return nil, nil, err
+		}
+		if len(b) < 1 {
+			return nil, nil, fmt.Errorf("disk: truncated schema")
+		}
+		cols[i] = schema.Column{Rel: rel, Name: name, Kind: types.Kind(b[0])}
+		b = b[1:]
+	}
+	return schema.New(cols...), b, nil
+}
+
+// encRowRec builds the shared payload of insert/setdead/replace
+// records: table, rowid, optional dead flag, optional tuple.
+func encInsert(name string, id uint64, dead bool, t urel.Tuple) []byte {
+	b := appendStr(nil, name)
+	b = binary.AppendUvarint(b, id)
+	if dead {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return appendTuple(b, t)
+}
+
+func decInsert(b []byte) (name string, id uint64, dead bool, t urel.Tuple, err error) {
+	if name, b, err = decodeStr(b); err != nil {
+		return
+	}
+	if id, b, err = decodeUvarint(b); err != nil {
+		return
+	}
+	if len(b) < 1 {
+		err = fmt.Errorf("disk: truncated insert record")
+		return
+	}
+	dead = b[0] != 0
+	t, _, err = decodeTuple(b[1:])
+	return
+}
+
+func encSetDead(name string, id uint64, dead bool) []byte {
+	b := appendStr(nil, name)
+	b = binary.AppendUvarint(b, id)
+	if dead {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func decSetDead(b []byte) (name string, id uint64, dead bool, err error) {
+	if name, b, err = decodeStr(b); err != nil {
+		return
+	}
+	if id, b, err = decodeUvarint(b); err != nil {
+		return
+	}
+	if len(b) < 1 {
+		err = fmt.Errorf("disk: truncated setdead record")
+		return
+	}
+	return name, id, b[0] != 0, nil
+}
+
+func encReplace(name string, id uint64, t urel.Tuple) []byte {
+	b := appendStr(nil, name)
+	b = binary.AppendUvarint(b, id)
+	return appendTuple(b, t)
+}
+
+func decReplace(b []byte) (name string, id uint64, t urel.Tuple, err error) {
+	if name, b, err = decodeStr(b); err != nil {
+		return
+	}
+	if id, b, err = decodeUvarint(b); err != nil {
+		return
+	}
+	t, _, err = decodeTuple(b)
+	return
+}
+
+func encCreateTable(name string, sch *schema.Schema) []byte {
+	return appendSchema(appendStr(nil, name), sch)
+}
+
+func decCreateTable(b []byte) (name string, sch *schema.Schema, err error) {
+	if name, b, err = decodeStr(b); err != nil {
+		return
+	}
+	sch, _, err = decodeSchema(b)
+	return
+}
+
+func encWSVar(id ws.VarID, probs []float64) []byte {
+	b := binary.AppendUvarint(nil, uint64(id))
+	b = binary.AppendUvarint(b, uint64(len(probs)))
+	for _, p := range probs {
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(p))
+	}
+	return b
+}
+
+func decWSVar(b []byte) (id ws.VarID, probs []float64, err error) {
+	v, b, err := decodeUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	n, b, err := decodeUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if uint64(len(b)) < n*8 {
+		return 0, nil, fmt.Errorf("disk: truncated wsvar record")
+	}
+	probs = make([]float64, n)
+	for i := range probs {
+		probs[i] = math.Float64frombits(binary.BigEndian.Uint64(b[i*8:]))
+	}
+	return ws.VarID(v), probs, nil
+}

@@ -1,0 +1,252 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"maybms/internal/urel"
+)
+
+// Segment files are the immutable on-disk row store: each checkpoint
+// writes one segment per changed table holding the rows that changed
+// since the previous checkpoint, and compaction merges a table's
+// segments into one. Records are ordered by row id — the 8-byte
+// big-endian id is a sort-order-preserving key, so file order equals
+// insertion order and a scan over merged segments reproduces the heap
+// scan exactly. Dead rows are written as flagged records that keep
+// their payload (a transaction rollback replayed from the WAL may
+// resurrect them); compaction drops dead rows entirely, which is safe
+// because only same-statement-window WAL records can resurrect a row
+// and compaction only touches checkpointed state.
+//
+// Record framing:
+//
+//	[u32 size] [u32 crc] [u64 rowid BE] [u8 flags] [tuple payload]
+//
+// size counts rowid+flags+payload; the crc covers the same bytes.
+// Segments are fsynced before the manifest references them, so a
+// checksum mismatch on read is real corruption and fails recovery
+// loudly (unlike the WAL's torn tail, which is expected after a
+// crash).
+const segMagic = "MBSEG1\n"
+
+const flagDead = 0x01
+
+// segWriter streams records into a new segment file.
+type segWriter struct {
+	f    *os.File
+	w    *bufio.Writer
+	buf  []byte
+	rows int64
+}
+
+func createSegment(path string) (*segWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if _, err := w.WriteString(segMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segWriter{f: f, w: w}, nil
+}
+
+// add appends one row record; rows must arrive in ascending id order.
+func (s *segWriter) add(id uint64, dead bool, t urel.Tuple) error {
+	body := s.buf[:0]
+	body = binary.BigEndian.AppendUint64(body, id)
+	if dead {
+		body = append(body, flagDead)
+	} else {
+		body = append(body, 0)
+	}
+	body = appendTuple(body, t)
+	s.buf = body[:0]
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(body); err != nil {
+		return err
+	}
+	s.rows++
+	return nil
+}
+
+// finish flushes, fsyncs, and closes the segment, returning its record
+// count.
+func (s *segWriter) finish() (int64, error) {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return 0, err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return 0, err
+	}
+	return s.rows, s.f.Close()
+}
+
+func (s *segWriter) abort() {
+	s.f.Close()
+	os.Remove(s.f.Name())
+}
+
+// segRecord is one decoded segment record. Tuple data is fully decoded
+// (values are immutable once built), but the record struct itself is
+// reused by segReader.
+type segRecord struct {
+	id   uint64
+	dead bool
+	t    urel.Tuple
+}
+
+// segReader streams a segment file. The read buffer is reused across
+// records, so a scan over a million rows allocates the decoded tuples
+// only — the framing and payload staging cost is one buffer, which is
+// what keeps recovery and compaction scans cheap (iterator reuse).
+type segReader struct {
+	f    *os.File
+	r    *bufio.Reader
+	buf  []byte
+	path string
+}
+
+func openSegment(path string) (*segReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != segMagic {
+		f.Close()
+		return nil, fmt.Errorf("disk: %s: bad segment magic", path)
+	}
+	return &segReader{f: f, r: r, path: path}, nil
+}
+
+// next returns the next record, or io.EOF at the end. Any malformed
+// frame is a hard error: segments are fsynced before being referenced.
+func (s *segReader) next(rec *segRecord) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(s.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("disk: %s: truncated segment record: %v", s.path, err)
+	}
+	size := binary.BigEndian.Uint32(hdr[0:4])
+	crc := binary.BigEndian.Uint32(hdr[4:8])
+	if size < 9 || size > 64<<20 {
+		return fmt.Errorf("disk: %s: corrupt segment record size %d", s.path, size)
+	}
+	if cap(s.buf) < int(size) {
+		s.buf = make([]byte, size)
+	}
+	body := s.buf[:size]
+	if _, err := io.ReadFull(s.r, body); err != nil {
+		return fmt.Errorf("disk: %s: truncated segment record: %v", s.path, err)
+	}
+	if crc32.ChecksumIEEE(body) != crc {
+		return fmt.Errorf("disk: %s: segment checksum mismatch", s.path)
+	}
+	rec.id = binary.BigEndian.Uint64(body[0:8])
+	rec.dead = body[8]&flagDead != 0
+	t, _, err := decodeTuple(body[9:])
+	if err != nil {
+		return fmt.Errorf("disk: %s: %v", s.path, err)
+	}
+	rec.t = t
+	return nil
+}
+
+func (s *segReader) close() { s.f.Close() }
+
+// mergeSegments streams the given segment files (oldest first) into a
+// k-way merge by row id — later segments win on equal ids — writing
+// the surviving live rows to out. Dead rows are dropped. Returns the
+// number of records written.
+func mergeSegments(paths []string, out string) (int64, error) {
+	readers := make([]*segReader, len(paths))
+	recs := make([]*segRecord, len(paths))
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.close()
+			}
+		}
+	}()
+	for i, p := range paths {
+		r, err := openSegment(p)
+		if err != nil {
+			return 0, err
+		}
+		readers[i] = r
+		rec := &segRecord{}
+		switch err := r.next(rec); err {
+		case nil:
+			recs[i] = rec
+		case io.EOF:
+			recs[i] = nil
+		default:
+			return 0, err
+		}
+	}
+	w, err := createSegment(out)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		// Pick the smallest pending row id; among duplicates the
+		// highest segment index (newest) supplies the value.
+		min, winner := uint64(0), -1
+		for i, rec := range recs {
+			if rec == nil {
+				continue
+			}
+			if winner == -1 || rec.id < min {
+				min, winner = rec.id, i
+			} else if rec.id == min {
+				winner = i
+			}
+		}
+		if winner == -1 {
+			break
+		}
+		if rec := recs[winner]; !rec.dead {
+			if err := w.add(rec.id, false, rec.t); err != nil {
+				w.abort()
+				return 0, err
+			}
+		}
+		// Advance every reader sitting on the merged id.
+		for i, rec := range recs {
+			if rec == nil || rec.id != min {
+				continue
+			}
+			switch err := readers[i].next(rec); err {
+			case nil:
+			case io.EOF:
+				recs[i] = nil
+			default:
+				w.abort()
+				return 0, err
+			}
+		}
+	}
+	n, err := w.finish()
+	if err != nil {
+		os.Remove(out)
+		return 0, err
+	}
+	return n, nil
+}

@@ -1,0 +1,968 @@
+// Package disk implements the WAL-durable storage backend: a Store
+// owning one write-ahead log, a directory of immutable segment files,
+// and a manifest, with one disk.Engine per table mirroring its rows
+// in memory.
+//
+// Write path: every mutation applies to the table's heap mirror and
+// appends a WAL record; the statement boundary appends a commit
+// record and (fsync mode "always") group-commits the log. Checkpoint
+// writes each table's rows changed since the last checkpoint into a
+// fresh segment, rewrites the world-set file, rotates the WAL, and
+// commits the whole step by atomically renaming a new MANIFEST —
+// the manifest rename is the only commit point, so a crash anywhere
+// leaves either the old checkpoint (plus its replayable WAL) or the
+// new one. Recovery loads the manifest's segments, then replays the
+// WAL's committed record batches, discarding an uncommitted or torn
+// tail. A background compactor merges a table's segments (latest
+// record per row id wins, dead rows dropped) so segment count — and
+// restart time — stays bounded.
+package disk
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maybms/internal/schema"
+	"maybms/internal/storage"
+	"maybms/internal/storage/wal"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+	"maybms/internal/ws"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Fsync makes every statement commit fsync the WAL (group commit
+	// batches concurrent committers onto one flush). When false, the
+	// log is flushed to the OS per commit and fsynced by a background
+	// timer every SyncInterval — a crash of the process loses nothing,
+	// a crash of the machine loses at most the last interval.
+	Fsync bool
+	// CheckpointBytes triggers an automatic checkpoint when the WAL
+	// grows past it. Default 16 MiB.
+	CheckpointBytes int64
+	// CompactThreshold is the per-table segment count that triggers
+	// background compaction. Default 4.
+	CompactThreshold int
+	// SyncInterval is the background fsync cadence when Fsync is off.
+	// Default 200ms.
+	SyncInterval time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.CheckpointBytes <= 0 {
+		out.CheckpointBytes = 16 << 20
+	}
+	if out.CompactThreshold <= 1 {
+		out.CompactThreshold = 4
+	}
+	if out.SyncInterval <= 0 {
+		out.SyncInterval = 200 * time.Millisecond
+	}
+	return out
+}
+
+// Stats counts store activity for the metrics endpoint.
+type Stats struct {
+	WAL                 wal.Stats
+	Checkpoints         atomic.Int64
+	LastCheckpointNanos atomic.Int64
+	SegmentsLive        atomic.Int64
+	Compactions         atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	WALAppends, WALFsyncs, WALBytes int64
+	Checkpoints                     int64
+	LastCheckpointSeconds           float64
+	SegmentsLive                    int64
+	Compactions                     int64
+}
+
+const manifestName = "MANIFEST"
+
+type manifestSeg struct {
+	File string `json:"file"`
+	Rows int64  `json:"rows"`
+}
+
+type manifestCol struct {
+	Rel  string `json:"rel,omitempty"`
+	Name string `json:"name"`
+	Kind uint8  `json:"kind"`
+}
+
+type manifestTable struct {
+	Name     string        `json:"name"`
+	Cols     []manifestCol `json:"cols"`
+	NextRow  int64         `json:"nextRow"`
+	Segments []manifestSeg `json:"segments"`
+}
+
+type manifestJSON struct {
+	Version int             `json:"version"`
+	WAL     string          `json:"wal"`
+	WS      string          `json:"ws,omitempty"`
+	Tables  []manifestTable `json:"tables"`
+}
+
+// Store is one durable data directory: WAL + segments + manifest +
+// the registry of table engines.
+type Store struct {
+	dir   string
+	opts  Options
+	ws    *ws.Store
+	stats Stats
+
+	// mu guards the registry, segment lists, manifest writes, file
+	// allocation, and the log pointer swap at checkpoint. Engine write
+	// operations (which append to the log) run under the database's
+	// exclusive lock instead — the log is internally synchronised.
+	mu       sync.Mutex
+	engines  map[string]*Engine
+	log      *wal.Log
+	walName  string
+	wsFile   string
+	nextFile uint64
+	pending  map[string]bool // files mid-write by the compactor: GC must skip
+	closed   bool
+
+	// werr is the sticky log-failure error: once a WAL append fails
+	// the in-memory state and the log have diverged, so every later
+	// commit refuses. Touched only under the database exclusive lock.
+	werr error
+
+	compactCh chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// RecoveredTable names a table engine reconstructed by Open.
+type RecoveredTable struct {
+	Name   string
+	Engine *Engine
+}
+
+// Open opens (or initialises) the data directory, recovering tables
+// from segments plus committed WAL records and loading the world-set
+// domains into wsStore. The store attaches itself as wsStore's
+// watcher, so every later variable allocation is logged.
+func Open(dir string, wsStore *ws.Store, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		ws:        wsStore,
+		engines:   map[string]*Engine{},
+		pending:   map[string]bool{},
+		compactCh: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	s.scanNextFile()
+
+	mpath := filepath.Join(dir, manifestName)
+	if _, err := os.Stat(mpath); os.IsNotExist(err) {
+		// Fresh directory: an empty WAL and a manifest referencing it.
+		if err := s.initFresh(); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, err
+	} else if err := s.recover(mpath); err != nil {
+		return nil, err
+	}
+
+	wsStore.Watch(s)
+	s.mu.Lock()
+	s.gcLocked()
+	s.updateSegGaugeLocked()
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.compactor()
+	if !s.opts.Fsync {
+		s.wg.Add(1)
+		go s.syncer()
+	}
+	s.kickCompactor()
+	return s, nil
+}
+
+func (s *Store) initFresh() error {
+	s.walName = "wal-1.log"
+	l, err := wal.Create(filepath.Join(s.dir, s.walName), 1, &s.stats.WAL)
+	if err != nil {
+		return err
+	}
+	s.log = l
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeManifestLocked(); err != nil {
+		l.Close()
+		return err
+	}
+	return nil
+}
+
+// scanNextFile seeds the data-file counter past every seg-/ws- file
+// already in the directory, so leftovers from a crashed checkpoint or
+// compaction can never collide with new files.
+func (s *Store) scanNextFile() {
+	entries, _ := os.ReadDir(s.dir)
+	for _, e := range entries {
+		name := e.Name()
+		for _, prefix := range []string{"seg-", "ws-"} {
+			if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, ".dat") {
+				var n uint64
+				if _, err := fmt.Sscanf(name[len(prefix):], "%d.dat", &n); err == nil && n >= s.nextFile {
+					s.nextFile = n + 1
+				}
+			}
+		}
+	}
+}
+
+func (s *Store) newDataFile(prefix string) string {
+	n := s.nextFile
+	s.nextFile++
+	return fmt.Sprintf("%s-%08d.dat", prefix, n)
+}
+
+// recover rebuilds the registry from the manifest's segments and then
+// replays the WAL's committed batches.
+func (s *Store) recover(mpath string) error {
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		return err
+	}
+	var m manifestJSON
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("disk: corrupt manifest: %v", err)
+	}
+	if m.Version != 1 {
+		return fmt.Errorf("disk: unsupported manifest version %d", m.Version)
+	}
+
+	if m.WS != "" {
+		domains, err := readWSFile(filepath.Join(s.dir, m.WS))
+		if err != nil {
+			return err
+		}
+		s.ws.Restore(domains)
+		s.wsFile = m.WS
+	}
+
+	for _, mt := range m.Tables {
+		cols := make([]schema.Column, len(mt.Cols))
+		for i, c := range mt.Cols {
+			cols[i] = schema.Column{Rel: c.Rel, Name: c.Name, Kind: types.Kind(c.Kind)}
+		}
+		eng := newEngine(mt.Name, schema.New(cols...), s)
+		for _, sr := range mt.Segments {
+			if err := loadSegment(filepath.Join(s.dir, sr.File), eng, mt.NextRow); err != nil {
+				return err
+			}
+			eng.segs = append(eng.segs, segRef{file: sr.File, rows: sr.Rows})
+		}
+		// Pad to the checkpointed extent: rows compaction dropped (or
+		// that were never written live) come back as dead gaps, keeping
+		// later row ids stable.
+		if rows, _ := eng.heap.Rows(); int64(len(rows)) < mt.NextRow && mt.NextRow > 0 {
+			eng.heap.Place(storage.RowID(mt.NextRow-1), urel.Tuple{}, true)
+		}
+		eng.flushed = int(mt.NextRow)
+		s.engines[mt.Name] = eng
+	}
+
+	// Replay committed WAL batches. Records buffer until their commit
+	// record; an uncommitted or torn tail is discarded — statements
+	// and transactions are all-or-nothing across a crash.
+	walPath := filepath.Join(s.dir, m.WAL)
+	type rec struct {
+		typ  uint8
+		data []byte
+	}
+	var batch []rec
+	next, valid, err := wal.Replay(walPath, func(r wal.Record) error {
+		if r.Type == recCommit {
+			for _, br := range batch {
+				if err := s.applyRecord(br.typ, br.data); err != nil {
+					return err
+				}
+			}
+			batch = batch[:0]
+			return nil
+		}
+		batch = append(batch, rec{typ: r.Type, data: append([]byte(nil), r.Data...)})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.walName = m.WAL
+	s.log, err = wal.Open(walPath, next, valid, &s.stats.WAL)
+	return err
+}
+
+// loadSegment streams a segment's records into the engine's heap
+// mirror; later segments overwrite earlier ones (latest wins).
+func loadSegment(path string, eng *Engine, nextRow int64) error {
+	r, err := openSegment(path)
+	if err != nil {
+		return err
+	}
+	defer r.close()
+	var rec segRecord
+	for {
+		switch err := r.next(&rec); err {
+		case nil:
+		case io.EOF:
+			return nil
+		default:
+			return err
+		}
+		if rec.id >= uint64(nextRow) {
+			return fmt.Errorf("disk: %s: row id %d beyond table extent %d", path, rec.id, nextRow)
+		}
+		eng.heap.Place(storage.RowID(rec.id), rec.t, rec.dead)
+	}
+}
+
+// applyRecord replays one committed WAL record (recovery only — the
+// engines' apply methods do not re-log).
+func (s *Store) applyRecord(typ uint8, data []byte) error {
+	engine := func(name string) (*Engine, error) {
+		e, ok := s.engines[name]
+		if !ok {
+			return nil, fmt.Errorf("disk: wal record for unknown table %q", name)
+		}
+		return e, nil
+	}
+	switch typ {
+	case recCreateTable:
+		name, sch, err := decCreateTable(data)
+		if err != nil {
+			return err
+		}
+		s.engines[name] = newEngine(name, sch, s)
+	case recDropTable:
+		name, _, err := decodeStr(data)
+		if err != nil {
+			return err
+		}
+		delete(s.engines, name)
+	case recInsert:
+		name, id, dead, t, err := decInsert(data)
+		if err != nil {
+			return err
+		}
+		e, err := engine(name)
+		if err != nil {
+			return err
+		}
+		e.applyInsert(id, dead, t)
+	case recSetDead:
+		name, id, dead, err := decSetDead(data)
+		if err != nil {
+			return err
+		}
+		e, err := engine(name)
+		if err != nil {
+			return err
+		}
+		if err := e.applySetDead(id, dead); err != nil {
+			return fmt.Errorf("disk: replay table %q: %v", name, err)
+		}
+	case recReplace:
+		name, id, t, err := decReplace(data)
+		if err != nil {
+			return err
+		}
+		e, err := engine(name)
+		if err != nil {
+			return err
+		}
+		if err := e.applyReplace(id, t); err != nil {
+			return fmt.Errorf("disk: replay table %q: %v", name, err)
+		}
+	case recTruncate:
+		name, _, err := decodeStr(data)
+		if err != nil {
+			return err
+		}
+		e, err := engine(name)
+		if err != nil {
+			return err
+		}
+		e.applyTruncate()
+	case recWSVar:
+		id, probs, err := decWSVar(data)
+		if err != nil {
+			return err
+		}
+		if int(id) != s.ws.NumVars() {
+			return fmt.Errorf("disk: wal variable %d replayed against %d existing", id, s.ws.NumVars())
+		}
+		if _, err := s.ws.NewVar(probs); err != nil {
+			return fmt.Errorf("disk: replay world-set variable: %v", err)
+		}
+	case recWSRollback:
+		n, _, err := decodeUvarint(data)
+		if err != nil {
+			return err
+		}
+		s.ws.Rollback(int(n))
+	default:
+		return fmt.Errorf("disk: unknown wal record type %d", typ)
+	}
+	return nil
+}
+
+// Tables lists the recovered table engines, sorted by name.
+func (s *Store) Tables() []RecoveredTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RecoveredTable, 0, len(s.engines))
+	for name, eng := range s.engines {
+		out = append(out, RecoveredTable{Name: name, Engine: eng})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// fail records a log failure; every later Commit refuses, because the
+// heap mirrors and the WAL have diverged.
+func (s *Store) fail(err error) {
+	if s.werr == nil {
+		s.werr = fmt.Errorf("disk: wal write failed, store is read-only: %w", err)
+	}
+}
+
+// logRecord appends one record to the WAL (no flush — the statement's
+// Commit flushes). Called under the database exclusive lock.
+func (s *Store) logRecord(typ uint8, payload []byte) error {
+	if s.werr != nil {
+		return s.werr
+	}
+	if _, err := s.log.Append(typ, payload); err != nil {
+		s.fail(err)
+		return s.werr
+	}
+	return nil
+}
+
+// WSNewVar implements ws.Watcher: world-set variable allocations are
+// WAL-logged so recovery reconstructs lineage exactly.
+func (s *Store) WSNewVar(id ws.VarID, probs []float64) {
+	s.logRecord(recWSVar, encWSVar(id, probs))
+}
+
+// WSRollback implements ws.Watcher.
+func (s *Store) WSRollback(n int) {
+	s.logRecord(recWSRollback, binary.AppendUvarint(nil, uint64(n)))
+}
+
+// CreateTable registers and logs a new table, returning its engine.
+// Called under the database exclusive lock.
+func (s *Store) CreateTable(name string, sch *schema.Schema) (*Engine, error) {
+	eng := newEngine(name, sch, s)
+	if err := s.logRecord(recCreateTable, encCreateTable(name, sch)); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.engines[name] = eng
+	s.mu.Unlock()
+	return eng, nil
+}
+
+// DropTable unregisters and logs a table drop. The engine object (and
+// its heap mirror) survives for a possible transaction-rollback
+// RestoreTable; its segment files stay on disk until a later manifest
+// write garbage-collects them.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	delete(s.engines, name)
+	s.mu.Unlock()
+	return s.logRecord(recDropTable, appendStr(nil, name))
+}
+
+// RestoreTable re-registers a previously dropped engine (transaction
+// rollback of DROP TABLE). The engine restarts from a clean durable
+// slate — no segments, everything re-logged — because its old segment
+// files may already have been collected: the WAL gets a fresh create
+// record plus every row, so replay rebuilds the exact heap state.
+func (s *Store) RestoreTable(name string, eng storage.Engine) error {
+	de, ok := eng.(*Engine)
+	if !ok {
+		return fmt.Errorf("disk: RestoreTable: engine is %T, not a disk engine", eng)
+	}
+	s.mu.Lock()
+	s.engines[name] = de
+	de.segs = nil
+	s.mu.Unlock()
+	de.flushed = 0
+	de.dirty = map[storage.RowID]struct{}{}
+	if err := s.logRecord(recCreateTable, encCreateTable(name, de.sch)); err != nil {
+		return err
+	}
+	rows, dead := de.heap.Rows()
+	for i := range rows {
+		if err := s.logRecord(recInsert, encInsert(name, uint64(i), dead[i], rows[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Commit ends a statement's WAL batch: append the commit record and
+// make it durable per the fsync mode. Crossing CheckpointBytes rolls
+// straight into a checkpoint. Called under the database exclusive
+// lock, never inside an open transaction.
+func (s *Store) Commit() error {
+	if s.werr != nil {
+		return s.werr
+	}
+	if _, err := s.log.Append(recCommit, nil); err != nil {
+		s.fail(err)
+		return s.werr
+	}
+	var err error
+	if s.opts.Fsync {
+		err = s.log.Sync()
+	} else {
+		err = s.log.Flush()
+	}
+	if err != nil {
+		s.fail(err)
+		return s.werr
+	}
+	if s.log.Size() >= s.opts.CheckpointBytes {
+		return s.Checkpoint()
+	}
+	return nil
+}
+
+// Checkpoint writes every table's delta (rows appended since the last
+// checkpoint plus checkpointed rows since mutated) into fresh
+// segments, rewrites the world-set file, rotates the WAL, and commits
+// by atomically replacing the manifest. Called under the database
+// exclusive lock, never inside an open transaction.
+func (s *Store) Checkpoint() error {
+	if s.werr != nil {
+		return s.werr
+	}
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("disk: store is closed")
+	}
+
+	names := make([]string, 0, len(s.engines))
+	for n := range s.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		eng := s.engines[name]
+		rows, dead := eng.heap.Rows()
+		if len(eng.dirty) == 0 && eng.flushed == len(rows) {
+			continue
+		}
+		file := s.newDataFile("seg")
+		w, err := createSegment(filepath.Join(s.dir, file))
+		if err != nil {
+			return err
+		}
+		ids := make([]storage.RowID, 0, len(eng.dirty))
+		for id := range eng.dirty {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if err := w.add(uint64(id), dead[id], rows[id]); err != nil {
+				w.abort()
+				return err
+			}
+		}
+		for i := eng.flushed; i < len(rows); i++ {
+			if err := w.add(uint64(i), dead[i], rows[i]); err != nil {
+				w.abort()
+				return err
+			}
+		}
+		n, err := w.finish()
+		if err != nil {
+			return err
+		}
+		eng.segs = append(eng.segs, segRef{file: file, rows: n})
+		eng.flushed = len(rows)
+		eng.dirty = map[storage.RowID]struct{}{}
+	}
+
+	wsFile := s.newDataFile("ws")
+	if err := writeWSFile(filepath.Join(s.dir, wsFile), s.ws.Domains()); err != nil {
+		return err
+	}
+	s.wsFile = wsFile
+
+	first := s.log.NextLSN()
+	walName := fmt.Sprintf("wal-%d.log", first)
+	nl, err := wal.Create(filepath.Join(s.dir, walName), first, &s.stats.WAL)
+	if err != nil {
+		return err
+	}
+	oldName := s.walName
+	s.walName = walName
+	if err := s.writeManifestLocked(); err != nil {
+		nl.Close()
+		s.walName = oldName
+		return err
+	}
+	old := s.log
+	s.log = nl
+	old.Close() // superseded: every record is in segments + manifest now
+
+	s.gcLocked()
+	s.stats.Checkpoints.Add(1)
+	s.stats.LastCheckpointNanos.Store(time.Since(start).Nanoseconds())
+	s.updateSegGaugeLocked()
+	s.kickCompactorLocked()
+	return nil
+}
+
+// writeManifestLocked builds the manifest from the live registry and
+// atomically replaces MANIFEST (temp file + fsync + rename + dir
+// fsync): the rename is the checkpoint/compaction commit point.
+func (s *Store) writeManifestLocked() error {
+	m := manifestJSON{Version: 1, WAL: s.walName, WS: s.wsFile}
+	names := make([]string, 0, len(s.engines))
+	for n := range s.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		eng := s.engines[name]
+		mt := manifestTable{Name: name, NextRow: int64(eng.flushed), Segments: []manifestSeg{}}
+		for _, c := range eng.sch.Cols {
+			mt.Cols = append(mt.Cols, manifestCol{Rel: c.Rel, Name: c.Name, Kind: uint8(c.Kind)})
+		}
+		for _, sr := range eng.segs {
+			mt.Segments = append(mt.Segments, manifestSeg{File: sr.file, Rows: sr.rows})
+		}
+		m.Tables = append(m.Tables, mt)
+	}
+	data, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dh, err := os.Open(s.dir); err == nil {
+		dh.Sync()
+		dh.Close()
+	}
+	return nil
+}
+
+// gcLocked deletes files of ours that nothing references: old WALs
+// and world-set files after a checkpoint, merged-away segments after
+// compaction, dropped tables' segments after the next manifest write,
+// and temp leftovers. The referenced set comes from the live registry
+// (plus in-flight compactor outputs), which is always a superset of
+// what the on-disk manifest names.
+func (s *Store) gcLocked() {
+	ref := map[string]bool{s.walName: true, manifestName: true}
+	if s.wsFile != "" {
+		ref[s.wsFile] = true
+	}
+	for _, eng := range s.engines {
+		for _, sr := range eng.segs {
+			ref[sr.file] = true
+		}
+	}
+	for f := range s.pending {
+		ref[f] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if ref[name] {
+			continue
+		}
+		owned := strings.HasPrefix(name, "seg-") || strings.HasPrefix(name, "ws-") ||
+			strings.HasPrefix(name, "wal-") || strings.HasSuffix(name, ".tmp")
+		if owned {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+func (s *Store) updateSegGaugeLocked() {
+	var n int64
+	for _, eng := range s.engines {
+		n += int64(len(eng.segs))
+	}
+	s.stats.SegmentsLive.Store(n)
+}
+
+func (s *Store) kickCompactor() {
+	select {
+	case s.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Store) kickCompactorLocked() { s.kickCompactor() }
+
+// compactor merges segments in the background whenever a table
+// crosses the threshold.
+func (s *Store) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.compactCh:
+		}
+		for s.compactOne() {
+		}
+	}
+}
+
+// compactOne merges one table's segments; reports whether it found a
+// candidate (the caller loops until the directory is quiescent).
+func (s *Store) compactOne() bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	var name string
+	var eng *Engine
+	names := make([]string, 0, len(s.engines))
+	for n := range s.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if e := s.engines[n]; len(e.segs) >= s.opts.CompactThreshold {
+			name, eng = n, e
+			break
+		}
+	}
+	if eng == nil {
+		s.mu.Unlock()
+		return false
+	}
+	old := append([]segRef(nil), eng.segs...)
+	out := s.newDataFile("seg")
+	s.pending[out] = true
+	paths := make([]string, len(old))
+	for i, sr := range old {
+		paths[i] = filepath.Join(s.dir, sr.file)
+	}
+	s.mu.Unlock()
+
+	n, err := mergeSegments(paths, filepath.Join(s.dir, out))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, out)
+	outPath := filepath.Join(s.dir, out)
+	if err != nil || s.closed {
+		os.Remove(outPath)
+		return false
+	}
+	cur, ok := s.engines[name]
+	if !ok || cur != eng || len(cur.segs) < len(old) || !samePrefix(cur.segs, old) {
+		// The table was dropped, restored, or checkpointed out from
+		// under us; throw the merge away and look again.
+		os.Remove(outPath)
+		return true
+	}
+	tail := cur.segs[len(old):]
+	cur.segs = append([]segRef{{file: out, rows: n}}, tail...)
+	if err := s.writeManifestLocked(); err != nil {
+		// Stay consistent with the on-disk manifest: put the old list
+		// back and drop the merged file.
+		cur.segs = append(append([]segRef(nil), old...), tail...)
+		os.Remove(outPath)
+		return false
+	}
+	s.gcLocked()
+	s.stats.Compactions.Add(1)
+	s.updateSegGaugeLocked()
+	return true
+}
+
+func samePrefix(have, want []segRef) bool {
+	if len(have) < len(want) {
+		return false
+	}
+	for i := range want {
+		if have[i].file != want[i].file {
+			return false
+		}
+	}
+	return true
+}
+
+// syncer is the fsync-batching loop for Fsync=false: commits flush to
+// the OS immediately and hit the platter on this cadence.
+func (s *Store) syncer() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			l := s.log
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed && l != nil {
+				l.Sync() // best-effort; a swapped-out log errors harmlessly
+			}
+		}
+	}
+}
+
+// WALSize reports the current WAL length in bytes.
+func (s *Store) WALSize() int64 { return s.log.Size() }
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// FsyncMode reports whether per-commit fsync is on.
+func (s *Store) FsyncMode() bool { return s.opts.Fsync }
+
+// StatsSnapshot copies the activity counters.
+func (s *Store) StatsSnapshot() StatsSnapshot {
+	return StatsSnapshot{
+		WALAppends:            s.stats.WAL.Appends.Load(),
+		WALFsyncs:             s.stats.WAL.Fsyncs.Load(),
+		WALBytes:              s.stats.WAL.Bytes.Load(),
+		Checkpoints:           s.stats.Checkpoints.Load(),
+		LastCheckpointSeconds: float64(s.stats.LastCheckpointNanos.Load()) / 1e9,
+		SegmentsLive:          s.stats.SegmentsLive.Load(),
+		Compactions:           s.stats.Compactions.Load(),
+	}
+}
+
+// Close stops the background goroutines and closes the WAL. It does
+// not checkpoint — the caller decides (db.Close checkpoints first).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	s.ws.Watch(nil)
+	return s.log.Close()
+}
+
+const wsMagic = "MBWS1\n"
+
+// writeWSFile persists the world-set probability table: magic, var
+// count, then each domain as count + big-endian float bits.
+func writeWSFile(path string, domains [][]float64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	b := []byte(wsMagic)
+	b = binary.AppendUvarint(b, uint64(len(domains)))
+	for _, d := range domains {
+		b = binary.AppendUvarint(b, uint64(len(d)))
+		for _, p := range d {
+			b = binary.BigEndian.AppendUint64(b, math.Float64bits(p))
+		}
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readWSFile(path string) ([][]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < len(wsMagic) || string(b[:len(wsMagic)]) != wsMagic {
+		return nil, fmt.Errorf("disk: %s: bad world-set file", path)
+	}
+	b = b[len(wsMagic):]
+	n, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("disk: %s: %v", path, err)
+	}
+	domains := make([][]float64, n)
+	for i := range domains {
+		var k uint64
+		if k, b, err = decodeUvarint(b); err != nil {
+			return nil, fmt.Errorf("disk: %s: %v", path, err)
+		}
+		if uint64(len(b)) < k*8 {
+			return nil, fmt.Errorf("disk: %s: truncated domain", path)
+		}
+		d := make([]float64, k)
+		for j := range d {
+			d[j] = math.Float64frombits(binary.BigEndian.Uint64(b[j*8:]))
+		}
+		b = b[k*8:]
+		domains[i] = d
+	}
+	return domains, nil
+}

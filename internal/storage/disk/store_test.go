@@ -1,0 +1,488 @@
+package disk
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"maybms/internal/lineage"
+	"maybms/internal/schema"
+	"maybms/internal/types"
+	"maybms/internal/urel"
+	"maybms/internal/ws"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Rel: "t", Name: "a", Kind: types.KindInt},
+		schema.Column{Rel: "t", Name: "b", Kind: types.KindText},
+	)
+}
+
+func tup(a int64, b string, lits ...lineage.Lit) urel.Tuple {
+	cond, ok := lineage.NewCond(lits...)
+	if !ok {
+		panic("inconsistent test cond")
+	}
+	return urel.Tuple{Data: schema.Tuple{types.NewInt(a), types.NewText(b)}, Cond: cond}
+}
+
+func openStore(t *testing.T, dir string, wsStore *ws.Store, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, wsStore, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// tableState captures a table's full row state for equality checks.
+func tableState(t *testing.T, s *Store, name string) ([]urel.Tuple, []bool) {
+	t.Helper()
+	for _, rt := range s.Tables() {
+		if rt.Name == name {
+			return rt.Engine.Rows()
+		}
+	}
+	t.Fatalf("table %q not found", name)
+	return nil, nil
+}
+
+func wantState(t *testing.T, s *Store, name string, rows []urel.Tuple, dead []bool) {
+	t.Helper()
+	gotRows, gotDead := tableState(t, s, name)
+	if !reflect.DeepEqual(gotRows, rows) {
+		t.Fatalf("table %q rows mismatch:\n got %v\nwant %v", name, gotRows, rows)
+	}
+	if !reflect.DeepEqual(gotDead, dead) {
+		t.Fatalf("table %q dead mismatch:\n got %v\nwant %v", name, gotDead, dead)
+	}
+}
+
+func TestStoreReplayWithoutCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	w := ws.NewStore()
+	s := openStore(t, dir, w, Options{})
+	eng, err := s.CreateTable("t", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []urel.Tuple{tup(1, "one"), tup(2, "two"), tup(3, "three")}
+	for _, r := range rows {
+		if _, err := eng.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.MarkDead(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := ws.NewStore()
+	s2 := openStore(t, dir, w2, Options{})
+	defer s2.Close()
+	wantState(t, s2, "t", rows, []bool{false, true, false})
+}
+
+func TestStoreUncommittedTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, ws.NewStore(), Options{})
+	eng, err := s.CreateTable("t", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Append(tup(1, "committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations with no commit record: Close flushes them to disk, but
+	// reopen must discard the batch.
+	if _, err := eng.Append(tup(2, "uncommitted")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.MarkDead(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, ws.NewStore(), Options{})
+	defer s2.Close()
+	wantState(t, s2, "t", []urel.Tuple{tup(1, "committed")}, []bool{false})
+}
+
+func TestStoreCheckpointAndDelta(t *testing.T) {
+	dir := t.TempDir()
+	w := ws.NewStore()
+	s := openStore(t, dir, w, Options{Fsync: true})
+	eng, err := s.CreateTable("t", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if _, err := eng.Append(tup(i, "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate checkpointed rows (delta must carry them) and append new.
+	if _, err := eng.MarkDead(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Replace(3, tup(33, "replaced")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Append(tup(5, "post")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.StatsSnapshot().Checkpoints; got != 2 {
+		t.Fatalf("checkpoints = %d, want 2", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, ws.NewStore(), Options{})
+	defer s2.Close()
+	wantState(t, s2, "t",
+		[]urel.Tuple{tup(0, "v"), tup(1, "v"), tup(2, "v"), tup(33, "replaced"), tup(4, "v"), tup(5, "post")},
+		[]bool{false, true, false, false, false, false})
+}
+
+func TestStoreCheckpointRotatesAndGCsWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, ws.NewStore(), Options{})
+	eng, err := s.CreateTable("t", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Append(tup(1, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wals []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") {
+			wals = append(wals, e.Name())
+		}
+	}
+	if len(wals) != 1 {
+		t.Fatalf("want exactly one WAL after checkpoint, got %v", wals)
+	}
+	if wals[0] == "wal-1.log" {
+		t.Fatalf("WAL was not rotated: %v", wals)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreWorldSetDurability(t *testing.T) {
+	dir := t.TempDir()
+	w := ws.NewStore()
+	s := openStore(t, dir, w, Options{})
+	if _, err := w.NewVar([]float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// A post-checkpoint var rides the WAL; a rolled-back one must not
+	// survive.
+	if _, err := w.NewVar([]float64{0.25, 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap := w.Snapshot()
+	if _, err := w.NewVar([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Rollback(snap)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := ws.NewStore()
+	s2 := openStore(t, dir, w2, Options{})
+	defer s2.Close()
+	if !reflect.DeepEqual(w2.Domains(), w.Domains()) {
+		t.Fatalf("world set mismatch:\n got %v\nwant %v", w2.Domains(), w.Domains())
+	}
+	if w2.NumVars() != 2 {
+		t.Fatalf("NumVars = %d, want 2", w2.NumVars())
+	}
+}
+
+func TestStoreDropTable(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, ws.NewStore(), Options{})
+	eng, err := s.CreateTable("t", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Append(tup(1, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The dropped table's segments must be collected.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			t.Fatalf("stale segment %s after drop+checkpoint", e.Name())
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, ws.NewStore(), Options{})
+	defer s2.Close()
+	if len(s2.Tables()) != 0 {
+		t.Fatalf("tables after drop = %v, want none", s2.Tables())
+	}
+}
+
+func TestStoreRestoreTable(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, ws.NewStore(), Options{})
+	eng, err := s.CreateTable("t", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []urel.Tuple{tup(1, "a"), tup(2, "b")}
+	for _, r := range rows {
+		if _, err := eng.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.MarkDead(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated DROP inside a transaction followed by rollback: the
+	// restore re-logs the full table so replay rebuilds it even though
+	// the original segments may be gone.
+	if err := s.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RestoreTable("t", eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, ws.NewStore(), Options{})
+	defer s2.Close()
+	wantState(t, s2, "t", rows, []bool{true, false})
+}
+
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, ws.NewStore(), Options{CompactThreshold: 2})
+	eng, err := s.CreateTable("t", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []urel.Tuple
+	var dead []bool
+	for round := int64(0); round < 4; round++ {
+		if _, err := eng.Append(tup(round, "r")); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tup(round, "r"))
+		dead = append(dead, false)
+		if round == 2 {
+			if _, err := eng.MarkDead(0, true); err != nil {
+				t.Fatal(err)
+			}
+			dead[0] = true
+		}
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compaction runs in the background; wait for it to merge below the
+	// threshold.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.engines["t"].segs)
+		s.mu.Unlock()
+		if n < 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction did not run: %d segments live", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s.StatsSnapshot().Compactions; got == 0 {
+		t.Fatal("compactions counter did not advance")
+	}
+	wantState(t, s, "t", want, dead)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from the compacted segments: the dead row came back as a
+	// gap (compaction dropped it), so data for row 0 is zeroed but the
+	// id space and liveness are identical.
+	s2 := openStore(t, dir, ws.NewStore(), Options{})
+	defer s2.Close()
+	gotRows, gotDead := tableState(t, s2, "t")
+	if !reflect.DeepEqual(gotDead, dead) {
+		t.Fatalf("dead mismatch after compacted reopen:\n got %v\nwant %v", gotDead, dead)
+	}
+	for i := range want {
+		if dead[i] {
+			continue
+		}
+		if !reflect.DeepEqual(gotRows[i], want[i]) {
+			t.Fatalf("row %d mismatch after compacted reopen: got %v want %v", i, gotRows[i], want[i])
+		}
+	}
+}
+
+func TestStoreSegmentRoundtripConds(t *testing.T) {
+	dir := t.TempDir()
+	w := ws.NewStore()
+	s := openStore(t, dir, w, Options{})
+	eng, err := s.CreateTable("t", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := w.NewVar([]float64{0.3, 0.7})
+	v2, _ := w.NewVar([]float64{0.5, 0.5})
+	rows := []urel.Tuple{
+		tup(1, "x", lineage.Lit{Var: v1, Val: 1}),
+		tup(2, "y", lineage.Lit{Var: v1, Val: 2}, lineage.Lit{Var: v2, Val: 1}),
+		tup(3, ""),
+	}
+	for _, r := range rows {
+		if _, err := eng.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, ws.NewStore(), Options{})
+	defer s2.Close()
+	wantState(t, s2, "t", rows, []bool{false, false, false})
+}
+
+func TestStoreGCKeepsReferencedFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, ws.NewStore(), Options{})
+	eng, err := s.CreateTable("t", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Append(tup(1, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant garbage that GC should sweep and confirm live files stay.
+	junk := filepath.Join(dir, "seg-99999999.dat")
+	if err := os.WriteFile(junk, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.gcLocked()
+	live := map[string]bool{s.walName: true, s.wsFile: true}
+	for _, sr := range s.engines["t"].segs {
+		live[sr.file] = true
+	}
+	s.mu.Unlock()
+	if _, err := os.Stat(junk); !os.IsNotExist(err) {
+		t.Fatal("gc left unreferenced segment file behind")
+	}
+	for f := range live {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("gc removed live file %s: %v", f, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package keyenc implements sort-order-preserving binary encodings
+// for SQL values: the encoded bytes of two values compare (with
+// bytes.Compare) exactly as the values themselves compare within a
+// kind. This is the property that lets the disk backend store rows
+// under big-endian row-id keys and later layer ordered scans or an
+// LSM on the same files without re-encoding.
+//
+// Encodings:
+//
+//   - uint64 / row ids: 8-byte big-endian.
+//   - int64: the sign bit is flipped, then big-endian — two's
+//     complement order becomes unsigned byte order.
+//   - float64: IEEE 754 bits; negative numbers flip all bits,
+//     non-negative flip only the sign bit. Total order matches <
+//     on floats (NaNs sort high).
+//   - text: raw bytes with 0x00/0x01 escaped as {0x01,0x01}/{0x01,0x02}
+//     and a 0x00 terminator, so shorter strings sort before their
+//     extensions and embedded NULs survive.
+//
+// A tagged Value encoding prefixes a kind byte (NULL < INT < FLOAT <
+// TEXT < BOOL), giving a total order across kinds that is arbitrary
+// but stable.
+package keyenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"maybms/internal/types"
+)
+
+// AppendUint64 appends the 8-byte big-endian encoding of v.
+func AppendUint64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+// Uint64 decodes a value written by AppendUint64, returning the rest
+// of the buffer.
+func Uint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("keyenc: short uint64")
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
+}
+
+// AppendInt64 appends an order-preserving encoding of v: sign bit
+// flipped, big-endian.
+func AppendInt64(b []byte, v int64) []byte {
+	return binary.BigEndian.AppendUint64(b, uint64(v)^(1<<63))
+}
+
+// Int64 decodes a value written by AppendInt64.
+func Int64(b []byte) (int64, []byte, error) {
+	u, rest, err := Uint64(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	return int64(u ^ (1 << 63)), rest, nil
+}
+
+// AppendFloat64 appends an order-preserving encoding of v.
+func AppendFloat64(b []byte, v float64) []byte {
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		bits = ^bits // negative: reverse magnitude order
+	} else {
+		bits |= 1 << 63 // non-negative: sort above all negatives
+	}
+	return binary.BigEndian.AppendUint64(b, bits)
+}
+
+// Float64 decodes a value written by AppendFloat64.
+func Float64(b []byte) (float64, []byte, error) {
+	bits, rest, err := Uint64(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if bits&(1<<63) != 0 {
+		bits &^= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return math.Float64frombits(bits), rest, nil
+}
+
+// AppendString appends an order-preserving, self-delimiting encoding
+// of s: bytes 0x00 and 0x01 are escaped as {0x01,0x01} and
+// {0x01,0x02}, and the string ends with a bare 0x00 — which sorts
+// below every escaped or literal byte, so prefixes order first.
+func AppendString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case 0x00:
+			b = append(b, 0x01, 0x01)
+		case 0x01:
+			b = append(b, 0x01, 0x02)
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, 0x00)
+}
+
+// String decodes a value written by AppendString.
+func String(b []byte) (string, []byte, error) {
+	var out []byte
+	for i := 0; i < len(b); i++ {
+		switch c := b[i]; c {
+		case 0x00:
+			return string(out), b[i+1:], nil
+		case 0x01:
+			i++
+			if i >= len(b) {
+				return "", nil, fmt.Errorf("keyenc: truncated escape")
+			}
+			switch b[i] {
+			case 0x01:
+				out = append(out, 0x00)
+			case 0x02:
+				out = append(out, 0x01)
+			default:
+				return "", nil, fmt.Errorf("keyenc: invalid escape 0x%02x", b[i])
+			}
+		default:
+			out = append(out, c)
+		}
+	}
+	return "", nil, fmt.Errorf("keyenc: unterminated string")
+}
+
+// Kind tags for tagged values. NULL sorts first, matching the SQL
+// engine's NULLS FIRST collation in ORDER BY.
+const (
+	tagNull  = 0x02
+	tagInt   = 0x03
+	tagFloat = 0x04
+	tagText  = 0x05
+	tagBool  = 0x06
+)
+
+// AppendValue appends a kind-tagged, order-preserving encoding of v.
+func AppendValue(b []byte, v types.Value) []byte {
+	switch v.Kind() {
+	case types.KindInt:
+		return AppendInt64(append(b, tagInt), v.Int())
+	case types.KindFloat:
+		return AppendFloat64(append(b, tagFloat), v.Float())
+	case types.KindText:
+		return AppendString(append(b, tagText), v.Text())
+	case types.KindBool:
+		b = append(b, tagBool)
+		if v.Bool() {
+			return append(b, 1)
+		}
+		return append(b, 0)
+	default:
+		return append(b, tagNull)
+	}
+}
+
+// Value decodes a value written by AppendValue.
+func Value(b []byte) (types.Value, []byte, error) {
+	if len(b) == 0 {
+		return types.Null(), nil, fmt.Errorf("keyenc: empty value")
+	}
+	tag, b := b[0], b[1:]
+	switch tag {
+	case tagNull:
+		return types.Null(), b, nil
+	case tagInt:
+		v, rest, err := Int64(b)
+		if err != nil {
+			return types.Null(), nil, err
+		}
+		return types.NewInt(v), rest, nil
+	case tagFloat:
+		v, rest, err := Float64(b)
+		if err != nil {
+			return types.Null(), nil, err
+		}
+		return types.NewFloat(v), rest, nil
+	case tagText:
+		s, rest, err := String(b)
+		if err != nil {
+			return types.Null(), nil, err
+		}
+		return types.NewText(s), rest, nil
+	case tagBool:
+		if len(b) < 1 {
+			return types.Null(), nil, fmt.Errorf("keyenc: short bool")
+		}
+		return types.NewBool(b[0] != 0), b[1:], nil
+	default:
+		return types.Null(), nil, fmt.Errorf("keyenc: unknown tag 0x%02x", tag)
+	}
+}

@@ -1,0 +1,135 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/types"
+)
+
+func TestInt64OrderAndRoundtrip(t *testing.T) {
+	vals := []int64{math.MinInt64, -1 << 40, -257, -1, 0, 1, 255, 1 << 40, math.MaxInt64}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		vals = append(vals, r.Int63()-r.Int63())
+	}
+	for _, a := range vals {
+		enc := AppendInt64(nil, a)
+		got, rest, err := Int64(enc)
+		if err != nil || got != a || len(rest) != 0 {
+			t.Fatalf("roundtrip %d: got %d rest %d err %v", a, got, len(rest), err)
+		}
+		for _, b := range vals {
+			cmp := bytes.Compare(AppendInt64(nil, a), AppendInt64(nil, b))
+			want := 0
+			if a < b {
+				want = -1
+			} else if a > b {
+				want = 1
+			}
+			if cmp != want {
+				t.Fatalf("order(%d, %d): enc %d want %d", a, b, cmp, want)
+			}
+		}
+	}
+}
+
+func TestFloat64OrderAndRoundtrip(t *testing.T) {
+	vals := []float64{math.Inf(-1), -math.MaxFloat64, -1.5, -math.SmallestNonzeroFloat64,
+		0, math.SmallestNonzeroFloat64, 1.5, math.MaxFloat64, math.Inf(1)}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		vals = append(vals, (r.Float64()-0.5)*math.Pow(10, float64(r.Intn(20))))
+	}
+	for _, a := range vals {
+		enc := AppendFloat64(nil, a)
+		got, _, err := Float64(enc)
+		if err != nil || got != a {
+			t.Fatalf("roundtrip %g: got %g err %v", a, got, err)
+		}
+		for _, b := range vals {
+			cmp := bytes.Compare(AppendFloat64(nil, a), AppendFloat64(nil, b))
+			want := 0
+			if a < b {
+				want = -1
+			} else if a > b {
+				want = 1
+			}
+			if cmp != want {
+				t.Fatalf("order(%g, %g): enc %d want %d", a, b, cmp, want)
+			}
+		}
+	}
+}
+
+func TestStringOrderRoundtripAndEscapes(t *testing.T) {
+	vals := []string{"", "a", "a\x00b", "a\x01b", "ab", "a\x00", "a\x01", "b", "\x00", "\x01", "\x02", "aa"}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		n := r.Intn(12)
+		s := make([]byte, n)
+		for j := range s {
+			s[j] = byte(r.Intn(4)) // heavy on 0x00/0x01 to stress escapes
+		}
+		vals = append(vals, string(s))
+	}
+	for _, a := range vals {
+		enc := AppendString(nil, a)
+		got, rest, err := String(enc)
+		if err != nil || got != a || len(rest) != 0 {
+			t.Fatalf("roundtrip %q: got %q err %v", a, got, err)
+		}
+		for _, b := range vals {
+			cmp := bytes.Compare(AppendString(nil, a), AppendString(nil, b))
+			want := 0
+			if a < b {
+				want = -1
+			} else if a > b {
+				want = 1
+			}
+			if cmp != want {
+				t.Fatalf("order(%q, %q): enc %d want %d", a, b, cmp, want)
+			}
+		}
+	}
+}
+
+// Concatenated encodings must stay self-delimiting: decoding a stream
+// of values recovers each in turn.
+func TestValueStreamRoundtrip(t *testing.T) {
+	vals := []types.Value{
+		types.Null(), types.NewInt(-5), types.NewFloat(2.75),
+		types.NewText("hi\x00there"), types.NewBool(true), types.NewText(""),
+		types.NewInt(math.MaxInt64), types.NewBool(false),
+	}
+	var enc []byte
+	for _, v := range vals {
+		enc = AppendValue(enc, v)
+	}
+	rest := enc
+	for i, want := range vals {
+		var got types.Value
+		var err error
+		got, rest, err = Value(rest)
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if got.Kind() != want.Kind() || got.String() != want.String() {
+			t.Fatalf("value %d: got %v want %v", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestValueDecodeErrors(t *testing.T) {
+	cases := [][]byte{nil, {0x7f}, {tagInt, 1, 2}, {tagText, 'a'}, {tagText, 0x01}, {tagBool}}
+	for _, c := range cases {
+		if _, _, err := Value(c); err == nil {
+			t.Errorf("decode %v: want error", c)
+		}
+	}
+}

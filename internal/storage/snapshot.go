@@ -7,11 +7,11 @@ import (
 	"maybms/internal/urel"
 )
 
-// Snapshot is an immutable point-in-time view of a Table: a frozen
+// Snapshot is an immutable point-in-time view of a table: a frozen
 // {rows, dead, live, uncert} quadruple that can be read — scanned,
 // batched, materialised — without any lock, long after the live table
-// has moved on. Taking one is O(1): the view aliases the table's
-// backing arrays, and the table's writers copy-on-write before any
+// has moved on. Taking one is O(1): the view aliases the engine's
+// backing arrays, and the engine's writers copy-on-write before any
 // in-place mutation (appends are fenced off by the view's slice
 // length). A snapshot therefore costs no memory of its own until a
 // writer actually mutates the shared prefix, at which point the old
@@ -19,6 +19,10 @@ import (
 // done: once every snapshot of a table is released, writers reclaim
 // the shared arrays in place instead of copying. A released snapshot
 // must not be read.
+//
+// Both engines hand out the same Snapshot type: the disk engine keeps
+// a resident heap mirror, so its snapshots are the heap's — which is
+// what keeps reads byte-identical across engines by construction.
 type Snapshot struct {
 	name     string
 	sch      *schema.Schema
@@ -30,29 +34,7 @@ type Snapshot struct {
 	released atomic.Bool
 }
 
-// Snapshot returns an immutable view of the table's current state.
-// The caller must hold the engine lock covering this table for the
-// duration of the call (read or write); the returned view needs no
-// lock at all.
-func (t *Table) Snapshot() *Snapshot {
-	t.snapRefs.Add(1)
-	t.shared.Store(true)
-	n := len(t.rows)
-	return &Snapshot{
-		name: t.name,
-		sch:  t.sch,
-		// Full slice expressions clip capacity so even an append
-		// through the snapshot (there is none, but belt and braces)
-		// could not reach the table's spare capacity.
-		rows:   t.rows[:n:n],
-		dead:   t.dead[:n:n],
-		live:   t.live,
-		uncert: t.uncert,
-		refs:   &t.snapRefs,
-	}
-}
-
-// Release drops the snapshot's claim on the table's shared arrays;
+// Release drops the snapshot's claim on the engine's shared arrays;
 // idempotent, callable from any goroutine with no lock. After Release
 // the snapshot must not be read: a writer may mutate the arrays in
 // place once no open snapshot remains.

@@ -115,21 +115,22 @@ func TestSnapshotSharingIsLazy(t *testing.T) {
 	for i := int64(0); i < 10; i++ {
 		tb.Insert(row(i, "x"))
 	}
+	h := tb.Engine().(*Heap)
 	snap := tb.Snapshot()
-	if !tb.shared.Load() {
+	if !h.shared.Load() {
 		t.Fatal("table not marked shared after Snapshot")
 	}
 	// Appends do not trigger the copy: the snapshot's slice length
 	// fences it off.
 	tb.Insert(row(10, "x"))
-	if !tb.shared.Load() {
+	if !h.shared.Load() {
 		t.Error("append cleared the shared flag (unnecessary copy)")
 	}
 	// First in-place write copies and clears the flag.
 	if _, err := tb.Delete(RowID(0)); err != nil {
 		t.Fatal(err)
 	}
-	if tb.shared.Load() {
+	if h.shared.Load() {
 		t.Error("in-place write left the storage shared")
 	}
 	if got := drainData(t, snap.Batches(nil, 0)); len(got) != 10 || got[0] != 0 {
@@ -145,17 +146,18 @@ func TestReleasedSnapshotSkipsCopy(t *testing.T) {
 	for i := int64(0); i < 5; i++ {
 		tb.Insert(row(i, "x"))
 	}
+	h := tb.Engine().(*Heap)
 	snap := tb.Snapshot()
 	snap.Release()
 	snap.Release() // idempotent: must not double-decrement
-	before := &tb.rows[0]
+	before := &h.rows[0]
 	if _, err := tb.Delete(RowID(1)); err != nil {
 		t.Fatal(err)
 	}
-	if &tb.rows[0] != before {
+	if &h.rows[0] != before {
 		t.Error("write copied the arrays although no snapshot was open")
 	}
-	if tb.shared.Load() {
+	if h.shared.Load() {
 		t.Error("shared flag not reclaimed after the write")
 	}
 	// A still-open snapshot keeps forcing the copy.
@@ -164,7 +166,7 @@ func TestReleasedSnapshotSkipsCopy(t *testing.T) {
 	if _, err := tb.Delete(RowID(2)); err != nil {
 		t.Fatal(err)
 	}
-	if &tb.rows[0] == before {
+	if &h.rows[0] == before {
 		t.Error("write mutated arrays aliased by an open snapshot")
 	}
 	if got := drainData(t, snap2.Batches(nil, 0)); len(got) != 4 {

@@ -1,16 +1,15 @@
-// Package storage implements the in-memory row store backing the
-// database: heap tables of conditioned tuples with tombstone deletes,
-// stable row ids, hash indexes, and type checking against the table
-// schema. The store is deliberately simple — MayBMS's point is that a
-// purely relational representation makes updates, concurrency control,
-// and recovery unremarkable — but it is a real store: the undo
-// information the transaction layer needs is exposed here.
+// Package storage implements the row store backing the database:
+// tables of conditioned tuples with tombstone deletes, stable row ids,
+// hash indexes, and type checking against the table schema, over a
+// pluggable Engine (in-memory Heap or the WAL-durable disk backend).
+// The store is deliberately simple — MayBMS's point is that a purely
+// relational representation makes updates, concurrency control, and
+// recovery unremarkable — but it is a real store: the undo information
+// the transaction layer needs is exposed here.
 package storage
 
 import (
 	"fmt"
-	"io"
-	"sync/atomic"
 
 	"maybms/internal/schema"
 	"maybms/internal/types"
@@ -20,42 +19,24 @@ import (
 // RowID identifies a row within a table for its whole lifetime.
 type RowID int64
 
-// Table is a heap of conditioned tuples with a fixed schema.
-//
-// Snapshot hands out immutable views that alias the live rows/dead
-// slices; in-place mutation therefore goes through prepareWrite, which
-// copies the backing arrays the first time after a snapshot was taken
-// (copy-on-write). Pure appends (Insert) never need the copy: a
-// snapshot's slice length bounds what it can observe, and appends only
-// touch indexes beyond it.
+// Table is a fixed-schema table: schema type checking and hash-index
+// maintenance layered over a storage Engine that owns the rows.
 type Table struct {
 	name    string
 	sch     *schema.Schema
-	rows    []urel.Tuple
-	dead    []bool
-	live    int
-	uncert  int // live rows with a non-trivial condition
+	eng     Engine
 	indexes map[string]*HashIndex
-	// shared is set when a Snapshot was handed out aliasing the
-	// current rows/dead arrays. It is atomic because snapshots are
-	// taken under the engine's shared read lock — concurrently with
-	// each other — while writers (who load and clear it) hold the
-	// exclusive lock.
-	shared atomic.Bool
-	// snapRefs counts this table's snapshots that are still open
-	// (Release not yet called). When it drops to zero a writer may
-	// reclaim the shared arrays in place instead of copying: closed
-	// snapshots must not be read, so nothing observes the mutation.
-	snapRefs atomic.Int64
 }
 
-// Certain reports whether every live row is condition-free, i.e. the
-// table is typed-certain.
-func (t *Table) Certain() bool { return t.uncert == 0 }
-
-// NewTable creates an empty table.
+// NewTable creates an empty table on the in-memory heap engine.
 func NewTable(name string, sch *schema.Schema) *Table {
-	return &Table{name: name, sch: sch, indexes: map[string]*HashIndex{}}
+	return NewTableWith(name, sch, NewHeap())
+}
+
+// NewTableWith creates a table over an explicit storage engine, which
+// may already hold rows (recovery).
+func NewTableWith(name string, sch *schema.Schema, eng Engine) *Table {
+	return &Table{name: name, sch: sch, eng: eng, indexes: map[string]*HashIndex{}}
 }
 
 // Name returns the table name.
@@ -64,8 +45,15 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema. Callers must not mutate it.
 func (t *Table) Schema() *schema.Schema { return t.sch }
 
+// Engine returns the storage engine backing this table.
+func (t *Table) Engine() Engine { return t.eng }
+
 // Len reports the number of live rows.
-func (t *Table) Len() int { return t.live }
+func (t *Table) Len() int { return t.eng.Len() }
+
+// Certain reports whether every live row is condition-free, i.e. the
+// table is typed-certain.
+func (t *Table) Certain() bool { return t.eng.Certain() }
 
 // checkTypes verifies tuple arity and column types; NULL fits any
 // column, INTs widen to FLOAT columns.
@@ -99,12 +87,9 @@ func (t *Table) Insert(tuple urel.Tuple) (RowID, error) {
 		return -1, err
 	}
 	tuple.Data = data
-	id := RowID(len(t.rows))
-	t.rows = append(t.rows, tuple)
-	t.dead = append(t.dead, false)
-	t.live++
-	if len(tuple.Cond) != 0 {
-		t.uncert++
+	id, err := t.eng.Append(tuple)
+	if err != nil {
+		return -1, fmt.Errorf("table %s: %w", t.name, err)
 	}
 	for _, ix := range t.indexes {
 		ix.add(tuple.Data, id)
@@ -114,53 +99,14 @@ func (t *Table) Insert(tuple urel.Tuple) (RowID, error) {
 
 // Get returns the tuple at id. ok=false when the row is deleted or the
 // id is out of range.
-func (t *Table) Get(id RowID) (urel.Tuple, bool) {
-	if id < 0 || int(id) >= len(t.rows) || t.dead[id] {
-		return urel.Tuple{}, false
-	}
-	return t.rows[id], true
-}
-
-// prepareWrite makes the row storage exclusively owned before an
-// in-place mutation: if a still-open snapshot may alias the backing
-// arrays, they are copied first so the snapshot keeps observing the
-// frozen state. When every snapshot of this table has been released,
-// the arrays are reclaimed in place — no copy — so only writes that
-// race an actually-open snapshot pay for divergence. Append-only
-// paths (Insert) skip this entirely: a snapshot's slice length
-// already fences it off from appended rows.
-func (t *Table) prepareWrite() {
-	if !t.shared.Load() {
-		return
-	}
-	if t.snapRefs.Load() == 0 {
-		// All aliasing snapshots are closed; by contract nothing reads
-		// them anymore, so the arrays are exclusively ours again.
-		// (A snapshot opened concurrently is impossible: snapshots are
-		// taken under the read lock, writers hold the exclusive lock.)
-		t.shared.Store(false)
-		return
-	}
-	rows := make([]urel.Tuple, len(t.rows))
-	copy(rows, t.rows)
-	dead := make([]bool, len(t.dead))
-	copy(dead, t.dead)
-	t.rows, t.dead = rows, dead
-	t.shared.Store(false)
-}
+func (t *Table) Get(id RowID) (urel.Tuple, bool) { return t.eng.Get(id) }
 
 // Delete tombstones a row. It returns the deleted tuple so the
 // transaction layer can undo.
 func (t *Table) Delete(id RowID) (urel.Tuple, error) {
-	if id < 0 || int(id) >= len(t.rows) || t.dead[id] {
-		return urel.Tuple{}, fmt.Errorf("table %s: no live row %d", t.name, id)
-	}
-	t.prepareWrite()
-	old := t.rows[id]
-	t.dead[id] = true
-	t.live--
-	if len(old.Cond) != 0 {
-		t.uncert--
+	old, err := t.eng.MarkDead(id, true)
+	if err != nil {
+		return urel.Tuple{}, fmt.Errorf("table %s: %w", t.name, err)
 	}
 	for _, ix := range t.indexes {
 		ix.remove(old.Data, id)
@@ -170,39 +116,26 @@ func (t *Table) Delete(id RowID) (urel.Tuple, error) {
 
 // Undelete resurrects a tombstoned row (transaction rollback).
 func (t *Table) Undelete(id RowID) error {
-	if id < 0 || int(id) >= len(t.rows) || !t.dead[id] {
-		return fmt.Errorf("table %s: row %d is not dead", t.name, id)
-	}
-	t.prepareWrite()
-	t.dead[id] = false
-	t.live++
-	if len(t.rows[id].Cond) != 0 {
-		t.uncert++
+	tuple, err := t.eng.MarkDead(id, false)
+	if err != nil {
+		return fmt.Errorf("table %s: %w", t.name, err)
 	}
 	for _, ix := range t.indexes {
-		ix.add(t.rows[id].Data, id)
+		ix.add(tuple.Data, id)
 	}
 	return nil
 }
 
 // Update replaces a row in place, returning the previous tuple.
 func (t *Table) Update(id RowID, tuple urel.Tuple) (urel.Tuple, error) {
-	if id < 0 || int(id) >= len(t.rows) || t.dead[id] {
-		return urel.Tuple{}, fmt.Errorf("table %s: no live row %d", t.name, id)
-	}
 	data, err := t.checkTypes(tuple.Data)
 	if err != nil {
 		return urel.Tuple{}, err
 	}
 	tuple.Data = data
-	t.prepareWrite()
-	old := t.rows[id]
-	t.rows[id] = tuple
-	if len(old.Cond) != 0 {
-		t.uncert--
-	}
-	if len(tuple.Cond) != 0 {
-		t.uncert++
+	old, err := t.eng.Replace(id, tuple)
+	if err != nil {
+		return urel.Tuple{}, fmt.Errorf("table %s: %w", t.name, err)
 	}
 	for _, ix := range t.indexes {
 		ix.remove(old.Data, id)
@@ -213,21 +146,15 @@ func (t *Table) Update(id RowID, tuple urel.Tuple) (urel.Tuple, error) {
 
 // Truncate removes every row, returning the removed tuples with ids
 // for undo.
-func (t *Table) Truncate() []RowWithID {
-	t.prepareWrite()
-	var out []RowWithID
-	for i := range t.rows {
-		if !t.dead[i] {
-			out = append(out, RowWithID{RowID(i), t.rows[i]})
-			t.dead[i] = true
-		}
+func (t *Table) Truncate() ([]RowWithID, error) {
+	out, err := t.eng.Truncate()
+	if err != nil {
+		return nil, fmt.Errorf("table %s: %w", t.name, err)
 	}
-	t.live = 0
-	t.uncert = 0
 	for _, ix := range t.indexes {
 		ix.clear()
 	}
-	return out
+	return out, nil
 }
 
 // RowWithID pairs a tuple with its row id.
@@ -239,108 +166,40 @@ type RowWithID struct {
 // Scan calls fn for every live row in insertion order. Returning a
 // non-nil error stops the scan.
 func (t *Table) Scan(fn func(id RowID, tuple urel.Tuple) error) error {
-	for i := range t.rows {
-		if t.dead[i] {
-			continue
-		}
-		if err := fn(RowID(i), t.rows[i]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return t.eng.Scan(fn)
 }
 
 // Batches returns a pull iterator over the live rows in insertion
 // order, handing out up to size tuples per batch under the given
-// output schema (the table's own schema when sch is nil). Tuple
-// structs are copied out of the heap batch by batch, so tuples already
-// handed out cannot be reached by later in-place row updates; the Data
-// and Cond slices stay shared and immutable by convention. The
-// iterator captures the heap's current extent at this call — it is
-// valid only while the caller holds the engine lock covering this
-// table (Snapshot().Batches streams without any lock).
+// output schema (the table's own schema when sch is nil). The iterator
+// captures the store's current extent at this call — it is valid only
+// while the caller holds the engine lock covering this table
+// (Snapshot().Batches streams without any lock).
 func (t *Table) Batches(sch *schema.Schema, size int) urel.Iterator {
 	if sch == nil {
 		sch = t.sch
 	}
-	return newTableIter(t.rows, t.dead, sch, size)
+	return t.eng.Batches(sch, size)
 }
 
 // PartBatches returns a pull iterator over the part-th of nparts fixed
-// row-range shards of the heap (contiguous ranges over the raw row
+// row-range shards of the store (contiguous ranges over the raw row
 // array, tombstones included in the split but skipped on read).
 // Concatenating every partition's output in partition order yields
 // exactly the rows of Batches in the same order, which is what lets a
-// parallel scan merge deterministically. Validity follows Batches: the
-// iterator captures the heap's current extent and needs the engine
-// lock covering this table (Snapshot().PartBatches streams without any
-// lock).
+// parallel scan merge deterministically. Validity follows Batches.
 func (t *Table) PartBatches(sch *schema.Schema, part, nparts, size int) urel.Iterator {
 	if sch == nil {
 		sch = t.sch
 	}
-	lo, hi := PartRange(len(t.rows), part, nparts)
-	return newTableIter(t.rows[lo:hi], t.dead[lo:hi], sch, size)
+	return t.eng.PartBatches(sch, part, nparts, size)
 }
 
-// PartRange splits n rows into nparts contiguous ranges, spreading the
-// remainder over the first n%nparts partitions, and returns the
-// half-open range [lo, hi) of partition part. Out-of-range partitions
-// get an empty range.
-func PartRange(n, part, nparts int) (lo, hi int) {
-	if nparts <= 0 || part < 0 || part >= nparts {
-		return 0, 0
-	}
-	chunk, rem := n/nparts, n%nparts
-	lo = part*chunk + min(part, rem)
-	hi = lo + chunk
-	if part < rem {
-		hi++
-	}
-	return lo, hi
-}
-
-func newTableIter(rows []urel.Tuple, dead []bool, sch *schema.Schema, size int) *tableIter {
-	if size <= 0 {
-		size = urel.DefaultBatchSize
-	}
-	return &tableIter{rows: rows, dead: dead, sch: sch, size: size}
-}
-
-// tableIter walks a captured row heap, skipping tombstones.
-type tableIter struct {
-	rows []urel.Tuple
-	dead []bool
-	sch  *schema.Schema
-	size int
-	pos  int
-	done bool
-}
-
-func (it *tableIter) Sch() *schema.Schema { return it.sch }
-
-func (it *tableIter) Next() (*urel.Batch, error) {
-	if it.done {
-		return nil, io.EOF
-	}
-	b := &urel.Batch{Tuples: make([]urel.Tuple, 0, it.size)}
-	for ; it.pos < len(it.rows) && len(b.Tuples) < it.size; it.pos++ {
-		if it.dead[it.pos] {
-			continue
-		}
-		b.Tuples = append(b.Tuples, it.rows[it.pos])
-	}
-	if len(b.Tuples) == 0 {
-		it.done = true
-		return nil, io.EOF
-	}
-	return b, nil
-}
-
-func (it *tableIter) Close() error {
-	it.done = true
-	return nil
-}
+// Snapshot returns an immutable view of the table's current state.
+// The caller must hold the engine lock covering this table for the
+// duration of the call (read or write); the returned view needs no
+// lock at all.
+func (t *Table) Snapshot() *Snapshot { return t.eng.Snapshot(t.name, t.sch) }
 
 // ToRel materialises the live rows as a U-relation (shared tuples; the
 // caller must not mutate them).
@@ -355,24 +214,13 @@ func (t *Table) ToRel() *urel.Rel {
 
 // Rows returns the raw row storage (including tombstones) for
 // persistence. Callers must treat it as read-only.
-func (t *Table) Rows() ([]urel.Tuple, []bool) { return t.rows, t.dead }
+func (t *Table) Rows() ([]urel.Tuple, []bool) { return t.eng.Rows() }
 
-// LoadRows replaces table contents during database load. The backing
-// arrays are swapped wholesale, so an earlier snapshot keeps its old
-// view and the new storage starts exclusively owned.
-func (t *Table) LoadRows(rows []urel.Tuple, dead []bool) {
-	t.rows = rows
-	t.dead = dead
-	t.shared.Store(false)
-	t.live = 0
-	t.uncert = 0
-	for i := range rows {
-		if !dead[i] {
-			t.live++
-			if len(rows[i].Cond) != 0 {
-				t.uncert++
-			}
-		}
+// LoadRows replaces table contents during database load and rebuilds
+// any indexes.
+func (t *Table) LoadRows(rows []urel.Tuple, dead []bool) error {
+	if err := t.eng.LoadRows(rows, dead); err != nil {
+		return fmt.Errorf("table %s: %w", t.name, err)
 	}
 	for name, ix := range t.indexes {
 		rebuilt := NewHashIndex(ix.cols)
@@ -382,4 +230,5 @@ func (t *Table) LoadRows(rows []urel.Tuple, dead []bool) {
 		})
 		t.indexes[name] = rebuilt
 	}
+	return nil
 }

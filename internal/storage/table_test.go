@@ -141,7 +141,7 @@ func TestTruncateAndScan(t *testing.T) {
 	if len(seen) != 2 || seen[0] != 1 || seen[1] != 3 {
 		t.Errorf("scan: %v", seen)
 	}
-	removed := tb.Truncate()
+	removed, _ := tb.Truncate()
 	if len(removed) != 2 || tb.Len() != 0 {
 		t.Errorf("truncate: %v len=%d", removed, tb.Len())
 	}

@@ -1,0 +1,279 @@
+// Package wal implements the write-ahead log underlying the durable
+// storage backend: an append-only file of CRC-framed, LSN-stamped
+// records with group commit.
+//
+// Record framing on disk is
+//
+//	[u32 size] [u32 crc] [u8 type] [u64 lsn] [payload]
+//
+// where size counts everything after the crc and the crc covers the
+// same bytes. LSNs are dense and ascending within a file; the file
+// header names the first. Replay reads records until the end of the
+// file, a checksum mismatch, a short read, or an LSN discontinuity —
+// whichever comes first — and reports the byte offset of the last
+// valid record so the torn tail can be truncated away on reopen.
+//
+// Commit batching is the caller's protocol (the disk store delimits
+// statement batches with a commit record type and discards trailing
+// uncommitted records on replay); the log itself only knows records.
+//
+// Durability is group commit: Sync flushes and fsyncs everything
+// appended so far, and concurrent committers behind the same fsync
+// ride on one disk flush — the leader syncs, the followers observe
+// their LSN already durable and return without touching the disk.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// headerMagic opens every log file, followed by the big-endian
+	// first LSN of the file.
+	headerMagic = "MBWAL1\n"
+	headerSize  = len(headerMagic) + 8
+
+	recHeader = 4 + 4 + 1 + 8 // size + crc + type + lsn
+
+	// maxRecord bounds a single record; replay treats a larger size
+	// field as corruption.
+	maxRecord = 64 << 20
+)
+
+// Stats counts log activity; shared with the metrics endpoint.
+type Stats struct {
+	Appends atomic.Int64 // records appended
+	Fsyncs  atomic.Int64 // fsyncs actually issued (group commit batches)
+	Bytes   atomic.Int64 // bytes appended (framing included)
+}
+
+// Record is one replayed log record.
+type Record struct {
+	LSN  uint64
+	Type uint8
+	Data []byte
+}
+
+// Log is an open write-ahead log file.
+type Log struct {
+	mu   sync.Mutex // appends and buffer flushes
+	f    *os.File
+	w    *bufio.Writer
+	next uint64 // next LSN to assign
+	size int64  // file size including buffered bytes
+
+	// durable is the highest LSN known fsynced; syncMu serialises the
+	// group-commit leaders that advance it.
+	durable atomic.Uint64
+	syncMu  sync.Mutex
+
+	stats *Stats
+	path  string
+}
+
+// Create starts a fresh log at path whose first record will carry
+// firstLSN. The header is synced before Create returns, so a crash
+// right after leaves a valid empty log.
+func Create(path string, firstLSN uint64, stats *Stats) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, headerMagic...)
+	hdr = binary.BigEndian.AppendUint64(hdr, firstLSN)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{f: f, w: bufio.NewWriterSize(f, 1<<16), next: firstLSN, size: int64(headerSize), stats: stats, path: path}
+	l.durable.Store(firstLSN - 1)
+	return l, nil
+}
+
+// Open resumes an existing log after replay: the file is truncated to
+// validSize (dropping any torn tail) and appends continue at nextLSN.
+func Open(path string, nextLSN uint64, validSize int64, stats *Stats) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{f: f, w: bufio.NewWriterSize(f, 1<<16), next: nextLSN, size: validSize, stats: stats, path: path}
+	l.durable.Store(nextLSN - 1)
+	return l, nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Append stamps data with the next LSN and writes it to the log
+// buffer, returning the assigned LSN. The record is not durable —
+// often not even in the OS — until Flush or Sync.
+func (l *Log) Append(typ uint8, data []byte) (uint64, error) {
+	if len(data) > maxRecord-recHeader {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(data))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.next
+	body := make([]byte, 0, 1+8+len(data))
+	body = append(body, typ)
+	body = binary.BigEndian.AppendUint64(body, lsn)
+	body = append(body, data...)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := l.w.Write(body); err != nil {
+		return 0, err
+	}
+	l.next = lsn + 1
+	l.size += int64(len(hdr) + len(body))
+	if l.stats != nil {
+		l.stats.Appends.Add(1)
+		l.stats.Bytes.Add(int64(len(hdr) + len(body)))
+	}
+	return lsn, nil
+}
+
+// Flush pushes buffered records to the OS (surviving a process crash,
+// not a power failure).
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
+}
+
+// Sync makes every record appended so far durable. Concurrent callers
+// group-commit: one leader fsyncs for all appends that reached the
+// file before it, and followers whose LSN the leader covered return
+// without a second fsync.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.next - 1
+	if err := l.w.Flush(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+	if l.durable.Load() >= target {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.durable.Load() >= target {
+		return nil // a leader synced past us while we queued
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if l.stats != nil {
+		l.stats.Fsyncs.Add(1)
+	}
+	l.durable.Store(target)
+	return nil
+}
+
+// Size returns the log's size in bytes, buffered appends included.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// NextLSN returns the LSN the next append will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Close flushes, syncs, and closes the file.
+func (l *Log) Close() error {
+	if err := l.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Replay reads a log file from the start, calling fn for each intact
+// record in LSN order. It stops cleanly at the first sign of a torn
+// tail — short read, size out of range, checksum mismatch, or LSN
+// discontinuity — returning the next expected LSN and the byte offset
+// of the end of the last valid record. Errors from fn abort the
+// replay; file-shape corruption does not (the tail is simply treated
+// as unwritten).
+func Replay(path string, fn func(Record) error) (nextLSN uint64, validSize int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, fmt.Errorf("wal: %s: short header: %v", path, err)
+	}
+	if string(hdr[:len(headerMagic)]) != headerMagic {
+		return 0, 0, fmt.Errorf("wal: %s: bad magic", path)
+	}
+	lsn := binary.BigEndian.Uint64(hdr[len(headerMagic):])
+	validSize = int64(headerSize)
+	var frame [8]byte
+	body := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			return lsn, validSize, nil // clean EOF or torn frame header
+		}
+		size := binary.BigEndian.Uint32(frame[0:4])
+		crc := binary.BigEndian.Uint32(frame[4:8])
+		if size < 9 || size > maxRecord {
+			return lsn, validSize, nil
+		}
+		if cap(body) < int(size) {
+			body = make([]byte, size)
+		}
+		body = body[:size]
+		if _, err := io.ReadFull(r, body); err != nil {
+			return lsn, validSize, nil // torn record
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return lsn, validSize, nil // corrupt record: stop here
+		}
+		recLSN := binary.BigEndian.Uint64(body[1:9])
+		if recLSN != lsn {
+			return lsn, validSize, nil // discontinuity: treat as tail
+		}
+		if err := fn(Record{LSN: recLSN, Type: body[0], Data: body[9:]}); err != nil {
+			return 0, 0, err
+		}
+		lsn++
+		validSize += int64(8 + size)
+	}
+}

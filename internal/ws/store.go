@@ -39,7 +39,23 @@ type Store struct {
 	// refuse to run so a stale view can never allocate variable IDs
 	// that collide with the live store's.
 	frozen bool
+	// watcher, when set, observes every successful NewVar and Rollback
+	// — the durable storage backend logs them to its WAL so crash
+	// recovery reconstructs variable allocations exactly.
+	watcher Watcher
 }
+
+// Watcher observes world-set mutations for write-ahead logging.
+// Callbacks run synchronously inside the mutating call, under
+// whatever lock the caller holds.
+type Watcher interface {
+	WSNewVar(id VarID, probs []float64)
+	WSRollback(n int)
+}
+
+// Watch installs w as the store's mutation observer (nil detaches).
+// Freeze views and Clones never carry the watcher.
+func (s *Store) Watch(w Watcher) { s.watcher = w }
 
 // NewStore returns an empty world-set store.
 func NewStore() *Store { return &Store{} }
@@ -80,6 +96,9 @@ func (s *Store) NewVar(probs []float64) (VarID, error) {
 	copy(cp, probs)
 	id := VarID(len(s.probs))
 	s.probs = append(s.probs, cp)
+	if s.watcher != nil {
+		s.watcher.WSNewVar(id, cp)
+	}
 	return id, nil
 }
 
@@ -126,6 +145,9 @@ func (s *Store) Rollback(snap int) {
 	}
 	if snap >= 0 && snap <= len(s.probs) {
 		s.probs = s.probs[:snap:snap]
+		if s.watcher != nil {
+			s.watcher.WSRollback(snap)
+		}
 	}
 }
 

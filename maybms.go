@@ -75,11 +75,33 @@ type Options struct {
 	// Seed, when non-zero, fixes the root seed of Monte Carlo
 	// estimation exactly as SetSeed would.
 	Seed int64
+	// DataDir, when non-empty, selects the WAL-durable disk storage
+	// engine rooted at that directory (see OpenDurable). Empty keeps
+	// the in-memory heap engine.
+	DataDir string
+	// Fsync makes every statement fsync the write-ahead log before
+	// returning; without it the log is fsynced by a background timer
+	// (~200ms), so a machine crash can lose the last interval. Only
+	// meaningful with DataDir.
+	Fsync bool
+	// CheckpointBytes overrides the WAL size that triggers an
+	// automatic checkpoint (0 = 16 MiB default). Only meaningful with
+	// DataDir.
+	CheckpointBytes int64
 }
 
-// OpenOptions creates a new empty in-memory database with the given
-// options.
+// OpenOptions creates a new database with the given options. With a
+// DataDir it delegates to OpenDurable and panics on an open error;
+// callers that need to handle recovery failures should call
+// OpenDurable directly.
 func OpenOptions(o Options) *DB {
+	if o.DataDir != "" {
+		d, err := OpenDurable(o)
+		if err != nil {
+			panic(fmt.Sprintf("maybms: %v", err))
+		}
+		return d
+	}
 	d := Open()
 	if o.Parallelism != 0 {
 		d.SetParallelism(o.Parallelism)

@@ -1,0 +1,55 @@
+package maybms
+
+import (
+	"maybms/internal/db"
+)
+
+// OpenDurable opens a database on the WAL-durable disk engine rooted
+// at o.DataDir, recovering existing tables, rows, and world-set
+// variables from the directory's segments and write-ahead log. Every
+// statement is logged; an explicit transaction is a single log batch
+// and survives a crash all-or-nothing. Query results are
+// byte-identical to the in-memory engine's at every parallelism
+// degree — reads always run against the resident heap mirror.
+//
+// Callers should Close the returned DB: Close checkpoints (bounding
+// the next start's WAL replay) and stops the background fsync and
+// compaction goroutines. A crash without Close loses nothing durable.
+func OpenDurable(o Options) (*DB, error) {
+	inner, err := db.Open(db.Options{
+		DataDir:         o.DataDir,
+		Fsync:           o.Fsync,
+		CheckpointBytes: o.CheckpointBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &DB{inner: inner}
+	if o.Parallelism != 0 {
+		d.SetParallelism(o.Parallelism)
+	}
+	if o.WorkerPool != 0 {
+		d.SetWorkerPool(o.WorkerPool)
+	}
+	if o.Seed != 0 {
+		d.SetSeed(o.Seed)
+	}
+	return d, nil
+}
+
+// Close checkpoints (when durable) and releases the storage engine.
+// A no-op for in-memory databases; idempotent.
+func (d *DB) Close() error { return d.inner.Close() }
+
+// Checkpoint forces a durable checkpoint: rows changed since the last
+// checkpoint go to segment files and the WAL is rotated, bounding
+// recovery time. A no-op for in-memory databases.
+func (d *DB) Checkpoint() error { return d.inner.Checkpoint() }
+
+// EngineName reports the storage engine backing the database:
+// "memory" or "disk".
+func (d *DB) EngineName() string { return d.inner.EngineName() }
+
+// StorageStats reports the storage engine's durability counters (WAL
+// appends/fsyncs/bytes, checkpoints, live segments, compactions).
+func (d *DB) StorageStats() db.StorageStats { return d.inner.StorageStats() }
