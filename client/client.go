@@ -21,6 +21,7 @@ package client
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -141,9 +142,20 @@ type Error struct {
 	Status int
 	// Msg is the server's error message.
 	Msg string
+	// Code classifies the error; wire.ErrCodeCanceled when the query
+	// was killed or timed out. Empty for ordinary failures.
+	Code string
 }
 
 func (e *Error) Error() string { return e.Msg }
+
+// IsCanceled reports whether err is a server error caused by query
+// cancellation — a KILL (DELETE /v1/queries/{id}) or the server's
+// statement timeout.
+func IsCanceled(err error) bool {
+	var se *Error
+	return errors.As(err, &se) && se.Code == wire.ErrCodeCanceled
+}
 
 // call performs one HTTP round trip with JSON bodies.
 func (d *DB) call(method, path string, body io.Reader, contentType string, out interface{}) error {
@@ -167,7 +179,7 @@ func (d *DB) call(method, path string, body io.Reader, contentType string, out i
 	if resp.StatusCode != http.StatusOK {
 		var er wire.ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return &Error{Status: resp.StatusCode, Msg: er.Error}
+			return &Error{Status: resp.StatusCode, Msg: er.Error, Code: er.Code}
 		}
 		return &Error{Status: resp.StatusCode, Msg: fmt.Sprintf("client: server returned %s", resp.Status)}
 	}
@@ -301,7 +313,7 @@ func (d *DB) QueryRows(src string) (*Rows, error) {
 		defer resp.Body.Close()
 		var er wire.ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return nil, &Error{Status: resp.StatusCode, Msg: er.Error}
+			return nil, &Error{Status: resp.StatusCode, Msg: er.Error, Code: er.Code}
 		}
 		return nil, &Error{Status: resp.StatusCode, Msg: fmt.Sprintf("client: server returned %s", resp.Status)}
 	}
@@ -353,7 +365,7 @@ func (r *Rows) Next() bool {
 			r.body.Close()
 			return false
 		case f.Error != "":
-			r.fail(&Error{Status: http.StatusOK, Msg: f.Error})
+			r.fail(&Error{Status: http.StatusOK, Msg: f.Error, Code: f.ErrCode})
 			return false
 		default:
 			r.fail(fmt.Errorf("client: bad stream frame"))
@@ -400,6 +412,95 @@ func (r *Rows) Close() error {
 	}
 	r.done = true
 	return r.body.Close()
+}
+
+// LiveQuery is one currently executing statement on the server, as
+// reported by GET /v1/queries.
+type LiveQuery struct {
+	// ID is the query id — the X-Maybms-Trace id when the request
+	// carried one — and the handle Kill takes.
+	ID string
+	// SQL is the statement's source text.
+	SQL string
+	// Session is the owning session token (empty for anonymous or
+	// embedded statements).
+	Session string
+	// Engine is the server's storage engine ("memory" or "disk").
+	Engine string
+	// Start is the statement's registration time (RFC 3339).
+	Start string
+	// ElapsedSeconds is how long the statement has been running.
+	ElapsedSeconds float64
+	// Parallelism is the engine's degree for this statement.
+	Parallelism int
+	// Canceled reports a kill or timeout already delivered but not yet
+	// observed by the statement.
+	Canceled bool
+	// Ops is the live per-operator tree (row counts, batches, timings
+	// so far) as raw JSON; nil until the statement finishes planning or
+	// when live tracing is off on the server.
+	Ops json.RawMessage
+}
+
+// Queries lists the statements currently executing on the server,
+// oldest first — each with its live per-operator row counts, so two
+// calls mid-query show the counters advancing.
+func (d *DB) Queries() ([]LiveQuery, error) {
+	var qr wire.QueriesResponse
+	if err := d.call("GET", "/v1/queries", nil, "", &qr); err != nil {
+		return nil, err
+	}
+	out := make([]LiveQuery, len(qr.Queries))
+	for i, q := range qr.Queries {
+		out[i] = LiveQuery{
+			ID:             q.ID,
+			SQL:            q.SQL,
+			Session:        q.Session,
+			Engine:         q.Engine,
+			Start:          q.Start,
+			ElapsedSeconds: q.ElapsedSeconds,
+			Parallelism:    q.Parallelism,
+			Canceled:       q.Canceled,
+			Ops:            q.Ops,
+		}
+	}
+	return out, nil
+}
+
+// Kill cancels the live query with the given id (see Queries). The
+// kill is cooperative: the statement unwinds at its next batch
+// boundary and its own request fails with an Error for which
+// IsCanceled reports true. Killing an unknown id returns an Error
+// with Status 404.
+func (d *DB) Kill(id string) error {
+	var kr wire.KillResponse
+	return d.call("DELETE", "/v1/queries/"+url.PathEscape(id), nil, "", &kr)
+}
+
+// Event is one entry of the server's engine event log (query
+// lifecycle, checkpoints, compactions, WAL fsync stalls, session
+// lifecycle).
+type Event struct {
+	Seq    int64
+	Time   string
+	Type   string
+	ID     string
+	Msg    string
+	Bytes  int64
+	Millis float64
+}
+
+// Events returns the server's retained engine events, oldest first.
+func (d *DB) Events() ([]Event, error) {
+	var er wire.EventsResponse
+	if err := d.call("GET", "/v1/events", nil, "", &er); err != nil {
+		return nil, err
+	}
+	out := make([]Event, len(er.Events))
+	for i, e := range er.Events {
+		out[i] = Event{Seq: e.Seq, Time: e.Time, Type: e.Type, ID: e.ID, Msg: e.Msg, Bytes: e.Bytes, Millis: e.Millis}
+	}
+	return out, nil
 }
 
 // ImportCSV bulk-loads CSV data (with a header row naming the

@@ -13,7 +13,9 @@
 // pipeline-breaker workload (partitioned aggregation, sort, distinct),
 // writing BENCH_paragg.json. -e trace (or the -trace shorthand) runs
 // each workload once with per-operator execution tracing attached and
-// writes the analyzed operator trees as BENCH_trace.json. -e plan runs
+// writes the analyzed operator trees as BENCH_trace.json. -e live
+// measures the overhead of the always-on live-query registry (traced
+// vs baseline), writing BENCH_live.json. -e plan runs
 // the cost-aware planner workload (multi-join queries with selective
 // filters over repair-key tables, plus a repeated-query plan-cache
 // curve) and writes BENCH_plan.json. -e storage compares the disk
@@ -31,7 +33,7 @@ import (
 )
 
 func main() {
-	which := flag.String("e", "all", "experiment to run: all, e1..e8, par, paragg, trace, plan, storage")
+	which := flag.String("e", "all", "experiment to run: all, e1..e8, par, paragg, trace, live, plan, storage")
 	traceRun := flag.Bool("trace", false, "shorthand for -e trace: emit per-operator execution stats")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
 	seed := flag.Int64("seed", 2009, "random seed")
@@ -58,6 +60,8 @@ func main() {
 		experiments.EParAgg(w, opts, *jsonPath, levels)
 	case "trace":
 		experiments.ETrace(w, opts, *jsonPath, *parallelism)
+	case "live":
+		experiments.ELive(w, opts, *jsonPath, *parallelism)
 	case "plan":
 		experiments.EPlan(w, opts, *jsonPath)
 	case "storage":

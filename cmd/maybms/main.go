@@ -28,6 +28,10 @@
 //	\timing     toggle per-statement wall-time reporting
 //	\plancache  show normalized-plan cache hit/miss/entry counts
 //	\engine     show the storage engine and its durability counters
+//	\queries    list currently executing statements (id, elapsed, SQL)
+//	\kill ID    cancel the live query with that id
+//	\events     show the engine event log (queries, checkpoints,
+//	            compactions, fsync stalls), oldest first
 //	\checkpoint force a durable checkpoint (disk engine)
 //	\save PATH  snapshot the database
 //	\load PATH  restore a snapshot (memory engine only)
@@ -316,6 +320,55 @@ func metaCommand(db *maybms.DB, cmd, dbPath string) (quit bool) {
 			fmt.Println("checkpoint complete")
 		} else {
 			fmt.Println("checkpoint: no-op on the memory engine")
+		}
+	case "\\queries":
+		// The shell is single-goroutine, so a listed query is normally
+		// one running in another process sharing the engine — but the
+		// registry surface is the same one the server exposes, making
+		// this the embedded mirror of GET /v1/queries.
+		snaps := db.Engine().Registry().List()
+		if len(snaps) == 0 {
+			fmt.Println("no live queries")
+			return false
+		}
+		for _, q := range snaps {
+			state := ""
+			if q.Canceled {
+				state = " (canceled)"
+			}
+			fmt.Printf("%s  %6.2fs  par=%d%s  %s\n", q.ID, q.ElapsedSeconds, q.Parallelism, state, q.SQL)
+		}
+	case "\\kill":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\kill ID (see \\queries)")
+			return false
+		}
+		if db.Engine().Registry().Kill(fields[1]) {
+			fmt.Printf("kill delivered to %s\n", fields[1])
+		} else {
+			fmt.Fprintf(os.Stderr, "error: no live query %q\n", fields[1])
+		}
+	case "\\events":
+		evs := db.Engine().Events().Events()
+		if len(evs) == 0 {
+			fmt.Println("no events")
+			return false
+		}
+		for _, e := range evs {
+			line := fmt.Sprintf("%s  %-18s", e.Time.Format("15:04:05.000"), e.Type)
+			if e.ID != "" {
+				line += "  " + e.ID
+			}
+			if e.Msg != "" {
+				line += "  " + e.Msg
+			}
+			if e.Bytes > 0 {
+				line += fmt.Sprintf("  %dB", e.Bytes)
+			}
+			if e.Millis > 0 {
+				line += fmt.Sprintf("  %.1fms", e.Millis)
+			}
+			fmt.Println(line)
 		}
 	case "\\plancache":
 		hits, misses, entries := db.PlanCacheStats()

@@ -28,6 +28,8 @@ func serveCmd(args []string) {
 	dataDir := fs.String("data-dir", "", "data directory for the disk storage engine (implies -engine disk)")
 	engine := fs.String("engine", "", "storage engine: memory (default) or disk (requires -data-dir)")
 	fsyncOn := fs.Bool("fsync", false, "fsync the write-ahead log on every statement (disk engine; default batches fsyncs on a ~200ms timer)")
+	stmtTimeout := fs.Duration("statement-timeout", 0, "cancel any statement running longer than this (0 disables); the client receives a typed \"canceled\" error")
+	eventLog := fs.String("event-log", "", "append engine events (query lifecycle, checkpoints, fsync stalls) to this file as JSON lines")
 	fs.Parse(args)
 
 	db, err := openEngine(*engine, *dataDir, *fsyncOn)
@@ -59,15 +61,25 @@ func serveCmd(args []string) {
 	}
 
 	opts := server.Options{
-		MaxSessions: *maxSessions,
-		SessionIdle: *sessionIdle,
-		Parallelism: *parallelism,
-		WorkerPool:  *workerPool,
-		Pprof:       *pprofOn,
+		MaxSessions:      *maxSessions,
+		SessionIdle:      *sessionIdle,
+		Parallelism:      *parallelism,
+		WorkerPool:       *workerPool,
+		Pprof:            *pprofOn,
+		StatementTimeout: *stmtTimeout,
 	}
 	if *slowQuery >= 0 {
 		opts.SlowQueryLog = os.Stderr
 		opts.SlowQueryThreshold = *slowQuery
+	}
+	if *eventLog != "" {
+		f, err := os.OpenFile(*eventLog, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "maybms serve: event log: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.EventLog = f
 	}
 	srv := server.New(db, opts)
 	defer srv.Close()

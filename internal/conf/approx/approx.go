@@ -28,8 +28,27 @@ type Estimator struct {
 	vars  []ws.VarID
 	trial map[ws.VarID]int // scratch assignment
 
+	// cancel, when non-nil, is polled between trial blocks (every
+	// cancelInterval trials) so a killed query aborts estimation
+	// instead of sampling to convergence. It returns the typed
+	// cancellation error once the query is killed.
+	cancel func() error
+
 	// Trials counts Karp-Luby invocations, for the experiments.
 	Trials int
+}
+
+// cancelInterval is how many trials run between cancellation polls: a
+// poll is one atomic load, so the interval only bounds kill latency
+// (a few thousand trials are microseconds on typical lineage).
+const cancelInterval = 4096
+
+// checkCancel polls the cancellation hook, if any.
+func (e *Estimator) checkCancel() error {
+	if e.cancel == nil {
+		return nil
+	}
+	return e.cancel()
 }
 
 // NewEstimator prepares a Karp-Luby estimator for d. rng may be nil,
@@ -146,13 +165,14 @@ type SampleStats struct {
 // the returned p̂ deviates from p by more than ε·p with probability
 // less than δ.
 func Conf(d lineage.DNF, src ws.ProbSource, eps, delta float64, rng *rand.Rand) (float64, error) {
-	p, _, err := ConfStats(d, src, eps, delta, rng)
+	p, _, err := ConfStats(d, src, eps, delta, rng, nil)
 	return p, err
 }
 
 // ConfStats is Conf reporting its sampling effort alongside the
-// estimate.
-func ConfStats(d lineage.DNF, src ws.ProbSource, eps, delta float64, rng *rand.Rand) (float64, SampleStats, error) {
+// estimate. cancel, when non-nil, is polled between trial blocks and
+// aborts estimation with its error (cooperative query cancellation).
+func ConfStats(d lineage.DNF, src ws.ProbSource, eps, delta float64, rng *rand.Rand, cancel func() error) (float64, SampleStats, error) {
 	if err := checkEpsDelta(eps, delta); err != nil {
 		return 0, SampleStats{}, err
 	}
@@ -164,10 +184,14 @@ func ConfStats(d lineage.DNF, src ws.ProbSource, eps, delta float64, rng *rand.R
 		return 1, SampleStats{}, nil
 	}
 	e := NewEstimator(d, src, rng)
+	e.cancel = cancel
 	if e.S == 0 {
 		return 0, SampleStats{}, nil
 	}
-	mean, st := e.aa(eps, delta)
+	mean, st, err := e.aa(eps, delta)
+	if err != nil {
+		return 0, SampleStats{}, err
+	}
 	return e.S * mean, st, nil
 }
 
@@ -176,12 +200,13 @@ func ConfStats(d lineage.DNF, src ws.ProbSource, eps, delta float64, rng *rand.R
 // rule for a rough estimate, a variance estimate, and a final run
 // sized by max(variance, ε·μ̂).
 func (e *Estimator) AA(eps, delta float64) float64 {
-	mean, _ := e.aa(eps, delta)
+	mean, _, _ := e.aa(eps, delta)
 	return mean
 }
 
-// aa runs AA and reports the sampling effort.
-func (e *Estimator) aa(eps, delta float64) (float64, SampleStats) {
+// aa runs AA and reports the sampling effort. It aborts with the
+// cancellation error when the estimator's cancel hook fires.
+func (e *Estimator) aa(eps, delta float64) (float64, SampleStats, error) {
 	const lambda = math.E - 2 // λ from the DKLR paper
 	// Clamp ε to the Bernoulli regime: relative error below machine
 	// noise would demand absurd trial counts.
@@ -192,6 +217,11 @@ func (e *Estimator) aa(eps, delta float64) (float64, SampleStats) {
 	sum := 0.0
 	n := 0
 	for sum < ups1 {
+		if n%cancelInterval == 0 {
+			if err := e.checkCancel(); err != nil {
+				return 0, SampleStats{}, err
+			}
+		}
 		if e.Sample() {
 			sum++
 		}
@@ -209,6 +239,11 @@ func (e *Estimator) aa(eps, delta float64) (float64, SampleStats) {
 	}
 	s2 := 0.0
 	for i := 0; i < nPairs; i++ {
+		if i%(cancelInterval/2) == 0 {
+			if err := e.checkCancel(); err != nil {
+				return 0, SampleStats{}, err
+			}
+		}
 		a, b := 0.0, 0.0
 		if e.Sample() {
 			a = 1
@@ -230,6 +265,11 @@ func (e *Estimator) aa(eps, delta float64) (float64, SampleStats) {
 	}
 	succ := 0
 	for i := 0; i < nFinal; i++ {
+		if i%cancelInterval == 0 {
+			if err := e.checkCancel(); err != nil {
+				return 0, SampleStats{}, err
+			}
+		}
 		if e.Sample() {
 			succ++
 		}
@@ -238,5 +278,5 @@ func (e *Estimator) aa(eps, delta float64) (float64, SampleStats) {
 		Trials: int64(n + 2*nPairs + nFinal),
 		RelErr: math.Sqrt(rhoHat/float64(nFinal)) / muHat,
 	}
-	return float64(succ) / float64(nFinal), st
+	return float64(succ) / float64(nFinal), st, nil
 }

@@ -54,7 +54,7 @@ func strandRngs(seed int64, step int) []*rand.Rand {
 // scratch assignment, so strands sample concurrently without sharing
 // mutable state.
 func (e *Estimator) fork(rng *rand.Rand) *Estimator {
-	return &Estimator{d: e.d, src: e.src, rng: rng, S: e.S, cum: e.cum, vars: e.vars, trial: map[ws.VarID]int{}}
+	return &Estimator{d: e.d, src: e.src, rng: rng, S: e.S, cum: e.cum, vars: e.vars, trial: map[ws.VarID]int{}, cancel: e.cancel}
 }
 
 // forEachStrand runs fn(s) once per strand on up to workers
@@ -85,11 +85,19 @@ func forEachStrand(workers int, fn func(s int)) {
 
 // fillOutcomes computes out[j] for every j in [0, len(out)) using
 // strand j % strands, advancing each strand's estimator in its own
-// deterministic order.
+// deterministic order. A fired cancel hook makes strands bail early,
+// leaving out partially filled — callers must check the hook after the
+// fill and discard the array on cancellation, so the partial contents
+// never reach a result.
 func fillOutcomes(es []*Estimator, out []bool, workers int) {
 	forEachStrand(workers, func(s int) {
+		done := 0
 		for j := s; j < len(out); j += strands {
+			if done%1024 == 0 && es[s].checkCancel() != nil {
+				return
+			}
 			out[j] = es[s].Sample()
+			done++
 		}
 	})
 }
@@ -99,14 +107,17 @@ func fillOutcomes(es []*Estimator, out []bool, workers int) {
 // The result is a deterministic function of (d, src, eps, delta,
 // seed); workers only sets how many goroutines evaluate the schedule.
 func ConfSeeded(d lineage.DNF, src ws.ProbSource, eps, delta float64, seed int64, workers int) (float64, error) {
-	p, _, err := ConfSeededStats(d, src, eps, delta, seed, workers)
+	p, _, err := ConfSeededStats(d, src, eps, delta, seed, workers, nil)
 	return p, err
 }
 
 // ConfSeededStats is ConfSeeded reporting its sampling effort
 // alongside the estimate. The stats, like the estimate, are a pure
 // function of (d, src, eps, delta, seed) — workers cannot change them.
-func ConfSeededStats(d lineage.DNF, src ws.ProbSource, eps, delta float64, seed int64, workers int) (float64, SampleStats, error) {
+// cancel, when non-nil, is polled between trial blocks and aborts
+// estimation with its error (cooperative query cancellation); it never
+// affects the result of a run it does not abort.
+func ConfSeededStats(d lineage.DNF, src ws.ProbSource, eps, delta float64, seed int64, workers int, cancel func() error) (float64, SampleStats, error) {
 	if err := checkEpsDelta(eps, delta); err != nil {
 		return 0, SampleStats{}, err
 	}
@@ -118,18 +129,23 @@ func ConfSeededStats(d lineage.DNF, src ws.ProbSource, eps, delta float64, seed 
 		return 1, SampleStats{}, nil
 	}
 	base := NewEstimator(d, src, rand.New(rand.NewSource(seed)))
+	base.cancel = cancel
 	if base.S == 0 {
 		return 0, SampleStats{}, nil
 	}
-	mean, st := base.aaStranded(eps, delta, seed, workers)
+	mean, st, err := base.aaStranded(eps, delta, seed, workers)
+	if err != nil {
+		return 0, SampleStats{}, err
+	}
 	return base.S * mean, st, nil
 }
 
 // aaStranded is the DKLR AA algorithm over strand-partitioned trials:
 // the same three steps as AA, with each step's trials drawn from fresh
 // per-strand RNGs and evaluated by up to `workers` goroutines. It
-// reports the sampling effort alongside the mean.
-func (e *Estimator) aaStranded(eps, delta float64, seed int64, workers int) (float64, SampleStats) {
+// reports the sampling effort alongside the mean, and aborts with the
+// cancellation error when the estimator's cancel hook fires.
+func (e *Estimator) aaStranded(eps, delta float64, seed int64, workers int) (float64, SampleStats, error) {
 	const lambda = math.E - 2
 	ups := 4 * lambda * math.Log(2/delta) / (eps * eps)
 
@@ -143,6 +159,9 @@ func (e *Estimator) aaStranded(eps, delta float64, seed int64, workers int) (flo
 	n := 0
 	for sum < ups1 {
 		fillOutcomes(es, out, workers)
+		if err := e.checkCancel(); err != nil {
+			return 0, SampleStats{}, err
+		}
 		for j := 0; j < len(out) && sum < ups1; j++ {
 			if out[j] {
 				sum++
@@ -162,6 +181,9 @@ func (e *Estimator) aaStranded(eps, delta float64, seed int64, workers int) (flo
 	es = e.forkStrands(seed, 2)
 	pairOut := make([]bool, 2*nPairs)
 	fillOutcomes(es, pairOut, workers)
+	if err := e.checkCancel(); err != nil {
+		return 0, SampleStats{}, err
+	}
 	s2 := 0.0
 	for i := 0; i < nPairs; i++ {
 		a, b := 0.0, 0.0
@@ -188,13 +210,21 @@ func (e *Estimator) aaStranded(eps, delta float64, seed int64, workers int) (flo
 	var succ [strands]int
 	forEachStrand(workers, func(s int) {
 		c := 0
+		done := 0
 		for j := s; j < nFinal; j += strands {
+			if done%cancelInterval == 0 && es[s].checkCancel() != nil {
+				return
+			}
 			if es[s].Sample() {
 				c++
 			}
+			done++
 		}
 		succ[s] = c
 	})
+	if err := e.checkCancel(); err != nil {
+		return 0, SampleStats{}, err
+	}
 	total := 0
 	for _, c := range succ {
 		total += c
@@ -203,7 +233,7 @@ func (e *Estimator) aaStranded(eps, delta float64, seed int64, workers int) (flo
 		Trials: int64(n + 2*nPairs + nFinal),
 		RelErr: math.Sqrt(rhoHat/float64(nFinal)) / muHat,
 	}
-	return float64(total) / float64(nFinal), st
+	return float64(total) / float64(nFinal), st, nil
 }
 
 // forkStrands builds the per-strand estimators of one algorithm step.

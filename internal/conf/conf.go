@@ -54,6 +54,12 @@ type Request struct {
 	// Exact methods never call it. Observation is strictly passive: it
 	// cannot change the estimate.
 	Observe func(st approx.SampleStats)
+	// Cancel, when non-nil, is polled between Monte Carlo trial blocks:
+	// a non-nil return aborts an Approximate computation with that
+	// error. This is the cooperative query-kill hook — without it a
+	// killed aconf would sample to convergence before noticing. It can
+	// only abort a run, never change a completed one's estimate.
+	Cancel func() error
 }
 
 // Compute returns P(d) using the requested method.
@@ -64,9 +70,9 @@ func Compute(d lineage.DNF, src ws.ProbSource, req Request) (float64, error) {
 		var st approx.SampleStats
 		var err error
 		if req.HasSeed {
-			p, st, err = approx.ConfSeededStats(d, src, req.Eps, req.Delta, req.Seed, req.Workers)
+			p, st, err = approx.ConfSeededStats(d, src, req.Eps, req.Delta, req.Seed, req.Workers, req.Cancel)
 		} else {
-			p, st, err = approx.ConfStats(d, src, req.Eps, req.Delta, req.Rng)
+			p, st, err = approx.ConfStats(d, src, req.Eps, req.Delta, req.Rng, req.Cancel)
 		}
 		if err == nil && req.Observe != nil {
 			req.Observe(st)

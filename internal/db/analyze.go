@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"maybms/internal/exec"
+	"maybms/internal/exec/live"
 	"maybms/internal/exec/trace"
 	"maybms/internal/plan"
 	"maybms/internal/schema"
@@ -76,11 +77,13 @@ func planResult(text string) *Result {
 // stats. p must be the planning scope ex executes against. The
 // observed scan-pipeline cardinalities are fed back to the plan cache,
 // so an EXPLAIN ANALYZE teaches the planner about the query shape.
-func explainAnalyze(s *sql.ExplainStmt, p planner, ex *exec.Executor, tr *trace.Trace) (*Result, plan.Node, error) {
+// lq (when non-nil) receives the plan root for live introspection.
+func explainAnalyze(s *sql.ExplainStmt, p planner, ex *exec.Executor, tr *trace.Trace, lq *LiveQuery) (*Result, plan.Node, error) {
 	n, args, fp, hit, err := p.planFor(s.Query)
 	if err != nil {
 		return nil, nil, err
 	}
+	lq.setRoot(n)
 	ex.Tracer = tr
 	ex.Args = args
 	defer func() { ex.Tracer, ex.Args = nil, nil }()
@@ -114,6 +117,55 @@ func drainDiscard(it urel.Iterator) (int64, error) {
 	}
 }
 
+// QueryMeta carries request context into the live-query registry.
+// Zero values are fine everywhere: an empty ID derives from the trace
+// (or is generated), an empty SQL falls back to a statement-kind
+// placeholder, and an empty Session marks an embedded caller.
+type QueryMeta struct {
+	// ID is the query id for the registry; defaults to the trace id.
+	ID string
+	// SQL is the statement's source text, shown by SHOW/\queries.
+	SQL string
+	// Session is the owning session token (network server).
+	Session string
+}
+
+// stmtText renders a registry placeholder for statements whose source
+// text the entry point did not have.
+func stmtText(s sql.Statement) string {
+	if s == nil {
+		return "<statement>"
+	}
+	return fmt.Sprintf("<%T>", s)
+}
+
+// registerStatement enters s into the live-query registry, minting an
+// always-on trace when live tracing is enabled and the caller did not
+// bring one. Returns the registry entry (nil only if the registry is)
+// and the trace to attach (which may still be nil with live tracing
+// off). Called before any statement lock is taken.
+func (d *Database) registerStatement(s sql.Statement, tr *trace.Trace, meta QueryMeta) (*LiveQuery, *trace.Trace) {
+	id := meta.ID
+	if tr != nil && tr.ID != "" {
+		id = tr.ID
+	}
+	if id == "" {
+		id = trace.NewID()
+	}
+	if tr == nil && d.liveTrace.Load() {
+		// The trace's node map is created lazily on first operator
+		// wrap; an unused always-on trace costs one allocation.
+		tr = &trace.Trace{ID: id}
+	}
+	text := strings.TrimSpace(meta.SQL)
+	if text == "" {
+		text = stmtText(s)
+	}
+	flag := &live.Flag{}
+	q := d.reg.register(id, text, meta.Session, d.EngineName(), d.Parallelism(), tr, flag)
+	return q, tr
+}
+
 // RunStatementTraced is RunStatement with tr attached to the
 // statement's executor: every operator the statement opens records
 // into tr. The returned plan node is the query's root when the
@@ -121,20 +173,30 @@ func drainDiscard(it urel.Iterator) (int64, error) {
 // analyzed tree; nil for DDL/DML/transaction control, whose nested
 // queries are still traced.
 func (d *Database) RunStatementTraced(s sql.Statement, tr *trace.Trace) (*Result, plan.Node, error) {
-	if tr == nil {
-		res, err := d.RunStatement(s)
-		return res, nil, err
-	}
+	return d.RunStatementMeta(s, tr, QueryMeta{})
+}
+
+// RunStatementMeta is the statement entry point: it registers the
+// statement in the live-query registry (making it visible to
+// SHOW/KILL, arming the statement timeout, attaching the always-on
+// trace and the cooperative cancellation flag) and then executes it —
+// read-only statements against a point-in-time snapshot with no lock
+// held, everything else behind the exclusive lock.
+func (d *Database) RunStatementMeta(s sql.Statement, tr *trace.Trace, meta QueryMeta) (*Result, plan.Node, error) {
+	lq, tr := d.registerStatement(s, tr, meta)
+	defer d.reg.finish(lq)
 	if sql.ReadOnly(s) {
 		snap := d.SnapshotFor(s)
 		defer snap.Close()
+		snap.exec.Tracer = tr
+		snap.exec.Cancel = lq.Flag()
 		switch s := s.(type) {
 		case *sql.QueryStmt:
-			snap.exec.Tracer = tr
-			n, args, fp, _, err := snap.planFor(s.Query)
+			n, args, _, _, err := snap.planFor(s.Query)
 			if err != nil {
 				return nil, nil, err
 			}
+			lq.setRoot(n)
 			snap.exec.Args = args
 			it, err := snap.exec.Open(n)
 			if err != nil {
@@ -144,14 +206,19 @@ func (d *Database) RunStatementTraced(s sql.Statement, tr *trace.Trace) (*Result
 			if err != nil {
 				return nil, n, err
 			}
-			// Feed the observed scan-pipeline cardinalities back to
-			// the planner: the next planning of this query shape uses
-			// measured counts instead of heuristics.
-			d.recordFeedback(fp, n, tr)
+			// Plain queries do not feed their cardinalities back to the
+			// planner: with the always-on registry trace every execution
+			// would record, and a first observation (or any data change)
+			// drops the cached plan — churning the cache on the hot
+			// path. EXPLAIN ANALYZE is the explicit teaching gesture;
+			// see explainAnalyze.
 			return &Result{Rel: rel}, n, nil
 		case *sql.ExplainStmt:
 			if s.Analyze {
-				return explainAnalyze(s, snap, snap.exec, tr)
+				if tr == nil {
+					tr = trace.New()
+				}
+				return explainAnalyze(s, snap, snap.exec, tr, lq)
 			}
 			res, err := explain(s, snap)
 			return res, nil, err
@@ -162,8 +229,9 @@ func (d *Database) RunStatementTraced(s sql.Statement, tr *trace.Trace) (*Result
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.exec.Tracer = tr
-	defer func() { d.exec.Tracer = nil }()
-	res, n, err := d.runLockedTraced(s, tr)
+	d.exec.Cancel = lq.Flag()
+	defer func() { d.exec.Tracer, d.exec.Cancel = nil, nil }()
+	res, n, err := d.runLockedTraced(s, tr, lq)
 	// Write-classified statements (including write queries, which
 	// allocate world-set variables) must end their WAL batch even when
 	// they fail partway: see commitDurable.
@@ -176,17 +244,25 @@ func (d *Database) RunStatementTraced(s sql.Statement, tr *trace.Trace) (*Result
 	return res, n, nil
 }
 
-func (d *Database) runLockedTraced(s sql.Statement, tr *trace.Trace) (*Result, plan.Node, error) {
+func (d *Database) runLockedTraced(s sql.Statement, tr *trace.Trace, lq *LiveQuery) (*Result, plan.Node, error) {
+	// Everything routed here is write-classified: invalidate cached
+	// plans before any of it can observe state this statement changes.
+	// (runLocked bumps again for the statements it handles; a double
+	// bump over-invalidates harmlessly.)
+	d.bumpPlanGen()
 	switch s := s.(type) {
 	case *sql.QueryStmt:
-		rel, n, err := d.queryPlanned(s.Query)
+		rel, n, err := d.queryPlanned(s.Query, lq)
 		if err != nil {
 			return nil, n, err
 		}
 		return &Result{Rel: rel}, n, nil
 	case *sql.ExplainStmt:
 		if s.Analyze {
-			return explainAnalyze(s, d, d.exec, tr)
+			if tr == nil {
+				tr = trace.New()
+			}
+			return explainAnalyze(s, d, d.exec, tr, lq)
 		}
 		res, err := explain(s, d)
 		return res, nil, err

@@ -1,0 +1,102 @@
+package db
+
+import (
+	"testing"
+
+	"maybms/internal/exec/trace"
+	"maybms/internal/sql"
+)
+
+// TestTracedRowsByteIdenticalDiskAcrossCheckpoint extends the
+// traced-execution purity guarantee to the disk engine: the corpus,
+// run traced on a WAL-durable database whose aggressive checkpoint
+// settings make the build itself cross checkpoints — plus one forced
+// checkpoint mid-corpus — must return rows byte-identical to the
+// untraced serial in-memory baseline at every parallelism level.
+// Tracing, the live-query registry, and the storage engine must all
+// be invisible in the results.
+func TestTracedRowsByteIdenticalDiskAcrossCheckpoint(t *testing.T) {
+	serial := buildCorpusDB(t, 1)
+	want := make([]string, len(corpus))
+	for i, q := range corpus {
+		want[i] = relString(mustRun(t, serial, q).Rel)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		d := buildCorpusDBDurable(t, par, t.TempDir())
+		for i, q := range corpus {
+			if i == len(corpus)/2 {
+				// Force a checkpoint boundary mid-corpus: segments are
+				// rewritten, the WAL rotates, and the remaining queries
+				// read the post-checkpoint mirror.
+				if err := d.Checkpoint(); err != nil {
+					t.Fatalf("parallelism %d: mid-corpus checkpoint: %v", par, err)
+				}
+			}
+			stmts, err := sql.ParseAll(q)
+			if err != nil || len(stmts) != 1 {
+				t.Fatalf("parse %q: %v", q, err)
+			}
+			tr := trace.New()
+			res, root, err := d.RunStatementTraced(stmts[0], tr)
+			if err != nil {
+				t.Fatalf("disk parallelism %d: traced %q: %v", par, q, err)
+			}
+			if got := relString(res.Rel); got != want[i] {
+				t.Errorf("disk parallelism %d: traced %q diverged from untraced serial memory baseline\n got: %s\nwant: %s",
+					par, q, got, want[i])
+			}
+			if _, isQuery := stmts[0].(*sql.QueryStmt); isQuery {
+				if root == nil {
+					t.Fatalf("disk parallelism %d: traced %q returned no plan root", par, q)
+				}
+				st, ok := tr.Lookup(root)
+				if !ok {
+					t.Fatalf("disk parallelism %d: traced %q recorded no stats for the root", par, q)
+				}
+				if got := st.RowsOut.Load(); got != int64(len(res.Rel.Tuples)) {
+					t.Errorf("disk parallelism %d: %q root RowsOut = %d, want %d", par, q, got, len(res.Rel.Tuples))
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointEmitsEventsAndHistogram pins the checkpoint
+// instrumentation: a forced checkpoint on the disk engine lands a
+// begin/end event pair in the engine event log (the end carrying
+// bytes and duration) and one observation in the checkpoint-duration
+// histogram.
+func TestCheckpointEmitsEventsAndHistogram(t *testing.T) {
+	d, err := Open(Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	mustRun(t, d, `create table kv (k int, v int)`)
+	mustRun(t, d, `insert into kv values (1, 10), (2, 20)`)
+	before := d.CheckpointHist().Count()
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CheckpointHist().Count(); got != before+1 {
+		t.Errorf("checkpoint histogram count = %d, want %d", got, before+1)
+	}
+	var begins, ends int
+	for _, e := range d.Events().Events() {
+		switch e.Type {
+		case "checkpoint_begin":
+			begins++
+		case "checkpoint_end":
+			ends++
+			if e.Bytes <= 0 {
+				t.Errorf("checkpoint_end event carries bytes %d, want > 0", e.Bytes)
+			}
+			if e.Millis < 0 {
+				t.Errorf("checkpoint_end event carries ms %g, want >= 0", e.Millis)
+			}
+		}
+	}
+	if begins == 0 || ends == 0 {
+		t.Errorf("event log has %d checkpoint_begin and %d checkpoint_end events, want at least one of each", begins, ends)
+	}
+}

@@ -31,6 +31,10 @@ type Cursor struct {
 	certain bool
 	snap    *Snapshot
 	closed  bool
+	// done deregisters the stream from the live-query registry; set on
+	// the streaming read path, where the query stays listed (and
+	// killable) for as long as the cursor is open.
+	done func()
 }
 
 // OpenQuery opens a streaming cursor over a single query statement.
@@ -70,31 +74,44 @@ func (d *Database) OpenQueryStmt(qs *sql.QueryStmt) (*Cursor, error) {
 // fallback, where the result was materialised under the exclusive
 // lock.
 func (d *Database) OpenQueryStmtTraced(qs *sql.QueryStmt, tr *trace.Trace) (*Cursor, plan.Node, error) {
+	return d.OpenQueryStmtMeta(qs, tr, QueryMeta{})
+}
+
+// OpenQueryStmtMeta is OpenQueryStmtTraced carrying request context
+// into the live-query registry. A streaming read registers for the
+// cursor's whole lifetime: it stays visible to SHOW/KILL until Close,
+// and a kill mid-stream surfaces as a typed live.Error from Next
+// within one batch boundary.
+func (d *Database) OpenQueryStmtMeta(qs *sql.QueryStmt, tr *trace.Trace, meta QueryMeta) (*Cursor, plan.Node, error) {
 	if !sql.ReadOnly(qs) {
-		res, n, err := d.RunStatementTraced(qs, tr)
+		res, n, err := d.RunStatementMeta(qs, tr, meta)
 		if err != nil {
 			return nil, n, err
 		}
 		return NewRelCursor(res.Rel), n, nil
 	}
+	lq, tr := d.registerStatement(qs, tr, meta)
 	snap := d.SnapshotFor(qs)
-	if tr != nil {
-		snap.exec.Tracer = tr
-	}
+	snap.exec.Tracer = tr
+	snap.exec.Cancel = lq.Flag()
 	// Plan through the optimizer and plan cache; the snapshot installs
 	// the normalized literal bindings on its executor. (Cursors do not
 	// feed trace cardinalities back — the stream outlives this call.)
 	n, err := snap.plan(qs.Query)
 	if err != nil {
 		snap.Close()
+		d.reg.finish(lq)
 		return nil, nil, err
 	}
+	lq.setRoot(n)
 	it, err := snap.exec.Open(n)
 	if err != nil {
 		snap.Close()
+		d.reg.finish(lq)
 		return nil, n, err
 	}
-	return &Cursor{it: it, sch: n.Sch(), certain: n.Certain(), snap: snap}, n, nil
+	done := func() { d.reg.finish(lq) }
+	return &Cursor{it: it, sch: n.Sch(), certain: n.Certain(), snap: snap, done: done}, n, nil
 }
 
 // NewRelCursor wraps an already-materialised relation in a cursor (the
@@ -143,6 +160,10 @@ func (c *Cursor) Close() error {
 	if c.snap != nil {
 		c.snap.Close()
 		c.snap = nil
+	}
+	if c.done != nil {
+		c.done()
+		c.done = nil
 	}
 	return err
 }

@@ -12,11 +12,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"maybms/internal/conf"
+	"maybms/internal/events"
 	"maybms/internal/exec"
 	"maybms/internal/exec/parallel"
 	"maybms/internal/exec/trace"
+	"maybms/internal/obs"
 	"maybms/internal/plan"
 	"maybms/internal/schema"
 	"maybms/internal/sql"
@@ -68,6 +71,24 @@ type Database struct {
 	// a data directory (Open with DataDir); nil for the memory engine.
 	// Every write-classified statement ends with commitDurable.
 	durable *disk.Store
+
+	// reg is the live-query registry: every executing statement is
+	// visible in it, with a cancellation flag the executor polls at
+	// batch boundaries (SHOW/KILL, statement timeouts).
+	reg *Registry
+	// events is the engine event log: query lifecycle, checkpoints,
+	// compactions, fsync stalls, session lifecycle.
+	events *events.Log
+	// liveTrace, when set (the default), attaches a lightweight trace
+	// to every statement so the registry can report live per-operator
+	// row counts. SetLiveTracing(false) turns the attachment off — the
+	// registry and kill path still work, queries just list without an
+	// operator tree. Exists so the overhead benchmark has a baseline.
+	liveTrace atomic.Bool
+	// fsyncHist and ckptHist time WAL fsyncs and checkpoints on the
+	// disk engine (fixed-bucket histograms for /metrics).
+	fsyncHist *obs.Histogram
+	ckptHist  *obs.Histogram
 }
 
 // Result is the outcome of one statement.
@@ -88,16 +109,47 @@ type Result struct {
 // fragments on at most pool-size goroutines.
 func New() *Database {
 	d := &Database{
-		tables: map[string]*storage.Table{},
-		store:  ws.NewStore(),
-		plans:  newPlanCache(),
+		tables:    map[string]*storage.Table{},
+		store:     ws.NewStore(),
+		plans:     newPlanCache(),
+		events:    events.NewLog(events.DefaultSize),
+		fsyncHist: obs.NewHistogram(obs.DurationBuckets),
+		ckptHist:  obs.NewHistogram(obs.DurationBuckets),
 	}
+	d.reg = newRegistry(d.events)
+	d.liveTrace.Store(true)
 	d.exec = exec.New(d, d.store)
 	d.exec.Parallelism = runtime.GOMAXPROCS(0)
 	d.exec.Stats = &parallel.Stats{}
 	d.exec.Pool = parallel.NewPool(runtime.GOMAXPROCS(0))
 	return d
 }
+
+// Registry exposes the live-query registry (SHOW/KILL surfaces).
+func (d *Database) Registry() *Registry { return d.reg }
+
+// Events exposes the engine event log.
+func (d *Database) Events() *events.Log { return d.events }
+
+// FsyncHist exposes the WAL fsync duration histogram (disk engine).
+func (d *Database) FsyncHist() *obs.Histogram { return d.fsyncHist }
+
+// CheckpointHist exposes the checkpoint duration histogram.
+func (d *Database) CheckpointHist() *obs.Histogram { return d.ckptHist }
+
+// SetStatementTimeout arms a deadline for every subsequently
+// registered statement: on expiry the statement is canceled through
+// the same cooperative flag a KILL uses. Zero disables (the default).
+func (d *Database) SetStatementTimeout(t time.Duration) { d.reg.SetTimeout(t) }
+
+// SetLiveTracing toggles the always-on per-statement trace that gives
+// the registry live operator row counts. On by default; turning it
+// off keeps registration and kill working but lists queries without
+// an operator tree. The overhead benchmark's baseline.
+func (d *Database) SetLiveTracing(on bool) { d.liveTrace.Store(on) }
+
+// LiveTracing reports whether statements get an always-on trace.
+func (d *Database) LiveTracing() bool { return d.liveTrace.Load() }
 
 // Store exposes the world-set store (read access for marginals).
 func (d *Database) Store() *ws.Store { return d.store }
@@ -275,7 +327,8 @@ func (d *Database) TableLen(name string) (int, error) {
 }
 
 // Run parses and executes a script of one or more statements,
-// returning the result of the last one.
+// returning the result of the last one. Each statement registers in
+// the live-query registry with the script's source text.
 func (d *Database) Run(src string) (*Result, error) {
 	stmts, err := sql.ParseAll(src)
 	if err != nil {
@@ -283,7 +336,7 @@ func (d *Database) Run(src string) (*Result, error) {
 	}
 	var last *Result
 	for _, s := range stmts {
-		r, err := d.RunStatement(s)
+		r, _, err := d.RunStatementMeta(s, nil, QueryMeta{SQL: src})
 		if err != nil {
 			return nil, err
 		}
@@ -301,49 +354,8 @@ func (d *Database) Run(src string) (*Result, error) {
 // acquisition; everything else is serialised behind the exclusive
 // lock.
 func (d *Database) RunStatement(s sql.Statement) (*Result, error) {
-	if sql.ReadOnly(s) {
-		return d.runRead(s)
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	res, err := d.runLocked(s)
-	if cerr := d.commitDurable(); cerr != nil && err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-// runRead executes a statement already classified read-only against a
-// snapshot captured under a momentary read lock and scoped to the
-// tables the statement references. Execution itself holds no lock, so
-// a slow confidence computation (or a caller holding its result) never
-// stalls writers — and writers pay copy-on-write only for tables this
-// statement can actually read.
-func (d *Database) runRead(s sql.Statement) (*Result, error) {
-	snap := d.SnapshotFor(s)
-	defer snap.Close()
-	switch s := s.(type) {
-	case *sql.QueryStmt:
-		rel, err := snap.Query(s.Query)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Rel: rel}, nil
-	case *sql.ExplainStmt:
-		if s.Analyze {
-			res, _, err := explainAnalyze(s, snap, snap.exec, trace.New())
-			return res, err
-		}
-		return explain(s, snap)
-	default:
-		// Unreachable as long as the classifier only marks query and
-		// explain statements read-only; fail loudly rather than run a
-		// write against a frozen snapshot.
-		return nil, fmt.Errorf("db: internal: %T misclassified as read-only", s)
-	}
+	res, _, err := d.RunStatementMeta(s, nil, QueryMeta{})
+	return res, err
 }
 
 func (d *Database) runLocked(s sql.Statement) (*Result, error) {
@@ -411,7 +423,7 @@ func (d *Database) runLocked(s sql.Statement) (*Result, error) {
 		if s.Analyze {
 			// A write query under ANALYZE (repair-key / pick-tuples)
 			// really mutates the store, same as running it bare.
-			res, _, err := explainAnalyze(s, d, d.exec, trace.New())
+			res, _, err := explainAnalyze(s, d, d.exec, trace.New(), nil)
 			return res, err
 		}
 		return explain(s, d)
@@ -439,7 +451,7 @@ func explain(s *sql.ExplainStmt, p planner) (*Result, error) {
 // lock is released. A LIMIT near the root stops pulling early, so the
 // full input is never computed.
 func (d *Database) query(q sql.Query) (*urel.Rel, error) {
-	rel, _, err := d.queryPlanned(q)
+	rel, _, err := d.queryPlanned(q, nil)
 	return rel, err
 }
 
@@ -448,11 +460,14 @@ func (d *Database) query(q sql.Query) (*urel.Rel, error) {
 // optimizer and the normalized-plan cache like the read path's; the
 // caller holds the exclusive lock, whose entry bump means lookups here
 // always replan — correct, since this statement may be mid-mutation.
-func (d *Database) queryPlanned(q sql.Query) (*urel.Rel, plan.Node, error) {
+// lq (when non-nil) receives the plan root once planning completes, so
+// the live-query registry can snapshot the operator tree mid-run.
+func (d *Database) queryPlanned(q sql.Query, lq *LiveQuery) (*urel.Rel, plan.Node, error) {
 	n, args, _, _, err := d.planQuery(q, d, d, d.planGen.Load())
 	if err != nil {
 		return nil, nil, err
 	}
+	lq.setRoot(n)
 	d.exec.Args = args
 	defer func() { d.exec.Args = nil }()
 	it, err := d.exec.Open(n)

@@ -39,6 +39,9 @@ func Open(o Options) (*Database, error) {
 		Fsync:            o.Fsync,
 		CheckpointBytes:  o.CheckpointBytes,
 		CompactThreshold: o.CompactThreshold,
+		Events:           d.events,
+		FsyncHist:        d.fsyncHist,
+		CheckpointHist:   d.ckptHist,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,131 @@
+// Package events is the engine's structured event log: a fixed-size
+// ring buffer of typed events (query lifecycle, checkpoints,
+// compaction, WAL fsync stalls, session lifecycle) emitted from the
+// engine, the disk storage backend, and the network server, and read
+// back by GET /v1/events and the shell's \events.
+//
+// It is a leaf package — standard library only — so storage code can
+// emit events without importing any engine layer. All methods are
+// nil-safe: a nil *Log drops every event, which keeps emit sites free
+// of conditionals.
+package events
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event types emitted by the engine.
+const (
+	QueryStart       = "query_start"
+	QueryFinish      = "query_finish"
+	QueryKill        = "query_kill"
+	StatementTimeout = "statement_timeout"
+	CheckpointBegin  = "checkpoint_begin"
+	CheckpointEnd    = "checkpoint_end"
+	Compaction       = "compaction"
+	FsyncStall       = "wal_fsync_stall"
+	SessionCreate    = "session_create"
+	SessionExpire    = "session_expire"
+)
+
+// Event is one entry in the engine event log.
+type Event struct {
+	// Seq is a monotonically increasing sequence number.
+	Seq int64 `json:"seq"`
+	// Time is when the event was emitted.
+	Time time.Time `json:"time"`
+	// Type is one of the event-type constants above.
+	Type string `json:"type"`
+	// ID identifies the subject: a query id for query events, a
+	// session token prefix for session events; empty otherwise.
+	ID string `json:"id,omitempty"`
+	// Msg carries free-form detail (SQL text prefix, error, segment
+	// names).
+	Msg string `json:"msg,omitempty"`
+	// Bytes is a size payload (checkpoint bytes written).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Millis is a duration payload (checkpoint/fsync wall time).
+	Millis float64 `json:"ms,omitempty"`
+}
+
+// DefaultSize is the ring capacity used by the engine.
+const DefaultSize = 512
+
+// Log is a fixed-size ring of events with an optional JSON-lines
+// sink. Safe for concurrent use; nil-safe on every method.
+type Log struct {
+	mu   sync.Mutex
+	buf  []Event
+	n    int // valid entries (≤ len(buf))
+	next int // ring write position
+	seq  int64
+	sink io.Writer
+}
+
+// NewLog returns a ring holding up to size events (DefaultSize when
+// size <= 0).
+func NewLog(size int) *Log {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	return &Log{buf: make([]Event, size)}
+}
+
+// SetSink attaches a JSON-lines writer: every subsequent event is
+// additionally serialised as one JSON object per line, under the
+// log's mutex — the same single-writer discipline as the slow-query
+// log, so concurrent emitters never interleave partial lines.
+func (l *Log) SetSink(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = w
+	l.mu.Unlock()
+}
+
+// Emit stamps e with the next sequence number and the current time
+// and appends it to the ring (evicting the oldest entry when full).
+func (l *Log) Emit(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	if l.sink != nil {
+		if line, err := json.Marshal(e); err == nil {
+			l.sink.Write(append(line, '\n'))
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.n)
+	start := l.next - l.n
+	if start < 0 {
+		start += len(l.buf)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}

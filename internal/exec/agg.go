@@ -207,6 +207,12 @@ func (e *Executor) aggregateGroup(n *plan.Aggregate, ctx *plan.EvalCtx, g *group
 					}
 				}
 			}
+			if e.Cancel != nil {
+				// Monte Carlo estimation can run millions of trials; the
+				// sampling loops poll this between trial blocks so a
+				// killed aconf unwinds without waiting for convergence.
+				req.Cancel = e.Cancel.Err
+			}
 			p, err := conf.Compute(event, e.Store, req)
 			if err != nil {
 				return nil, err

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"maybms/internal/conf"
+	"maybms/internal/exec/live"
 	"maybms/internal/exec/parallel"
 	"maybms/internal/exec/trace"
 	"maybms/internal/lineage"
@@ -71,6 +72,14 @@ type Executor struct {
 	// it by index. Per-statement state like Tracer: Fork does not copy
 	// it.
 	Args []types.Value
+	// Cancel, when non-nil, is the statement's cooperative cancellation
+	// flag: every iterator Open builds checks it at batch boundaries,
+	// partitioned breakers check it per job, and Monte Carlo sampling
+	// loops check it every few thousand trials, so a killed or timed-out
+	// query unwinds within one batch. Per-statement state like Tracer:
+	// Fork deliberately does not copy it. A nil Cancel costs one pointer
+	// check per operator open and nothing else.
+	Cancel *live.Flag
 	// confCalls numbers the aconf invocations of this executor, so each
 	// derives a distinct, reproducible seed. The engine hands every
 	// read-only statement a fresh executor (via Fork), which restarts

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 
+	"maybms/internal/exec/live"
 	"maybms/internal/lineage"
 	"maybms/internal/plan"
 	"maybms/internal/schema"
@@ -42,13 +43,43 @@ type BatchCatalog interface {
 // keyed by its plan node. Tracing never changes which iterators are
 // built or what they produce — only observation is added — so traced
 // results are byte-identical to untraced ones.
+// When a Cancel flag is attached, every iterator additionally checks
+// it before pulling a batch, so a killed query unwinds within one
+// batch boundary wherever execution happens to be — mid-scan, inside a
+// breaker's input drain, or in an exchange partition worker.
 func (e *Executor) Open(n plan.Node) (urel.Iterator, error) {
 	it, err := e.open(n)
-	if err != nil || e.Tracer == nil {
+	if err != nil {
 		return it, err
 	}
-	return e.Tracer.Wrap(n, it), nil
+	if e.Cancel != nil {
+		it = &cancelIter{in: it, flag: e.Cancel}
+	}
+	if e.Tracer != nil {
+		it = e.Tracer.Wrap(n, it)
+	}
+	return it, nil
 }
+
+// cancelIter interposes the statement's cancellation flag at a batch
+// boundary: one atomic load per Next, the typed cancellation error
+// once the flag fires. Close passes through so teardown still releases
+// the pipeline under it.
+type cancelIter struct {
+	in   urel.Iterator
+	flag *live.Flag
+}
+
+func (it *cancelIter) Sch() *schema.Schema { return it.in.Sch() }
+
+func (it *cancelIter) Next() (*urel.Batch, error) {
+	if err := it.flag.Err(); err != nil {
+		return nil, err
+	}
+	return it.in.Next()
+}
+
+func (it *cancelIter) Close() error { return it.in.Close() }
 
 // open builds the untraced iterator for n (Open adds the trace shim).
 func (e *Executor) open(n plan.Node) (urel.Iterator, error) {

@@ -1,0 +1,74 @@
+// Package live holds the cooperative-cancellation primitive shared by
+// every layer of query execution. It is deliberately a leaf package —
+// no imports beyond the standard library — so the iterator pipeline
+// (exec), the exchange/pool scheduler (exec/parallel), and the Monte
+// Carlo sampling loops (conf/approx) can all check the same flag
+// without import cycles.
+//
+// A Flag is armed once per executing statement and checked at batch
+// boundaries: one atomic pointer load on the hot path, nil until the
+// query is killed or times out. Cancellation is first-wins — the first
+// caller to Cancel decides the reason (kill vs timeout) and every
+// subsequent check surfaces that same typed error, so a killed query
+// unwinds with one coherent cause however many workers observe it.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ReasonKilled marks an explicit KILL (DELETE /v1/queries/{id},
+// \kill, client.Kill).
+const ReasonKilled = "killed"
+
+// ReasonTimeout marks a server-side statement timeout.
+const ReasonTimeout = "statement timeout"
+
+// Error is the typed "query canceled" error a killed or timed-out
+// statement surfaces through every layer — executor, engine, server
+// response code, and client.
+type Error struct {
+	// ID is the query id (the X-Maybms-Trace id).
+	ID string
+	// Reason is why the query was canceled: ReasonKilled or
+	// ReasonTimeout.
+	Reason string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("query %s canceled: %s", e.ID, e.Reason)
+}
+
+// IsCanceled reports whether err is (or wraps) a cancellation Error.
+func IsCanceled(err error) bool {
+	var ce *Error
+	return errors.As(err, &ce)
+}
+
+// Flag is one statement's cancellation state. The zero value is ready
+// to use. Arm it on the statement's executor; workers call Err at
+// batch boundaries.
+type Flag struct {
+	err atomic.Pointer[Error]
+}
+
+// Cancel requests cancellation with the given typed error, reporting
+// whether this call won the race (false: the flag was already
+// canceled, the earlier reason stands).
+func (f *Flag) Cancel(e *Error) bool {
+	return f.err.CompareAndSwap(nil, e)
+}
+
+// Canceled reports whether the flag has been canceled.
+func (f *Flag) Canceled() bool { return f.err.Load() != nil }
+
+// Err returns the cancellation error, or nil while the query may keep
+// running. One atomic load — cheap enough for every batch boundary.
+func (f *Flag) Err() error {
+	if e := f.err.Load(); e != nil {
+		return e
+	}
+	return nil
+}

@@ -91,9 +91,16 @@ func (e *Executor) openParallel(n plan.Node) (it urel.Iterator, ok bool, err err
 	}
 	// The fragment root is opened raw: Open already wrapped the
 	// exchange under n's stats, so wrapping each partition's root copy
-	// too would double-count every row.
+	// too would double-count every row. The cancel flag, by contrast,
+	// is interposed per partition — a killed query's workers must stop
+	// producing at their own next batch boundary, not only when the
+	// merge notices.
 	ex := parallel.New(n.Sch(), nparts, e.Pool, func(part int) (urel.Iterator, error) {
-		return e.openPartRaw(n, pc, fp.shared, part, nparts)
+		it, err := e.openPartRaw(n, pc, fp.shared, part, nparts)
+		if err != nil || e.Cancel == nil {
+			return it, err
+		}
+		return &cancelIter{in: it, flag: e.Cancel}, nil
 	}, e.Stats, trPar)
 	return ex, true, nil
 }
@@ -218,10 +225,16 @@ func (e *Executor) semiJoinMatches(n *plan.SemiJoinIn) (map[string][]lineage.Con
 // totals.
 func (e *Executor) openPart(n plan.Node, pc PartitionCatalog, shared map[*plan.SemiJoinIn]map[string][]lineage.Cond, part, nparts int) (urel.Iterator, error) {
 	it, err := e.openPartRaw(n, pc, shared, part, nparts)
-	if err != nil || e.Tracer == nil {
+	if err != nil {
 		return it, err
 	}
-	return e.Tracer.Wrap(n, it), nil
+	if e.Cancel != nil {
+		it = &cancelIter{in: it, flag: e.Cancel}
+	}
+	if e.Tracer != nil {
+		it = e.Tracer.Wrap(n, it)
+	}
+	return it, nil
 }
 
 // openPartRaw builds the partition pipeline without wrapping its root

@@ -125,6 +125,11 @@ func (e *Executor) parAggregate(n *plan.Aggregate, fp *fragPrep, pc PartitionCat
 			ctx := e.evalCtx()
 			lo, hi := storage.PartRange(len(groups), job, njobs)
 			for gi := lo; gi < hi; gi++ {
+				if e.Cancel != nil {
+					if err := e.Cancel.Err(); err != nil {
+						return err
+					}
+				}
 				var gseeds []int64
 				if seeds != nil {
 					gseeds = seeds[gi]
@@ -140,6 +145,11 @@ func (e *Executor) parAggregate(n *plan.Aggregate, fp *fragPrep, pc PartitionCat
 	} else {
 		ctx := e.evalCtx()
 		for gi, g := range groups {
+			if e.Cancel != nil {
+				if err = e.Cancel.Err(); err != nil {
+					break
+				}
+			}
 			synth[gi], err = e.aggregateGroup(n, ctx, g, nil, 0)
 			if err != nil {
 				break

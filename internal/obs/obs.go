@@ -1,0 +1,90 @@
+// Package obs holds the fixed-bucket Prometheus-style histogram shared
+// by the network server's request metrics and the storage engine's
+// durability metrics (WAL fsync and checkpoint latency). It is a leaf
+// package — standard library only — so storage code can observe into a
+// histogram without importing any server layer; the server renders
+// every histogram at /metrics scrape time.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DurationBuckets are the latency histogram bounds in seconds: 1ms to
+// 10s, roughly half-decade steps — wide enough for sub-millisecond
+// fsyncs and multi-second Monte Carlo aggregations alike.
+var DurationBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket histogram: lock-free observes (one
+// searched index, one atomic add), cumulative rendering at scrape
+// time. Safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	sum    AtomicFloat
+}
+
+// NewHistogram returns a histogram over the given le (≤) bucket
+// bounds, which must be sorted ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value. Buckets are le (≤) bounds, so the first
+// bound not less than v is v's bucket.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Write emits the histogram in Prometheus text format. labels, when
+// non-empty, is a rendered label list without braces (`endpoint="query"`).
+func (h *Histogram) Write(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, b, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum.Load())
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum.Load())
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+}
+
+// AtomicFloat is a CAS-loop float64 accumulator (histogram sums).
+type AtomicFloat struct{ bits atomic.Uint64 }
+
+// Add accumulates v.
+func (f *AtomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Load reads the accumulated value.
+func (f *AtomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }

@@ -1,92 +1,27 @@
 package server
 
 // Server-side observability: fixed-bucket latency histograms for the
-// /metrics endpoint, per-request trace ids, and the structured
-// slow-query log. All of it is passive — the histograms are a handful
-// of atomic adds per request, tracing is only attached to statements
-// when a slow-query log is configured, and nothing here can change a
-// query's result.
+// /metrics endpoint (the histogram itself lives in internal/obs, shared
+// with the storage engine's durability metrics), per-request trace ids,
+// and the structured slow-query log. All of it is passive — the
+// histograms are a handful of atomic adds per request, tracing adds two
+// atomic adds per operator batch, and nothing here can change a query's
+// result.
 
 import (
 	"encoding/json"
-	"fmt"
-	"io"
-	"math"
 	"net/http"
-	"sort"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"maybms/internal/exec/trace"
+	"maybms/internal/obs"
 	"maybms/internal/plan"
 	"maybms/internal/wire"
 )
 
-// durationBuckets are the latency histogram bounds in seconds: 1ms to
-// 10s, roughly half-decade steps — wide enough for both sub-millisecond
-// point lookups and multi-second Monte Carlo aggregations.
-var durationBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
-
 // rowsBuckets are the result-size histogram bounds in rows.
 var rowsBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6}
-
-// histogram is a fixed-bucket Prometheus-style histogram: lock-free
-// observes (one searched index, one atomic add), cumulative rendering
-// at scrape time.
-type histogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
-	sum    atomicFloat
-}
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
-}
-
-// observe records one value. Buckets are le (≤) bounds, so the first
-// bound not less than v is v's bucket.
-func (h *histogram) observe(v float64) {
-	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
-	h.sum.add(v)
-}
-
-// write emits the histogram in Prometheus text format. labels, when
-// non-empty, is a rendered label list without braces (`endpoint="query"`).
-func (h *histogram) write(w io.Writer, name, labels string) {
-	sep := ""
-	if labels != "" {
-		sep = ","
-	}
-	cum := int64(0)
-	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, b, cum)
-	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
-	if labels == "" {
-		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum.load())
-		fmt.Fprintf(w, "%s_count %d\n", name, cum)
-		return
-	}
-	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum.load())
-	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
-}
-
-// atomicFloat is a CAS-loop float64 accumulator (histogram sums).
-type atomicFloat struct{ bits atomic.Uint64 }
-
-func (f *atomicFloat) add(v float64) {
-	for {
-		old := f.bits.Load()
-		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
-		}
-	}
-}
-
-func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
 
 // traceID resolves the request's trace id: the client's
 // X-Maybms-Trace header when set, a fresh random id otherwise.
@@ -100,17 +35,11 @@ func traceID(r *http.Request) string {
 	return trace.NewID()
 }
 
-// tracing reports whether statements should execute with a Trace
-// attached: only when a slow-query log is configured — the untraced
-// path stays allocation-free otherwise.
-func (s *Server) tracing() bool { return s.opts.SlowQueryLog != nil }
-
-// newTrace returns a Trace carrying the request's id when tracing is
-// on, nil otherwise (statements run untraced on a nil Trace).
+// newTrace returns a Trace carrying the request's id. Every statement
+// now executes traced: the live-query registry serves per-operator
+// progress snapshots from it, and the overhead is two atomic adds per
+// operator batch (pinned by the BENCH_live overhead budget).
 func (s *Server) newTrace(tid string) *trace.Trace {
-	if !s.tracing() {
-		return nil
-	}
 	return &trace.Trace{ID: tid}
 }
 
@@ -158,3 +87,9 @@ func (s *Server) logSlow(endpoint, sql string, tr *trace.Trace, root plan.Node, 
 	s.opts.SlowQueryLog.Write(line)
 	s.slowMu.Unlock()
 }
+
+// histogram aliases the shared fixed-bucket histogram so the server's
+// metric fields read naturally.
+type histogram = obs.Histogram
+
+func newHistogram(bounds []float64) *histogram { return obs.NewHistogram(bounds) }

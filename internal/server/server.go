@@ -40,7 +40,9 @@ import (
 
 	"maybms"
 	dbpkg "maybms/internal/db"
+	"maybms/internal/exec/live"
 	"maybms/internal/exec/trace"
+	"maybms/internal/obs"
 	planpkg "maybms/internal/plan"
 	sqlpkg "maybms/internal/sql"
 	"maybms/internal/wire"
@@ -81,6 +83,14 @@ type Options struct {
 	// handler. Off by default: profiling endpoints expose internals and
 	// cost CPU, so they are strictly opt-in.
 	Pprof bool
+	// StatementTimeout, when positive, cancels any statement running
+	// longer than this through the same cooperative path as
+	// DELETE /v1/queries/{id}; the client receives a typed "canceled"
+	// error. Zero disables timeouts.
+	StatementTimeout time.Duration
+	// EventLog, when non-nil, receives every engine event as one JSON
+	// line, in addition to the in-memory ring served by /v1/events.
+	EventLog io.Writer
 }
 
 func (o *Options) fill() {
@@ -169,10 +179,16 @@ func New(mdb *maybms.DB, opts Options) *Server {
 		sessions:  map[string]*session{},
 		done:      make(chan struct{}),
 		start:     time.Now(),
-		queryDur:  newHistogram(durationBuckets),
-		execDur:   newHistogram(durationBuckets),
-		streamDur: newHistogram(durationBuckets),
+		queryDur:  newHistogram(obs.DurationBuckets),
+		execDur:   newHistogram(obs.DurationBuckets),
+		streamDur: newHistogram(obs.DurationBuckets),
 		rowsHist:  newHistogram(rowsBuckets),
+	}
+	if opts.StatementTimeout > 0 {
+		s.eng.SetStatementTimeout(opts.StatementTimeout)
+	}
+	if opts.EventLog != nil {
+		s.eng.Events().SetSink(opts.EventLog)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	interval := opts.SessionIdle / 4
@@ -221,6 +237,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
 	mux.HandleFunc("POST /v1/exec", s.handleExec)
 	mux.HandleFunc("POST /v1/import", s.handleImport)
+	mux.HandleFunc("GET /v1/queries", s.handleQueries)
+	mux.HandleFunc("DELETE /v1/queries/{id}", s.handleKillQuery)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opts.Pprof {
@@ -260,9 +279,18 @@ func statusOf(err error) int {
 	return http.StatusBadRequest
 }
 
+// errCode classifies an error for the wire: cancellation (KILL or
+// statement timeout) is typed so clients need not parse the message.
+func errCode(err error) string {
+	if live.IsCanceled(err) {
+		return wire.ErrCodeCanceled
+	}
+	return ""
+}
+
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.errorsTotal.Add(1)
-	writeJSON(w, statusOf(err), wire.ErrorResponse{Error: err.Error()})
+	writeJSON(w, statusOf(err), wire.ErrorResponse{Error: err.Error(), Code: errCode(err)})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -327,7 +355,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, root, err := s.runScriptTraced(sess, src, tr)
 	dur := time.Since(start)
-	s.queryDur.observe(dur.Seconds())
+	s.queryDur.Observe(dur.Seconds())
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -337,7 +365,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rows := maybms.RowsFromRel(res.Rel)
-	s.rowsHist.observe(float64(len(rows.Data)))
+	s.rowsHist.Observe(float64(len(rows.Data)))
 	s.logSlow("query", src, tr, root, dur, int64(len(rows.Data)))
 	cells, err := wire.EncodeRows(rows.Data)
 	if err != nil {
@@ -382,12 +410,13 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := s.newTrace(tid)
+	meta := dbpkg.QueryMeta{SQL: src, Session: sessionToken(sess)}
 	start := time.Now()
 	var cur *maybms.RowsCursor
 	var root planpkg.Node
 	if sqlpkg.ReadOnly(st) {
 		s.readStmtsTotal.Add(1)
-		ecur, n, err := s.eng.OpenQueryStmtTraced(st, tr)
+		ecur, n, err := s.eng.OpenQueryStmtMeta(st, tr, meta)
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -400,7 +429,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, err)
 			return
 		}
-		res, n, err := s.eng.RunStatementTraced(st, tr)
+		res, n, err := s.eng.RunStatementMeta(st, tr, meta)
 		release()
 		if err != nil {
 			s.writeError(w, err)
@@ -450,7 +479,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			// The 200 header is committed; report in-band and cut the
 			// stream short of its done frame.
 			s.errorsTotal.Add(1)
-			send(wire.StreamFrame{Error: err.Error()})
+			send(wire.StreamFrame{Error: err.Error(), ErrCode: errCode(err)})
 			return
 		}
 		cells, err := wire.EncodeRows(page.Data)
@@ -466,8 +495,8 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		s.rowsStreamed.Add(int64(len(page.Data)))
 	}
 	dur := time.Since(start)
-	s.streamDur.observe(dur.Seconds())
-	s.rowsHist.observe(float64(total))
+	s.streamDur.Observe(dur.Seconds())
+	s.rowsHist.Observe(float64(total))
 	s.logSlow("stream", src, tr, root, dur, total)
 	send(wire.StreamFrame{Done: &wire.StreamDone{RowsStreamed: total}})
 }
@@ -496,7 +525,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, root, err := s.runScriptTraced(sess, src, tr)
 	dur := time.Since(start)
-	s.execDur.observe(dur.Seconds())
+	s.execDur.Observe(dur.Seconds())
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -549,6 +578,15 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.ImportResponse{Count: n})
 }
 
+// sessionToken names sess for the live-query registry; empty for the
+// anonymous context.
+func sessionToken(sess *session) string {
+	if sess == nil {
+		return ""
+	}
+	return sess.token
+}
+
 // runScript parses and executes a script on behalf of sess (nil for
 // the anonymous context), returning the last statement's result.
 func (s *Server) runScript(sess *session, src string) (*dbpkg.Result, error) {
@@ -558,16 +596,18 @@ func (s *Server) runScript(sess *session, src string) (*dbpkg.Result, error) {
 
 // runScriptTraced is runScript with tr (when non-nil) attached to
 // every statement; it also returns the last statement's plan root, for
-// rendering the analyzed tree in the slow-query log.
+// rendering the analyzed tree in the slow-query log. Every statement
+// registers in the live-query registry under the script's source text.
 func (s *Server) runScriptTraced(sess *session, src string, tr *trace.Trace) (*dbpkg.Result, planpkg.Node, error) {
 	stmts, err := sqlpkg.ParseAll(src)
 	if err != nil {
 		return nil, nil, err
 	}
+	meta := dbpkg.QueryMeta{SQL: src, Session: sessionToken(sess)}
 	var last *dbpkg.Result
 	var root planpkg.Node
 	for _, st := range stmts {
-		r, n, err := s.runStatementTraced(sess, st, tr)
+		r, n, err := s.runStatementMeta(sess, st, tr, meta)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -585,15 +625,16 @@ func (s *Server) runScriptTraced(sess *session, src string, tr *trace.Trace) (*d
 // so session management, health, and metrics stay responsive during
 // long statements.
 func (s *Server) runStatement(sess *session, st sqlpkg.Statement) (*dbpkg.Result, error) {
-	res, _, err := s.runStatementTraced(sess, st, nil)
+	res, _, err := s.runStatementMeta(sess, st, nil, dbpkg.QueryMeta{Session: sessionToken(sess)})
 	return res, err
 }
 
-// runStatementTraced is runStatement with tr (when non-nil) attached
-// to the statement's executor. Transaction control has no plan and is
-// never traced; everything else routes through the engine's traced
-// entry point, which returns the query's plan root when there is one.
-func (s *Server) runStatementTraced(sess *session, st sqlpkg.Statement, tr *trace.Trace) (*dbpkg.Result, planpkg.Node, error) {
+// runStatementMeta is runStatement with tr (when non-nil) attached to
+// the statement's executor and meta carried into the live-query
+// registry. Transaction control has no plan and is never traced;
+// everything else routes through the engine's traced entry point,
+// which returns the query's plan root when there is one.
+func (s *Server) runStatementMeta(sess *session, st sqlpkg.Statement, tr *trace.Trace, meta dbpkg.QueryMeta) (*dbpkg.Result, planpkg.Node, error) {
 	switch st.(type) {
 	case *sqlpkg.Begin:
 		if sess == nil {
@@ -668,7 +709,7 @@ func (s *Server) runStatementTraced(sess *session, st sqlpkg.Statement, tr *trac
 			// the engine's RWMutex lets them run in parallel, which is
 			// the whole point of the classifier.
 			s.readStmtsTotal.Add(1)
-			return s.eng.RunStatementTraced(st, tr)
+			return s.eng.RunStatementMeta(st, tr, meta)
 		}
 		s.writeStmtsTotal.Add(1)
 		release, err := s.claimWrite(sess)
@@ -676,7 +717,7 @@ func (s *Server) runStatementTraced(sess *session, st sqlpkg.Statement, tr *trac
 			return nil, nil, err
 		}
 		defer release()
-		return s.eng.RunStatementTraced(st, tr)
+		return s.eng.RunStatementMeta(st, tr, meta)
 	}
 }
 
@@ -707,6 +748,65 @@ func (s *Server) claimWrite(sess *session) (func(), error) {
 		}
 		s.mu.Unlock()
 	}, nil
+}
+
+// handleQueries serves GET /v1/queries: every statement currently
+// executing, oldest first, with its live per-operator tree when
+// planning has completed.
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	snaps := s.eng.Registry().List()
+	out := wire.QueriesResponse{Queries: make([]wire.QueryInfo, 0, len(snaps))}
+	for _, q := range snaps {
+		qi := wire.QueryInfo{
+			ID:             q.ID,
+			SQL:            q.SQL,
+			Session:        q.Session,
+			Engine:         q.Engine,
+			Start:          q.Start.UTC().Format(time.RFC3339Nano),
+			ElapsedSeconds: q.ElapsedSeconds,
+			Parallelism:    q.Parallelism,
+			Canceled:       q.Canceled,
+		}
+		if q.Ops != nil {
+			if b, err := json.Marshal(q.Ops); err == nil {
+				qi.Ops = b
+			}
+		}
+		out.Queries = append(out.Queries, qi)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleKillQuery serves DELETE /v1/queries/{id}: flip the named
+// query's cancellation flag. 404 when no live query has the id; the
+// kill itself is cooperative — the query unwinds at its next batch
+// boundary and its own request fails with a typed "canceled" error.
+func (s *Server) handleKillQuery(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.eng.Registry().Kill(id) {
+		s.writeError(w, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("server: no live query %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.KillResponse{Killed: true})
+}
+
+// handleEvents serves GET /v1/events: the engine event ring, oldest
+// first.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	evs := s.eng.Events().Events()
+	out := wire.EventsResponse{Events: make([]wire.EventInfo, 0, len(evs))}
+	for _, e := range evs {
+		out.Events = append(out.Events, wire.EventInfo{
+			Seq:    e.Seq,
+			Time:   e.Time.UTC().Format(time.RFC3339Nano),
+			Type:   e.Type,
+			ID:     e.ID,
+			Msg:    e.Msg,
+			Bytes:  e.Bytes,
+			Millis: e.Millis,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -749,6 +849,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "maybms_statements_total{kind=\"read\"} %d\n", s.readStmtsTotal.Load())
 	fmt.Fprintf(w, "maybms_statements_total{kind=\"write\"} %d\n", s.writeStmtsTotal.Load())
 	fmt.Fprintf(w, "maybms_errors_total %d\n", s.errorsTotal.Load())
+	reg := s.eng.Registry()
+	fmt.Fprintf(w, "maybms_queries_active %d\n", reg.Active())
+	fmt.Fprintf(w, "maybms_queries_killed_total %d\n", reg.Killed())
+	fmt.Fprintf(w, "maybms_statement_timeouts_total %d\n", reg.TimedOut())
 	par := s.eng.ParallelStats()
 	fmt.Fprintf(w, "maybms_parallelism_degree %d\n", s.eng.Parallelism())
 	fmt.Fprintf(w, "maybms_parallel_queries_total %d\n", par.Exchanges.Load())
@@ -763,10 +867,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "maybms_pool_fragments_queued %d\n", pool.Queued())
 	fmt.Fprintf(w, "maybms_pool_runs_total %d\n", pool.PoolRuns())
 	fmt.Fprintf(w, "maybms_pool_inline_runs_total %d\n", pool.InlineRuns())
-	s.queryDur.write(w, "maybms_query_duration_seconds", `endpoint="query"`)
-	s.execDur.write(w, "maybms_query_duration_seconds", `endpoint="exec"`)
-	s.streamDur.write(w, "maybms_query_duration_seconds", `endpoint="stream"`)
-	s.rowsHist.write(w, "maybms_query_rows_returned", "")
+	s.queryDur.Write(w, "maybms_query_duration_seconds", `endpoint="query"`)
+	s.execDur.Write(w, "maybms_query_duration_seconds", `endpoint="exec"`)
+	s.streamDur.Write(w, "maybms_query_duration_seconds", `endpoint="stream"`)
+	s.rowsHist.Write(w, "maybms_query_rows_returned", "")
 	st := s.eng.StorageStats()
 	fmt.Fprintf(w, "maybms_storage_engine{engine=%q} 1\n", st.Engine)
 	if st.Engine == "disk" {
@@ -777,5 +881,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "maybms_checkpoint_seconds %g\n", st.LastCheckpointSeconds)
 		fmt.Fprintf(w, "maybms_segments_live %d\n", st.SegmentsLive)
 		fmt.Fprintf(w, "maybms_compactions_total %d\n", st.Compactions)
+		s.eng.FsyncHist().Write(w, "maybms_wal_fsync_duration_seconds", "")
+		s.eng.CheckpointHist().Write(w, "maybms_checkpoint_duration_seconds", "")
 	}
 }

@@ -6,8 +6,18 @@ import (
 	"fmt"
 	"time"
 
+	"maybms/internal/events"
 	sqlpkg "maybms/internal/sql"
 )
+
+// tokenPrefix abbreviates a session token for the event log: enough
+// to correlate events, not enough to replay the session.
+func tokenPrefix(tok string) string {
+	if len(tok) > 8 {
+		return tok[:8]
+	}
+	return tok
+}
 
 // rollbackStmt is the statement rollbackAbandoned feeds the engine.
 var rollbackStmt = sqlpkg.Rollback{}
@@ -53,6 +63,9 @@ func (s *Server) openSession(now time.Time) (*session, error) {
 		}
 	}
 	s.mu.Unlock()
+	if sess != nil {
+		s.eng.Events().Emit(events.Event{Type: events.SessionCreate, ID: tokenPrefix(sess.token)})
+	}
 	for _, tok := range abandoned {
 		s.rollbackAbandoned(tok)
 	}
@@ -126,6 +139,7 @@ func (s *Server) expireLocked(now time.Time) []string {
 				abandoned = append(abandoned, sess.token)
 			}
 			s.sessionsExpired.Add(1)
+			s.eng.Events().Emit(events.Event{Type: events.SessionExpire, ID: tokenPrefix(sess.token)})
 		}
 	}
 	return abandoned

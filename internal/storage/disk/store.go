@@ -32,6 +32,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"maybms/internal/events"
+	"maybms/internal/obs"
 	"maybms/internal/schema"
 	"maybms/internal/storage"
 	"maybms/internal/storage/wal"
@@ -57,7 +59,22 @@ type Options struct {
 	// SyncInterval is the background fsync cadence when Fsync is off.
 	// Default 200ms.
 	SyncInterval time.Duration
+	// Events, when non-nil, receives durability lifecycle events:
+	// checkpoint begin/end (bytes + duration), segment compactions, and
+	// WAL fsyncs slower than the stall threshold.
+	Events *events.Log
+	// FsyncHist, when non-nil, observes the duration in seconds of
+	// every WAL fsync actually issued (group-commit leaders).
+	FsyncHist *obs.Histogram
+	// CheckpointHist, when non-nil, observes checkpoint durations in
+	// seconds.
+	CheckpointHist *obs.Histogram
 }
+
+// fsyncStallThreshold is the WAL fsync duration past which an
+// FsyncStall event is emitted: a healthy fsync is single-digit
+// milliseconds, so a tenth of a second means the disk is choking.
+const fsyncStallThreshold = 100 * time.Millisecond
 
 func (o *Options) withDefaults() Options {
 	out := *o
@@ -203,12 +220,30 @@ func Open(dir string, wsStore *ws.Store, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// observeFsync is the WAL's OnFsync hook: it feeds the fsync latency
+// histogram and surfaces pathological flushes in the event log. Runs
+// under the log's sync mutex, so it stays allocation-light on the
+// happy path.
+func (s *Store) observeFsync(d time.Duration) {
+	if h := s.opts.FsyncHist; h != nil {
+		h.Observe(d.Seconds())
+	}
+	if d >= fsyncStallThreshold {
+		s.opts.Events.Emit(events.Event{
+			Type:   events.FsyncStall,
+			Msg:    "wal fsync exceeded stall threshold",
+			Millis: float64(d) / float64(time.Millisecond),
+		})
+	}
+}
+
 func (s *Store) initFresh() error {
 	s.walName = "wal-1.log"
 	l, err := wal.Create(filepath.Join(s.dir, s.walName), 1, &s.stats.WAL)
 	if err != nil {
 		return err
 	}
+	l.OnFsync = s.observeFsync
 	s.log = l
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -316,6 +351,9 @@ func (s *Store) recover(mpath string) error {
 	}
 	s.walName = m.WAL
 	s.log, err = wal.Open(walPath, next, valid, &s.stats.WAL)
+	if s.log != nil {
+		s.log.OnFsync = s.observeFsync
+	}
 	return err
 }
 
@@ -572,6 +610,8 @@ func (s *Store) Checkpoint() error {
 	if s.closed {
 		return fmt.Errorf("disk: store is closed")
 	}
+	s.opts.Events.Emit(events.Event{Type: events.CheckpointBegin, Bytes: s.log.Size()})
+	var ckptBytes int64
 
 	names := make([]string, 0, len(s.engines))
 	for n := range s.engines {
@@ -610,6 +650,9 @@ func (s *Store) Checkpoint() error {
 		if err != nil {
 			return err
 		}
+		if fi, err := os.Stat(filepath.Join(s.dir, file)); err == nil {
+			ckptBytes += fi.Size()
+		}
 		eng.segs = append(eng.segs, segRef{file: file, rows: n})
 		eng.flushed = len(rows)
 		eng.dirty = map[storage.RowID]struct{}{}
@@ -619,6 +662,9 @@ func (s *Store) Checkpoint() error {
 	if err := writeWSFile(filepath.Join(s.dir, wsFile), s.ws.Domains()); err != nil {
 		return err
 	}
+	if fi, err := os.Stat(filepath.Join(s.dir, wsFile)); err == nil {
+		ckptBytes += fi.Size()
+	}
 	s.wsFile = wsFile
 
 	first := s.log.NextLSN()
@@ -627,6 +673,7 @@ func (s *Store) Checkpoint() error {
 	if err != nil {
 		return err
 	}
+	nl.OnFsync = s.observeFsync
 	oldName := s.walName
 	s.walName = walName
 	if err := s.writeManifestLocked(); err != nil {
@@ -640,7 +687,16 @@ func (s *Store) Checkpoint() error {
 
 	s.gcLocked()
 	s.stats.Checkpoints.Add(1)
-	s.stats.LastCheckpointNanos.Store(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	s.stats.LastCheckpointNanos.Store(elapsed.Nanoseconds())
+	if h := s.opts.CheckpointHist; h != nil {
+		h.Observe(elapsed.Seconds())
+	}
+	s.opts.Events.Emit(events.Event{
+		Type:   events.CheckpointEnd,
+		Bytes:  ckptBytes,
+		Millis: float64(elapsed) / float64(time.Millisecond),
+	})
 	s.updateSegGaugeLocked()
 	s.kickCompactorLocked()
 	return nil
@@ -831,6 +887,15 @@ func (s *Store) compactOne() bool {
 	}
 	s.gcLocked()
 	s.stats.Compactions.Add(1)
+	var outBytes int64
+	if fi, serr := os.Stat(outPath); serr == nil {
+		outBytes = fi.Size()
+	}
+	s.opts.Events.Emit(events.Event{
+		Type:  events.Compaction,
+		Msg:   fmt.Sprintf("table %s: %d segments merged, %d rows", name, len(old), n),
+		Bytes: outBytes,
+	})
 	s.updateSegGaugeLocked()
 	return true
 }

@@ -32,6 +32,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -73,6 +74,13 @@ type Log struct {
 	// group-commit leaders that advance it.
 	durable atomic.Uint64
 	syncMu  sync.Mutex
+
+	// OnFsync, when set, observes the wall-clock duration of every
+	// fsync actually issued (group-commit leaders only — followers that
+	// ride a leader's flush never call it). Set it before the log sees
+	// concurrent use; the hook runs outside mu but under syncMu, so it
+	// must be fast and must not call back into the log.
+	OnFsync func(time.Duration)
 
 	stats *Stats
 	path  string
@@ -189,8 +197,12 @@ func (l *Log) Sync() error {
 	if l.durable.Load() >= target {
 		return nil // a leader synced past us while we queued
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
+	}
+	if l.OnFsync != nil {
+		l.OnFsync(time.Since(start))
 	}
 	if l.stats != nil {
 		l.stats.Fsyncs.Add(1)

@@ -44,9 +44,61 @@ type ImportResponse struct {
 	Count int `json:"count"`
 }
 
+// ErrCodeCanceled marks an error caused by query cancellation (KILL
+// or statement timeout), so clients can distinguish a killed query
+// from an engine failure without parsing the message.
+const ErrCodeCanceled = "canceled"
+
 // ErrorResponse is the body of any non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code classifies the error; empty for ordinary failures,
+	// ErrCodeCanceled when the query was killed or timed out.
+	Code string `json:"code,omitempty"`
+}
+
+// QueryInfo is one live query in a GET /v1/queries response.
+type QueryInfo struct {
+	ID             string  `json:"id"`
+	SQL            string  `json:"sql"`
+	Session        string  `json:"session,omitempty"`
+	Engine         string  `json:"engine"`
+	Start          string  `json:"start"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Parallelism    int     `json:"parallelism"`
+	Canceled       bool    `json:"canceled,omitempty"`
+	// Ops is the live per-operator tree (rows, batches, timings so
+	// far) as rendered by the engine; absent until the statement
+	// finishes planning or when live tracing is off. Kept raw so the
+	// wire format does not pin the engine's snapshot shape.
+	Ops json.RawMessage `json:"ops,omitempty"`
+}
+
+// QueriesResponse is the body of GET /v1/queries.
+type QueriesResponse struct {
+	Queries []QueryInfo `json:"queries"`
+}
+
+// KillResponse is the body of a successful DELETE /v1/queries/{id}.
+type KillResponse struct {
+	Killed bool `json:"killed"`
+}
+
+// EventInfo is one engine event in a GET /v1/events response; fields
+// mirror the engine's event-log entries.
+type EventInfo struct {
+	Seq    int64   `json:"seq"`
+	Time   string  `json:"time"`
+	Type   string  `json:"type"`
+	ID     string  `json:"id,omitempty"`
+	Msg    string  `json:"msg,omitempty"`
+	Bytes  int64   `json:"bytes,omitempty"`
+	Millis float64 `json:"ms,omitempty"`
+}
+
+// EventsResponse is the body of GET /v1/events.
+type EventsResponse struct {
+	Events []EventInfo `json:"events"`
 }
 
 // StreamFrame is one NDJSON line of a POST /v1/query/stream response.
@@ -61,6 +113,9 @@ type StreamFrame struct {
 	// Error reports a failure after streaming began (the HTTP status
 	// is already committed at that point).
 	Error string `json:"error,omitempty"`
+	// ErrCode classifies Error; ErrCodeCanceled when the stream was
+	// killed or timed out mid-flight.
+	ErrCode string `json:"err_code,omitempty"`
 }
 
 // StreamHeader is the first frame of a streaming query response.
