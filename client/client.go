@@ -9,13 +9,17 @@
 //	rows, err := db.Query(`select face, conf() p from coins group by face`)
 //
 // Open creates a server session, so transactions (BEGIN/COMMIT/
-// ROLLBACK through Exec) are scoped to this client. A DB is safe for
-// concurrent use; statements from concurrent goroutines are
-// parallelised by the server when they are read-only. Each read-only
-// statement or stream observes a consistent point-in-time snapshot of
-// the database and never blocks a writer, but snapshots are taken of
-// current storage including uncommitted state, so reads remain READ
-// UNCOMMITTED with respect to other sessions' open transactions.
+// ROLLBACK through Exec) are scoped to this client. Transactions run
+// under optimistic snapshot isolation: each sees the database as of
+// its BEGIN plus its own writes, any number of clients can hold one
+// concurrently, and a COMMIT that lost first-committer-wins
+// validation against a concurrent commit fails with an Error for
+// which IsConflict reports true — retry the whole transaction from
+// BEGIN (RunTxn does this automatically). A DB is safe for concurrent
+// use; statements from concurrent goroutines are parallelised by the
+// server when they are read-only, and each read-only statement or
+// stream observes a consistent point-in-time snapshot of committed
+// state without ever blocking a writer.
 package client
 
 import (
@@ -155,6 +159,40 @@ func (e *Error) Error() string { return e.Msg }
 func IsCanceled(err error) bool {
 	var se *Error
 	return errors.As(err, &se) && se.Code == wire.ErrCodeCanceled
+}
+
+// IsConflict reports whether err is a serialization failure: the
+// transaction's COMMIT lost first-committer-wins validation against a
+// concurrent commit. The transaction is already rolled back; retry it
+// from BEGIN.
+func IsConflict(err error) bool {
+	var se *Error
+	return errors.As(err, &se) && se.Code == wire.ErrCodeConflict
+}
+
+// RunTxn runs fn inside a transaction, retrying the whole transaction
+// (up to a few attempts) when COMMIT hits a snapshot-isolation
+// conflict. fn receives the same DB and issues ordinary statements;
+// it must be safe to re-run from scratch, and must not COMMIT or
+// ROLLBACK itself. Any error from fn rolls the transaction back and
+// is returned as-is; a conflict that survives every retry is returned
+// as the final attempt's conflict error.
+func (d *DB) RunTxn(fn func(d *DB) error) error {
+	const attempts = 5
+	var err error
+	for i := 0; i < attempts; i++ {
+		if _, err = d.Exec("begin"); err != nil {
+			return err
+		}
+		if err = fn(d); err != nil {
+			d.Exec("rollback") // best effort; the server rolls back on close/expiry anyway
+			return err
+		}
+		if _, err = d.Exec("commit"); err == nil || !IsConflict(err) {
+			return err
+		}
+	}
+	return err
 }
 
 // call performs one HTTP round trip with JSON bodies.
@@ -436,6 +474,9 @@ type LiveQuery struct {
 	// Canceled reports a kill or timeout already delivered but not yet
 	// observed by the statement.
 	Canceled bool
+	// Txn is the id of the transaction the statement runs inside; zero
+	// for autocommit statements.
+	Txn int64
 	// Ops is the live per-operator tree (row counts, batches, timings
 	// so far) as raw JSON; nil until the statement finishes planning or
 	// when live tracing is off on the server.
@@ -461,6 +502,7 @@ func (d *DB) Queries() ([]LiveQuery, error) {
 			ElapsedSeconds: q.ElapsedSeconds,
 			Parallelism:    q.Parallelism,
 			Canceled:       q.Canceled,
+			Txn:            q.Txn,
 			Ops:            q.Ops,
 		}
 	}

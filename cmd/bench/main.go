@@ -21,7 +21,10 @@
 // curve) and writes BENCH_plan.json. -e storage compares the disk
 // engine (WAL + segments) with the memory engine (gob snapshots):
 // cold-start, scan throughput, and fsync-on/off insert latency,
-// writing BENCH_storage.json.
+// writing BENCH_storage.json. -e txn benchmarks optimistic
+// snapshot-isolation transactions against a global-writer-lock
+// baseline and charts the conflict-rate ladder, writing
+// BENCH_txn.json.
 package main
 
 import (
@@ -33,7 +36,7 @@ import (
 )
 
 func main() {
-	which := flag.String("e", "all", "experiment to run: all, e1..e8, par, paragg, trace, live, plan, storage")
+	which := flag.String("e", "all", "experiment to run: all, e1..e8, par, paragg, trace, live, plan, storage, txn")
 	traceRun := flag.Bool("trace", false, "shorthand for -e trace: emit per-operator execution stats")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
 	seed := flag.Int64("seed", 2009, "random seed")
@@ -66,6 +69,8 @@ func main() {
 		experiments.EPlan(w, opts, *jsonPath)
 	case "storage":
 		experiments.EStorage(w, opts, *jsonPath)
+	case "txn":
+		experiments.ETxn(w, opts, *jsonPath)
 	case "all":
 		experiments.All(w, opts)
 	case "e1":

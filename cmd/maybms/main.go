@@ -336,7 +336,11 @@ func metaCommand(db *maybms.DB, cmd, dbPath string) (quit bool) {
 			if q.Canceled {
 				state = " (canceled)"
 			}
-			fmt.Printf("%s  %6.2fs  par=%d%s  %s\n", q.ID, q.ElapsedSeconds, q.Parallelism, state, q.SQL)
+			txn := ""
+			if q.Txn != 0 {
+				txn = fmt.Sprintf(" txn=%d", q.Txn)
+			}
+			fmt.Printf("%s  %6.2fs  par=%d%s%s  %s\n", q.ID, q.ElapsedSeconds, q.Parallelism, txn, state, q.SQL)
 		}
 	case "\\kill":
 		if len(fields) != 2 {

@@ -128,6 +128,11 @@ type QueryMeta struct {
 	SQL string
 	// Session is the owning session token (network server).
 	Session string
+	// Txn, when non-nil, executes the statement inside that open
+	// transaction (the network server's per-session transactions).
+	// When nil, the statement uses the embedded default-transaction
+	// slot if BEGIN opened one, else runs standalone.
+	Txn *Txn
 }
 
 // stmtText renders a registry placeholder for statements whose source
@@ -144,7 +149,7 @@ func stmtText(s sql.Statement) string {
 // bring one. Returns the registry entry (nil only if the registry is)
 // and the trace to attach (which may still be nil with live tracing
 // off). Called before any statement lock is taken.
-func (d *Database) registerStatement(s sql.Statement, tr *trace.Trace, meta QueryMeta) (*LiveQuery, *trace.Trace) {
+func (d *Database) registerStatement(s sql.Statement, tr *trace.Trace, meta QueryMeta, txnID int64) (*LiveQuery, *trace.Trace) {
 	id := meta.ID
 	if tr != nil && tr.ID != "" {
 		id = tr.ID
@@ -162,7 +167,7 @@ func (d *Database) registerStatement(s sql.Statement, tr *trace.Trace, meta Quer
 		text = stmtText(s)
 	}
 	flag := &live.Flag{}
-	q := d.reg.register(id, text, meta.Session, d.EngineName(), d.Parallelism(), tr, flag)
+	q := d.reg.register(id, text, meta.Session, d.EngineName(), d.Parallelism(), txnID, tr, flag)
 	return q, tr
 }
 
@@ -179,11 +184,36 @@ func (d *Database) RunStatementTraced(s sql.Statement, tr *trace.Trace) (*Result
 // RunStatementMeta is the statement entry point: it registers the
 // statement in the live-query registry (making it visible to
 // SHOW/KILL, arming the statement timeout, attaching the always-on
-// trace and the cooperative cancellation flag) and then executes it —
-// read-only statements against a point-in-time snapshot with no lock
-// held, everything else behind the exclusive lock.
+// trace and the cooperative cancellation flag) and then executes it.
+// Read-only statements outside a transaction run against a
+// point-in-time snapshot with no lock held; statements inside a
+// transaction (QueryMeta.Txn, or the embedded BEGIN slot) run against
+// the transaction's private view under its own mutex; every other
+// write-classified statement runs as an implicit single-statement
+// transaction committed under the exclusive lock, making each
+// statement all-or-nothing.
 func (d *Database) RunStatementMeta(s sql.Statement, tr *trace.Trace, meta QueryMeta) (*Result, plan.Node, error) {
-	lq, tr := d.registerStatement(s, tr, meta)
+	// Transaction control first: BEGIN/COMMIT/ROLLBACK manage the
+	// embedded default-transaction slot rather than execute inside one.
+	// (The network server intercepts these per session and never sends
+	// them here.)
+	switch s.(type) {
+	case *sql.Begin, *sql.Commit, *sql.Rollback:
+		res, err := d.txnControl(s)
+		return res, nil, err
+	}
+	txn := meta.Txn
+	if txn == nil {
+		txn = d.peekDefaultTxn()
+	}
+	if txn != nil {
+		lq, tr := d.registerStatement(s, tr, meta, txn.ID())
+		defer d.reg.finish(lq)
+		txn.mu.Lock()
+		defer txn.mu.Unlock()
+		return txn.runStatement(s, tr, lq)
+	}
+	lq, tr := d.registerStatement(s, tr, meta, 0)
 	defer d.reg.finish(lq)
 	if sql.ReadOnly(s) {
 		snap := d.SnapshotFor(s)
@@ -226,48 +256,23 @@ func (d *Database) RunStatementMeta(s sql.Statement, tr *trace.Trace, meta Query
 			return nil, nil, fmt.Errorf("db: internal: %T misclassified as read-only", s)
 		}
 	}
+	// Autocommit write: an implicit transaction built, run, and
+	// committed under one continuous exclusive-lock hold. Validation is
+	// skipped (nothing can interleave) and a failed statement's partial
+	// effects die with the overlay.
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.exec.Tracer = tr
-	d.exec.Cancel = lq.Flag()
-	defer func() { d.exec.Tracer, d.exec.Cancel = nil, nil }()
-	res, n, err := d.runLockedTraced(s, tr, lq)
-	// Write-classified statements (including write queries, which
-	// allocate world-set variables) must end their WAL batch even when
-	// they fail partway: see commitDurable.
-	if cerr := d.commitDurable(); cerr != nil && err == nil {
-		err = cerr
-	}
+	t := d.beginLocked(true)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	res, n, err := t.runStatement(s, tr, lq)
 	if err != nil {
+		t.done = true
+		t.release()
 		return nil, n, err
 	}
-	return res, n, nil
-}
-
-func (d *Database) runLockedTraced(s sql.Statement, tr *trace.Trace, lq *LiveQuery) (*Result, plan.Node, error) {
-	// Everything routed here is write-classified: invalidate cached
-	// plans before any of it can observe state this statement changes.
-	// (runLocked bumps again for the statements it handles; a double
-	// bump over-invalidates harmlessly.)
-	d.bumpPlanGen()
-	switch s := s.(type) {
-	case *sql.QueryStmt:
-		rel, n, err := d.queryPlanned(s.Query, lq)
-		if err != nil {
-			return nil, n, err
-		}
-		return &Result{Rel: rel}, n, nil
-	case *sql.ExplainStmt:
-		if s.Analyze {
-			if tr == nil {
-				tr = trace.New()
-			}
-			return explainAnalyze(s, d, d.exec, tr, lq)
-		}
-		res, err := explain(s, d)
-		return res, nil, err
-	default:
-		res, err := d.runLocked(s)
-		return res, nil, err
+	if cerr := t.commitLocked(); cerr != nil {
+		return nil, n, cerr
 	}
+	return res, n, nil
 }

@@ -83,14 +83,18 @@ func (d *Database) OpenQueryStmtTraced(qs *sql.QueryStmt, tr *trace.Trace) (*Cur
 // and a kill mid-stream surfaces as a typed live.Error from Next
 // within one batch boundary.
 func (d *Database) OpenQueryStmtMeta(qs *sql.QueryStmt, tr *trace.Trace, meta QueryMeta) (*Cursor, plan.Node, error) {
-	if !sql.ReadOnly(qs) {
+	if !sql.ReadOnly(qs) || meta.Txn != nil || d.peekDefaultTxn() != nil {
+		// Write queries materialise under the exclusive lock; queries
+		// inside a transaction materialise against the transaction's
+		// private view (its snapshot plus its own buffered writes), so
+		// the stream cannot outlive the transaction's overlay.
 		res, n, err := d.RunStatementMeta(qs, tr, meta)
 		if err != nil {
 			return nil, n, err
 		}
 		return NewRelCursor(res.Rel), n, nil
 	}
-	lq, tr := d.registerStatement(qs, tr, meta)
+	lq, tr := d.registerStatement(qs, tr, meta, 0)
 	snap := d.SnapshotFor(qs)
 	snap.exec.Tracer = tr
 	snap.exec.Cancel = lq.Flag()

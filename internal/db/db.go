@@ -1,7 +1,8 @@
 // Package db ties the engine together: a catalog of stored tables over
 // a shared world-set store, statement execution (DDL, DML, queries,
-// transactions with undo-based rollback), and snapshot persistence.
-// It is the layer the public maybms package and the shell wrap.
+// optimistic snapshot-isolation transactions), and snapshot
+// persistence. It is the layer the public maybms package and the shell
+// wrap.
 package db
 
 import (
@@ -18,14 +19,12 @@ import (
 	"maybms/internal/events"
 	"maybms/internal/exec"
 	"maybms/internal/exec/parallel"
-	"maybms/internal/exec/trace"
 	"maybms/internal/obs"
 	"maybms/internal/plan"
 	"maybms/internal/schema"
 	"maybms/internal/sql"
 	"maybms/internal/storage"
 	"maybms/internal/storage/disk"
-	"maybms/internal/types"
 	"maybms/internal/urel"
 	"maybms/internal/ws"
 )
@@ -63,9 +62,24 @@ type Database struct {
 	plans   *planCache
 	planGen atomic.Int64
 
-	inTxn  bool
-	undo   []func() error
-	wsSnap int
+	// Transaction state. txnSeq numbers commits (written under the
+	// exclusive lock, read at Begin under either mode); txnLog keeps
+	// the published write claims of recent commits for
+	// first-committer-wins validation, pruned to the oldest active
+	// transaction's horizon (both touched only under d.mu exclusive).
+	// txnMu guards the registry of open explicit transactions, the id
+	// counter, and the embedded BEGIN default slot; lock order is
+	// always d.mu → txnMu.
+	txnSeq     int64
+	txnLog     []commitRec
+	txnMu      sync.Mutex
+	activeTxns map[int64]*Txn
+	nextTxnID  int64
+	defaultTxn *Txn
+
+	txnCommits   atomic.Int64
+	txnConflicts atomic.Int64
+	txnRollbacks atomic.Int64
 
 	// durable is the WAL-backed store when the database was opened on
 	// a data directory (Open with DataDir); nil for the memory engine.
@@ -109,12 +123,13 @@ type Result struct {
 // fragments on at most pool-size goroutines.
 func New() *Database {
 	d := &Database{
-		tables:    map[string]*storage.Table{},
-		store:     ws.NewStore(),
-		plans:     newPlanCache(),
-		events:    events.NewLog(events.DefaultSize),
-		fsyncHist: obs.NewHistogram(obs.DurationBuckets),
-		ckptHist:  obs.NewHistogram(obs.DurationBuckets),
+		tables:     map[string]*storage.Table{},
+		store:      ws.NewStore(),
+		plans:      newPlanCache(),
+		events:     events.NewLog(events.DefaultSize),
+		fsyncHist:  obs.NewHistogram(obs.DurationBuckets),
+		ckptHist:   obs.NewHistogram(obs.DurationBuckets),
+		activeTxns: map[int64]*Txn{},
 	}
 	d.reg = newRegistry(d.events)
 	d.liveTrace.Store(true)
@@ -358,81 +373,6 @@ func (d *Database) RunStatement(s sql.Statement) (*Result, error) {
 	return res, err
 }
 
-func (d *Database) runLocked(s sql.Statement) (*Result, error) {
-	// Every statement routed here was classified a write (DDL, DML,
-	// transaction control, or a query containing repair-key /
-	// pick-tuples): invalidate cached plans up front, before anything
-	// can observe state this statement is about to change. Transaction
-	// control over-invalidates harmlessly.
-	d.bumpPlanGen()
-	switch s := s.(type) {
-	case *sql.Begin:
-		if d.inTxn {
-			return nil, fmt.Errorf("db: already in a transaction")
-		}
-		d.inTxn = true
-		d.undo = nil
-		d.wsSnap = d.store.Snapshot()
-		return &Result{Msg: "BEGIN"}, nil
-
-	case *sql.Commit:
-		if !d.inTxn {
-			return nil, fmt.Errorf("db: no transaction in progress")
-		}
-		d.inTxn = false
-		d.undo = nil
-		return &Result{Msg: "COMMIT"}, nil
-
-	case *sql.Rollback:
-		if !d.inTxn {
-			return nil, fmt.Errorf("db: no transaction in progress")
-		}
-		for i := len(d.undo) - 1; i >= 0; i-- {
-			if err := d.undo[i](); err != nil {
-				return nil, fmt.Errorf("db: rollback failed: %v", err)
-			}
-		}
-		d.store.Rollback(d.wsSnap)
-		d.inTxn = false
-		d.undo = nil
-		return &Result{Msg: "ROLLBACK"}, nil
-
-	case *sql.CreateTable:
-		return d.createTable(s)
-
-	case *sql.DropTable:
-		return d.dropTable(s)
-
-	case *sql.Insert:
-		return d.insert(s)
-
-	case *sql.Update:
-		return d.update(s)
-
-	case *sql.Delete:
-		return d.del(s)
-
-	case *sql.QueryStmt:
-		rel, err := d.query(s.Query)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Rel: rel}, nil
-
-	case *sql.ExplainStmt:
-		if s.Analyze {
-			// A write query under ANALYZE (repair-key / pick-tuples)
-			// really mutates the store, same as running it bare.
-			res, _, err := explainAnalyze(s, d, d.exec, trace.New(), nil)
-			return res, err
-		}
-		return explain(s, d)
-
-	default:
-		return nil, fmt.Errorf("db: unsupported statement %T", s)
-	}
-}
-
 // explain plans the query through the optimizer and plan cache
 // (against the live database under the exclusive lock, or a snapshot
 // on the read path) and renders the optimized outline plus the cache
@@ -530,305 +470,3 @@ func (d *Database) QueryRel(src string, materialised bool) (*urel.Rel, error) {
 	return rel, nil
 }
 
-// logUndo records an inverse operation while in a transaction.
-func (d *Database) logUndo(fn func() error) {
-	if d.inTxn {
-		d.undo = append(d.undo, fn)
-	}
-}
-
-func (d *Database) createTable(s *sql.CreateTable) (*Result, error) {
-	name := strings.ToLower(s.Name)
-	if _, exists := d.tables[name]; exists {
-		return nil, fmt.Errorf("db: table %q already exists", s.Name)
-	}
-	var t *storage.Table
-	var inserted int
-	if s.AsQuery != nil {
-		rel, err := d.query(s.AsQuery)
-		if err != nil {
-			return nil, err
-		}
-		// Derive a storable schema: strip qualifiers; unknown (all
-		// NULL) columns default to TEXT.
-		cols := make([]schema.Column, rel.Sch.Len())
-		seen := map[string]bool{}
-		for i, c := range rel.Sch.Cols {
-			kind := c.Kind
-			if kind == types.KindNull {
-				kind = types.KindText
-			}
-			cname := strings.ToLower(c.Name)
-			if cname == "" || seen[cname] {
-				cname = fmt.Sprintf("column%d", i+1)
-			}
-			seen[cname] = true
-			cols[i] = schema.Column{Name: cname, Kind: kind}
-		}
-		t, err = d.newTable(name, schema.New(cols...))
-		if err != nil {
-			return nil, err
-		}
-		for _, tup := range rel.Tuples {
-			if _, err := t.Insert(tup.Clone()); err != nil {
-				// Net out the durable create+inserts logged so far: the
-				// statement failed and the table never becomes visible.
-				if d.durable != nil {
-					d.durable.DropTable(name)
-				}
-				return nil, err
-			}
-			inserted++
-		}
-	} else {
-		cols := make([]schema.Column, len(s.Cols))
-		seen := map[string]bool{}
-		for i, c := range s.Cols {
-			cname := strings.ToLower(c.Name)
-			if seen[cname] {
-				return nil, fmt.Errorf("db: duplicate column %q", c.Name)
-			}
-			seen[cname] = true
-			cols[i] = schema.Column{Name: cname, Kind: c.Kind}
-		}
-		tt, err := d.newTable(name, schema.New(cols...))
-		if err != nil {
-			return nil, err
-		}
-		t = tt
-	}
-	d.tables[name] = t
-	d.logUndo(func() error {
-		delete(d.tables, name)
-		if d.durable != nil {
-			return d.durable.DropTable(name)
-		}
-		return nil
-	})
-	return &Result{Msg: fmt.Sprintf("CREATE TABLE %s", name), RowsAffected: inserted}, nil
-}
-
-func (d *Database) dropTable(s *sql.DropTable) (*Result, error) {
-	name := strings.ToLower(s.Name)
-	t, ok := d.tables[name]
-	if !ok {
-		if s.IfExists {
-			return &Result{Msg: "DROP TABLE (no-op)"}, nil
-		}
-		return nil, fmt.Errorf("db: table %q does not exist", s.Name)
-	}
-	delete(d.tables, name)
-	if d.durable != nil {
-		if err := d.durable.DropTable(name); err != nil {
-			d.tables[name] = t
-			return nil, err
-		}
-	}
-	d.logUndo(func() error {
-		d.tables[name] = t
-		if d.durable != nil {
-			// Re-register the dropped engine and re-log its contents:
-			// the durable store treats a rolled-back drop as a fresh
-			// create, since the old segment files may already be gone.
-			return d.durable.RestoreTable(name, t.Engine())
-		}
-		return nil
-	})
-	return &Result{Msg: fmt.Sprintf("DROP TABLE %s", name)}, nil
-}
-
-func (d *Database) insert(s *sql.Insert) (*Result, error) {
-	name := strings.ToLower(s.Table)
-	t, ok := d.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("db: table %q does not exist", s.Table)
-	}
-	sch := t.Schema()
-	// Column list mapping.
-	colIdx := make([]int, 0, sch.Len())
-	if len(s.Cols) > 0 {
-		for _, c := range s.Cols {
-			idx, err := sch.Resolve("", c)
-			if err != nil {
-				return nil, err
-			}
-			colIdx = append(colIdx, idx)
-		}
-	} else {
-		for i := 0; i < sch.Len(); i++ {
-			colIdx = append(colIdx, i)
-		}
-	}
-	var tuples []urel.Tuple
-	if s.Query != nil {
-		rel, err := d.query(s.Query)
-		if err != nil {
-			return nil, err
-		}
-		if rel.Sch.Len() != len(colIdx) {
-			return nil, fmt.Errorf("db: INSERT expects %d columns, query returned %d", len(colIdx), rel.Sch.Len())
-		}
-		for _, tup := range rel.Tuples {
-			full := make(schema.Tuple, sch.Len())
-			for i := range full {
-				full[i] = types.Null()
-			}
-			for i, idx := range colIdx {
-				full[idx] = tup.Data[i]
-			}
-			tuples = append(tuples, urel.Tuple{Data: full, Cond: tup.Cond.Clone()})
-		}
-	} else {
-		empty := schema.New()
-		for _, row := range s.Rows {
-			if len(row) != len(colIdx) {
-				return nil, fmt.Errorf("db: INSERT row has %d values, expected %d", len(row), len(colIdx))
-			}
-			full := make(schema.Tuple, sch.Len())
-			for i := range full {
-				full[i] = types.Null()
-			}
-			for i, expr := range row {
-				c, err := plan.Compile(expr, empty)
-				if err != nil {
-					return nil, fmt.Errorf("db: INSERT values must be constant expressions: %v", err)
-				}
-				v, err := c.Eval(&plan.EvalCtx{Store: d.store}, nil)
-				if err != nil {
-					return nil, err
-				}
-				full[colIdx[i]] = v
-			}
-			tuples = append(tuples, urel.Tuple{Data: full})
-		}
-	}
-	count := 0
-	for _, tup := range tuples {
-		id, err := t.Insert(tup)
-		if err != nil {
-			return nil, err
-		}
-		count++
-		d.logUndo(func() error {
-			_, err := t.Delete(id)
-			return err
-		})
-	}
-	return &Result{RowsAffected: count, Msg: fmt.Sprintf("INSERT %d", count)}, nil
-}
-
-func (d *Database) update(s *sql.Update) (*Result, error) {
-	name := strings.ToLower(s.Table)
-	t, ok := d.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("db: table %q does not exist", s.Table)
-	}
-	sch := t.Schema()
-	type setc struct {
-		idx int
-		c   *plan.Compiled
-	}
-	sets := make([]setc, len(s.Sets))
-	for i, sc := range s.Sets {
-		idx, err := sch.Resolve("", sc.Col)
-		if err != nil {
-			return nil, err
-		}
-		c, err := plan.Compile(sc.Expr, sch)
-		if err != nil {
-			return nil, err
-		}
-		sets[i] = setc{idx: idx, c: c}
-	}
-	var where *plan.Compiled
-	if s.Where != nil {
-		c, err := plan.Compile(s.Where, sch)
-		if err != nil {
-			return nil, err
-		}
-		where = c
-	}
-	ctx := &plan.EvalCtx{Store: d.store}
-	// Collect target rows first so updates do not re-match.
-	var targets []storage.RowID
-	t.Scan(func(id storage.RowID, tup urel.Tuple) error {
-		if where != nil {
-			v, err := where.Eval(ctx, tup.Data)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() || !v.Truth() {
-				return nil
-			}
-		}
-		targets = append(targets, id)
-		return nil
-	})
-	count := 0
-	for _, id := range targets {
-		old, _ := t.Get(id)
-		data := old.Data.Clone()
-		for _, sc := range sets {
-			v, err := sc.c.Eval(ctx, old.Data)
-			if err != nil {
-				return nil, err
-			}
-			data[sc.idx] = v
-		}
-		prev, err := t.Update(id, urel.Tuple{Data: data, Cond: old.Cond})
-		if err != nil {
-			return nil, err
-		}
-		count++
-		id := id
-		d.logUndo(func() error {
-			_, err := t.Update(id, prev)
-			return err
-		})
-	}
-	return &Result{RowsAffected: count, Msg: fmt.Sprintf("UPDATE %d", count)}, nil
-}
-
-func (d *Database) del(s *sql.Delete) (*Result, error) {
-	name := strings.ToLower(s.Table)
-	t, ok := d.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("db: table %q does not exist", s.Table)
-	}
-	sch := t.Schema()
-	var where *plan.Compiled
-	if s.Where != nil {
-		c, err := plan.Compile(s.Where, sch)
-		if err != nil {
-			return nil, err
-		}
-		where = c
-	}
-	ctx := &plan.EvalCtx{Store: d.store}
-	var targets []storage.RowID
-	t.Scan(func(id storage.RowID, tup urel.Tuple) error {
-		if where != nil {
-			v, err := where.Eval(ctx, tup.Data)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() || !v.Truth() {
-				return nil
-			}
-		}
-		targets = append(targets, id)
-		return nil
-	})
-	count := 0
-	for _, id := range targets {
-		if _, err := t.Delete(id); err != nil {
-			return nil, err
-		}
-		count++
-		id := id
-		d.logUndo(func() error {
-			return t.Undelete(id)
-		})
-	}
-	return &Result{RowsAffected: count, Msg: fmt.Sprintf("DELETE %d", count)}, nil
-}

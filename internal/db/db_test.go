@@ -114,12 +114,34 @@ func TestTransactionRollsBackVariables(t *testing.T) {
 	before := d.Store().NumVars()
 	mustRun(t, d, "begin")
 	mustRun(t, d, "create table u as repair key in r weight by w")
-	if d.Store().NumVars() == before {
-		t.Fatal("repair key should have created variables")
+	// Variables a transaction's repair-key allocates live in its
+	// private world-set overlay: invisible in the shared store until
+	// commit publishes them...
+	if got := d.Store().NumVars(); got != before {
+		t.Fatalf("in-txn repair key leaked into the live store: %d vs %d", got, before)
+	}
+	// ...but visible to the transaction's own reads.
+	res := mustRun(t, d, "select conf() from u")
+	if got := res.Rel.Tuples[0].Data[0].Float(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("in-txn conf over repaired table: %v", got)
 	}
 	mustRun(t, d, "rollback")
 	if got := d.Store().NumVars(); got != before {
-		t.Errorf("world-set vars not rolled back: %d vs %d", got, before)
+		t.Errorf("rolled-back txn leaked world-set vars: %d vs %d", got, before)
+	}
+	mustFail(t, d, "select * from u")
+
+	// Commit publishes the overlay's variables to the shared store.
+	mustRun(t, d, "begin")
+	mustRun(t, d, "create table v as repair key in r weight by w")
+	mustRun(t, d, "commit")
+	if got := d.Store().NumVars(); got != before+1 {
+		t.Errorf("committed repair key published %d vars, want 1", got-before)
+	}
+	res = mustRun(t, d, "select a, tconf() from v order by a")
+	rows := rowsOf(res.Rel)
+	if len(rows) != 2 || math.Abs(rows[0][1].Float()-0.5) > 1e-9 {
+		t.Errorf("post-commit marginals: %v", rows)
 	}
 }
 

@@ -1,8 +1,6 @@
 package db
 
 import (
-	"fmt"
-
 	"maybms/internal/schema"
 	"maybms/internal/storage"
 	"maybms/internal/storage/disk"
@@ -67,14 +65,15 @@ func (d *Database) newTable(name string, sch *schema.Schema) (*storage.Table, er
 }
 
 // commitDurable ends the current statement's WAL batch. Called with
-// the exclusive lock held, after any write-classified statement —
-// including failed ones: partial effects already applied to the heap
-// mirrors were logged, so the commit record is what keeps the durable
-// state converged with memory. Inside an explicit transaction it is a
-// no-op; the batch stays open until COMMIT/ROLLBACK ends it, which is
-// what makes a transaction all-or-nothing across a crash.
+// the exclusive lock held, after a write that logged records outside
+// the transaction machinery (QueryRel's direct write path) — including
+// failed ones: partial effects already applied to the heap mirrors
+// were logged, so the commit record is what keeps the durable state
+// converged with memory. Transactions never need this: their buffered
+// writes touch the WAL only during commit replay, which ends its own
+// batch.
 func (d *Database) commitDurable() error {
-	if d.durable == nil || d.inTxn {
+	if d.durable == nil {
 		return nil
 	}
 	return d.durable.Commit()
@@ -89,21 +88,22 @@ func (d *Database) EngineName() string {
 }
 
 // Checkpoint forces a durable checkpoint: delta segments, world-set
-// rewrite, WAL rotation. No-op on the memory engine.
+// rewrite, WAL rotation. No-op on the memory engine. Safe at any time,
+// even with transactions open: buffered transaction writes never touch
+// the WAL until their commit replay, which runs entirely under the
+// exclusive lock this takes.
 func (d *Database) Checkpoint() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.durable == nil {
 		return nil
 	}
-	if d.inTxn {
-		return fmt.Errorf("db: cannot checkpoint during a transaction")
-	}
 	return d.durable.Checkpoint()
 }
 
 // Close checkpoints (when durable) and releases the storage engine.
-// The memory engine has nothing to release.
+// The memory engine has nothing to release. Open transactions simply
+// evaporate — exactly what in-flight transactions do across a crash.
 func (d *Database) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -112,11 +112,9 @@ func (d *Database) Close() error {
 	}
 	st := d.durable
 	d.durable = nil
-	if !d.inTxn {
-		if err := st.Checkpoint(); err != nil {
-			st.Close()
-			return err
-		}
+	if err := st.Checkpoint(); err != nil {
+		st.Close()
+		return err
 	}
 	return st.Close()
 }

@@ -91,8 +91,8 @@ func loadValue(d valDump) types.Value {
 func (d *Database) Save(w io.Writer) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.inTxn {
-		return fmt.Errorf("db: cannot snapshot during a transaction")
+	if d.hasActiveTxns() {
+		return fmt.Errorf("db: cannot snapshot while transactions are active")
 	}
 	dump := dbDump{Version: 1, Domains: d.store.Domains()}
 	for _, name := range d.tableNamesLocked() {
@@ -135,8 +135,8 @@ func (d *Database) tableNamesLocked() []string {
 func (d *Database) Load(r io.Reader) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.inTxn {
-		return fmt.Errorf("db: cannot load during a transaction")
+	if d.hasActiveTxns() {
+		return fmt.Errorf("db: cannot load while transactions are active")
 	}
 	if d.durable != nil {
 		return fmt.Errorf("db: cannot load a snapshot into a durable database; open a fresh data directory instead")
@@ -183,7 +183,9 @@ func (d *Database) Load(r io.Reader) error {
 	d.store.Restore(dump.Domains)
 	d.tables = tables
 	// Loaded state replaces every table and the world-set store:
-	// nothing planned before is trustworthy.
+	// nothing planned before is trustworthy, and the commit log
+	// describes state that no longer exists.
+	d.txnLog = nil
 	d.bumpPlanGen()
 	return nil
 }

@@ -43,6 +43,9 @@ type LiveQuery struct {
 	Start time.Time
 	// Parallelism is the executor's degree at registration.
 	Parallelism int
+	// Txn is the id of the transaction the statement executes inside;
+	// zero for autocommit statements.
+	Txn int64
 
 	flag *live.Flag
 	tr   *trace.Trace
@@ -87,6 +90,7 @@ type QuerySnap struct {
 	Start          time.Time     `json:"start"`
 	ElapsedSeconds float64       `json:"elapsed_seconds"`
 	Parallelism    int           `json:"parallelism"`
+	Txn            int64         `json:"txn,omitempty"`
 	Canceled       bool          `json:"canceled,omitempty"`
 	// Ops is the live per-operator tree (rows, batches, timings so
 	// far); nil until the statement finishes planning, or when live
@@ -142,7 +146,7 @@ func (r *Registry) Timeout() time.Duration {
 // register enters a statement into the registry and arms its timeout.
 // The returned LiveQuery must be finished exactly once (finish is
 // idempotent, so deferring it on every path is fine).
-func (r *Registry) register(id, sqlText, session, engine string, parallelism int, tr *trace.Trace, flag *live.Flag) *LiveQuery {
+func (r *Registry) register(id, sqlText, session, engine string, parallelism int, txn int64, tr *trace.Trace, flag *live.Flag) *LiveQuery {
 	if r == nil {
 		return nil
 	}
@@ -153,6 +157,7 @@ func (r *Registry) register(id, sqlText, session, engine string, parallelism int
 		Engine:      engine,
 		Start:       time.Now(),
 		Parallelism: parallelism,
+		Txn:         txn,
 		flag:        flag,
 		tr:          tr,
 	}
@@ -251,6 +256,7 @@ func (r *Registry) List() []QuerySnap {
 			Start:          q.Start,
 			ElapsedSeconds: now.Sub(q.Start).Seconds(),
 			Parallelism:    q.Parallelism,
+			Txn:            q.Txn,
 			Canceled:       q.flag.Canceled(),
 		}
 		if q.tr != nil {

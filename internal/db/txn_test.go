@@ -1,0 +1,305 @@
+package db
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"maybms/internal/sql"
+)
+
+// Table-driven conflict semantics: two transactions started from the
+// same snapshot, A commits first, then B — first-committer-wins
+// decides whether B's commit conflicts.
+func TestTxnConflictSemantics(t *testing.T) {
+	cases := []struct {
+		name     string
+		setup    string
+		a, b     []string
+		conflict bool
+	}{
+		{
+			name:     "overlapping row updates conflict",
+			setup:    `create table t (k int, v int); insert into t values (1, 0), (2, 0)`,
+			a:        []string{`update t set v = 1 where k = 1`},
+			b:        []string{`update t set v = 2 where k = 1`},
+			conflict: true,
+		},
+		{
+			name:     "disjoint row updates commute",
+			setup:    `create table t (k int, v int); insert into t values (1, 0), (2, 0)`,
+			a:        []string{`update t set v = 1 where k = 1`},
+			b:        []string{`update t set v = 2 where k = 2`},
+			conflict: false,
+		},
+		{
+			name:     "update vs delete of the same row conflict",
+			setup:    `create table t (k int, v int); insert into t values (1, 0)`,
+			a:        []string{`delete from t where k = 1`},
+			b:        []string{`update t set v = 2 where k = 1`},
+			conflict: true,
+		},
+		{
+			name:     "inserts into the same table commute",
+			setup:    `create table t (k int, v int)`,
+			a:        []string{`insert into t values (1, 1)`},
+			b:        []string{`insert into t values (2, 2)`},
+			conflict: false,
+		},
+		{
+			name:  "repair-key loses to a concurrent insert into its source",
+			setup: `create table w (k text, wt float); insert into w values ('a', 1), ('b', 3)`,
+			a:     []string{`insert into w values ('c', 2)`},
+			// b's repair-key read the pre-insert w: committing it would
+			// publish variables whose domains no longer describe w.
+			b:        []string{`create table r as select k from (repair key k in w weight by wt) x`},
+			conflict: true,
+		},
+		{
+			name:     "repair-key commutes with writes elsewhere",
+			setup:    `create table w (k text, wt float); insert into w values ('a', 1), ('b', 3); create table t (k int)`,
+			a:        []string{`insert into t values (1)`},
+			b:        []string{`create table r as select k from (repair key k in w weight by wt) x`},
+			conflict: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New()
+			mustRun(t, d, tc.setup)
+			ta, tb := d.Begin(), d.Begin()
+			for _, src := range tc.a {
+				if err := runTxnSQL(d, ta, src); err != nil {
+					t.Fatalf("a: %q: %v", src, err)
+				}
+			}
+			for _, src := range tc.b {
+				if err := runTxnSQL(d, tb, src); err != nil {
+					t.Fatalf("b: %q: %v", src, err)
+				}
+			}
+			if err := ta.Commit(); err != nil {
+				t.Fatalf("first commit must win: %v", err)
+			}
+			err := tb.Commit()
+			if tc.conflict {
+				if !IsConflict(err) {
+					t.Fatalf("second commit: want conflict, got %v", err)
+				}
+				var ce *ConflictError
+				if !errors.As(err, &ce) || ce.Txn != tb.ID() {
+					t.Fatalf("conflict error carries txn %v, want %d", err, tb.ID())
+				}
+			} else if err != nil {
+				t.Fatalf("second commit should commute: %v", err)
+			}
+			if n := d.SnapshotsOpen(); n != 0 {
+				t.Fatalf("%d snapshots leaked", n)
+			}
+		})
+	}
+}
+
+// Finished transactions reject further control: double ROLLBACK,
+// double COMMIT, and COMMIT after ROLLBACK all error without touching
+// state.
+func TestTxnDoubleFinishErrors(t *testing.T) {
+	d := New()
+	mustRun(t, d, `create table t (x int)`)
+
+	txn := d.Begin()
+	if err := runTxnSQL(d, txn, `insert into t values (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatalf("first rollback: %v", err)
+	}
+	if err := txn.Rollback(); err == nil {
+		t.Fatal("double rollback should error")
+	}
+	if err := txn.Commit(); err == nil {
+		t.Fatal("commit after rollback should error")
+	}
+	if err := runTxnSQL(d, txn, `insert into t values (2)`); err == nil {
+		t.Fatal("statement on a finished transaction should error")
+	}
+
+	txn = d.Begin()
+	if err := runTxnSQL(d, txn, `insert into t values (3)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if err := txn.Commit(); err == nil {
+		t.Fatal("double commit should error")
+	}
+	if err := txn.Rollback(); err == nil {
+		t.Fatal("rollback after commit should error")
+	}
+
+	res := mustRun(t, d, `select count(*) from t`)
+	if got := relString(res.Rel); !strings.Contains(got, "1|") {
+		t.Fatalf("exactly the committed insert should be visible:\n%s", got)
+	}
+	if n := d.TxnStats().Active; n != 0 {
+		t.Fatalf("%d transactions leaked", n)
+	}
+}
+
+// Satellite: failed write statements inside a transaction must not
+// invalidate the plan cache — only a successful commit publishes (and
+// bumps the plan generation); rollback publishes nothing.
+func TestTxnPlanCacheGeneration(t *testing.T) {
+	d := New()
+	mustRun(t, d, `create table t (x int, v int); insert into t values (1, 10)`)
+
+	const q = `select v from t where x = 1`
+	mustRun(t, d, q) // miss: populates the cache
+	hits0, _, _ := d.PlanCacheStats()
+	mustRun(t, d, q)
+	hits1, _, _ := d.PlanCacheStats()
+	if hits1 != hits0+1 {
+		t.Fatalf("warm-up: second run should hit the cache (hits %d -> %d)", hits0, hits1)
+	}
+
+	// A write error inside a transaction, then rollback: cached plans
+	// stay valid.
+	txn := d.Begin()
+	if err := runTxnSQL(d, txn, `insert into missing values (1)`); err == nil {
+		t.Fatal("insert into a missing table should fail")
+	}
+	if err := runTxnSQL(d, txn, `create table u (y int)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, d, q)
+	hits2, _, _ := d.PlanCacheStats()
+	if hits2 != hits1+1 {
+		t.Fatalf("rolled-back transaction invalidated the plan cache (hits %d -> %d)", hits1, hits2)
+	}
+
+	// The same DDL committed: now the catalog changed and cached plans
+	// must be re-planned.
+	txn = d.Begin()
+	if err := runTxnSQL(d, txn, `create table u (y int)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_, misses0, _ := d.PlanCacheStats()
+	mustRun(t, d, q)
+	hits3, misses1, _ := d.PlanCacheStats()
+	if hits3 != hits2 || misses1 != misses0+1 {
+		t.Fatalf("committed DDL must invalidate cached plans (hits %d -> %d, misses %d -> %d)",
+			hits2, hits3, misses0, misses1)
+	}
+}
+
+// Satellite: registry entries for in-transaction statements carry the
+// transaction id, and finished transactions leave no snapshot behind.
+func TestTxnRegistryAndGauges(t *testing.T) {
+	d := New()
+	mustRun(t, d, `create table t (x int)`)
+
+	stmts, err := sql.ParseAll(`select count(*) from t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq, _ := d.registerStatement(stmts[0], nil, QueryMeta{SQL: "select count(*) from t", Session: "s1"}, 42)
+	found := false
+	for _, q := range d.Registry().List() {
+		if q.Txn == 42 && q.Session == "s1" {
+			found = true
+		}
+	}
+	d.reg.finish(lq)
+	if !found {
+		t.Fatal("registry snapshot does not carry the transaction id")
+	}
+
+	// Begin pins a snapshot; rollback and commit both drain it.
+	if n := d.SnapshotsOpen(); n != 0 {
+		t.Fatalf("baseline: %d snapshots open", n)
+	}
+	txn := d.Begin()
+	if n := d.SnapshotsOpen(); n != 1 {
+		t.Fatalf("open transaction should pin one snapshot, gauge = %d", n)
+	}
+	if err := runTxnSQL(d, txn, `insert into t values (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.SnapshotsOpen(); n != 0 {
+		t.Fatalf("rollback leaked the transaction snapshot, gauge = %d", n)
+	}
+	txn = d.Begin()
+	if err := runTxnSQL(d, txn, `insert into t values (2)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.SnapshotsOpen(); n != 0 {
+		t.Fatalf("commit leaked the transaction snapshot, gauge = %d", n)
+	}
+
+	st := d.TxnStats()
+	if st.Active != 0 || st.Commits != 1 || st.Rollbacks != 1 {
+		t.Fatalf("TxnStats = %+v, want 0 active / 1 commit / 1 rollback", st)
+	}
+}
+
+// Writes buffered in one transaction are invisible to concurrent
+// reads and other transactions until commit publishes them.
+func TestTxnIsolationOfBufferedWrites(t *testing.T) {
+	d := New()
+	mustRun(t, d, `create table t (k int, v int); insert into t values (1, 0)`)
+
+	txn := d.Begin()
+	if err := runTxnSQL(d, txn, `update t set v = 7 where k = 1`); err != nil {
+		t.Fatal(err)
+	}
+	// Autocommit read sees committed state.
+	res := mustRun(t, d, `select v from t where k = 1`)
+	if got := relString(res.Rel); !strings.Contains(got, "0|") {
+		t.Fatalf("buffered write leaked to a concurrent read:\n%s", got)
+	}
+	// A second transaction's snapshot predates the commit.
+	other := d.Begin()
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := other.query(sqlMustQuery(t, `select v from t where k = 1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := relString(rel); !strings.Contains(got, "0|") {
+		t.Fatalf("snapshot isolation broken, transaction sees a later commit:\n%s", got)
+	}
+	other.Rollback()
+	// New reads see the published value.
+	res = mustRun(t, d, `select v from t where k = 1`)
+	if got := relString(res.Rel); !strings.Contains(got, "7|") {
+		t.Fatalf("committed write not visible:\n%s", got)
+	}
+}
+
+// sqlMustQuery parses a single query statement's query tree.
+func sqlMustQuery(t *testing.T, src string) sql.Query {
+	t.Helper()
+	stmts, err := sql.ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, ok := stmts[0].(*sql.QueryStmt)
+	if !ok {
+		t.Fatalf("%q is not a query", src)
+	}
+	return qs.Query
+}

@@ -29,6 +29,10 @@ const (
 	FsyncStall       = "wal_fsync_stall"
 	SessionCreate    = "session_create"
 	SessionExpire    = "session_expire"
+	TxnBegin         = "txn_begin"
+	TxnCommit        = "txn_commit"
+	TxnConflict      = "txn_conflict"
+	TxnRollback      = "txn_rollback"
 )
 
 // Event is one entry in the engine event log.

@@ -10,20 +10,19 @@
 //	GET    /healthz     liveness and basic stats
 //	GET    /metrics     Prometheus-style counters
 //
-// Sessions carry transaction state: the engine has one transaction
-// slot, and a session's BEGIN claims it until COMMIT/ROLLBACK, close,
-// or idle expiry (which rolls back). While a transaction is open,
-// write statements from other sessions are rejected with 409 rather
-// than silently entangling their changes in a foreign undo log;
-// read-only statements keep flowing and run against point-in-time
-// snapshots of the engine (copy-on-write, captured under a momentary
-// read lock), so each read — including a long-running stream — sees
-// one consistent state and never blocks a writer. Snapshots are taken
-// of the current storage, uncommitted writes included, so reads are
-// still READ UNCOMMITTED with respect to a foreign open transaction:
-// they can observe writes that later vanish in a rollback. Clients
-// needing isolation from a concurrent loader should take the
-// transaction slot themselves.
+// Sessions carry transaction state: BEGIN opens an optimistic
+// snapshot-isolation transaction owned by the session, and every
+// statement the session sends runs inside it until COMMIT, ROLLBACK,
+// session close, or idle expiry (which rolls back). Any number of
+// sessions can hold transactions concurrently — each sees a private
+// snapshot of the database as of its BEGIN plus its own buffered
+// writes, and nothing is published until COMMIT. At commit the engine
+// validates the transaction's write set against every commit since
+// its snapshot (first-committer-wins): a loser is rolled back and the
+// request fails with HTTP 409 and the typed error code "conflict",
+// telling the client to retry the whole transaction from BEGIN.
+// Statements outside a transaction autocommit atomically. Reads never
+// block writes and writes never block reads.
 package server
 
 import (
@@ -112,27 +111,13 @@ type Server struct {
 	eng  *dbpkg.Database
 	opts Options
 
-	// txnMu serialises transaction-control statements (BEGIN, COMMIT,
-	// ROLLBACK, abandoned-transaction rollback) end to end, so a
-	// failed BEGIN can restore the previous owner without racing a
-	// concurrent claim. Lock order: txnMu before mu, never the
-	// reverse.
-	txnMu sync.Mutex
-
+	// mu guards the session table (including each session's txn
+	// pointer). Never held across engine execution — statements,
+	// commits, and rollbacks all run outside it, so session
+	// management, health, and metrics stay responsive during long
+	// statements.
 	mu       sync.Mutex
 	sessions map[string]*session
-	// cond is signalled when writers returns to zero (BEGIN waits for
-	// in-flight one-shot writes to drain).
-	cond *sync.Cond
-	// txnOwner is the token of the session holding (or about to hold)
-	// the engine's transaction slot; empty when no transaction is
-	// open.
-	txnOwner string
-	// writers counts one-shot writes (statements and imports)
-	// currently executing outside any transaction. While writers > 0
-	// no transaction may open, so those writes cannot retroactively
-	// land in a transaction's undo log.
-	writers int
 
 	done chan struct{}
 
@@ -158,7 +143,6 @@ type Server struct {
 	errorsTotal     atomic.Int64
 	sessionsTotal   atomic.Int64
 	sessionsExpired atomic.Int64
-	txnConflicts    atomic.Int64
 }
 
 // New wraps an embedded database in a network server. The database
@@ -190,7 +174,6 @@ func New(mdb *maybms.DB, opts Options) *Server {
 	if opts.EventLog != nil {
 		s.eng.Events().SetSink(opts.EventLog)
 	}
-	s.cond = sync.NewCond(&s.mu)
 	interval := opts.SessionIdle / 4
 	if interval < time.Second {
 		interval = time.Second
@@ -216,16 +199,14 @@ func (s *Server) Close() {
 		close(s.done)
 	}
 	s.mu.Lock()
-	var abandoned []string
+	var abandoned []*dbpkg.Txn
 	for _, sess := range s.sessions {
-		if s.dropLocked(sess) {
-			abandoned = append(abandoned, sess.token)
+		if t := s.dropLocked(sess); t != nil {
+			abandoned = append(abandoned, t)
 		}
 	}
 	s.mu.Unlock()
-	for _, tok := range abandoned {
-		s.rollbackAbandoned(tok)
-	}
+	rollbackAbandoned(abandoned)
 }
 
 // Handler returns the HTTP handler implementing the API.
@@ -268,22 +249,30 @@ func (e *httpError) Error() string { return e.msg }
 var (
 	errTooManySessions = &httpError{code: http.StatusServiceUnavailable, msg: "server: session limit reached"}
 	errNoSession       = &httpError{code: http.StatusUnauthorized, msg: "server: unknown or expired session token"}
-	errTxnHeld         = &httpError{code: http.StatusConflict, msg: "server: another session holds the open transaction"}
 	errTxnNeedsSession = &httpError{code: http.StatusBadRequest, msg: "server: transactions require a session (POST /v1/session)"}
+	errAlreadyInTxn    = &httpError{code: http.StatusBadRequest, msg: "server: already in a transaction"}
+	errNoTxn           = &httpError{code: http.StatusBadRequest, msg: "server: no transaction in progress"}
 )
 
 func statusOf(err error) int {
 	if he, ok := err.(*httpError); ok {
 		return he.code
 	}
+	if dbpkg.IsConflict(err) {
+		return http.StatusConflict
+	}
 	return http.StatusBadRequest
 }
 
 // errCode classifies an error for the wire: cancellation (KILL or
-// statement timeout) is typed so clients need not parse the message.
+// statement timeout) and commit conflicts are typed so clients need
+// not parse the message.
 func errCode(err error) string {
 	if live.IsCanceled(err) {
 		return wire.ErrCodeCanceled
+	}
+	if dbpkg.IsConflict(err) {
+		return wire.ErrCodeConflict
 	}
 	return ""
 }
@@ -410,33 +399,22 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := s.newTrace(tid)
-	meta := dbpkg.QueryMeta{SQL: src, Session: sessionToken(sess)}
-	start := time.Now()
-	var cur *maybms.RowsCursor
-	var root planpkg.Node
+	meta := dbpkg.QueryMeta{SQL: src, Session: sessionToken(sess), Txn: s.sessionTxn(sess)}
 	if sqlpkg.ReadOnly(st) {
 		s.readStmtsTotal.Add(1)
-		ecur, n, err := s.eng.OpenQueryStmtMeta(st, tr, meta)
-		if err != nil {
-			s.writeError(w, err)
-			return
-		}
-		cur, root = maybms.NewRowsCursor(ecur), n
 	} else {
 		s.writeStmtsTotal.Add(1)
-		release, err := s.claimWrite(sess)
-		if err != nil {
-			s.writeError(w, err)
-			return
-		}
-		res, n, err := s.eng.RunStatementMeta(st, tr, meta)
-		release()
-		if err != nil {
-			s.writeError(w, err)
-			return
-		}
-		cur, root = maybms.RowsCursorFromRel(res.Rel), n
 	}
+	start := time.Now()
+	// The engine streams read-only out-of-transaction queries off a
+	// snapshot; writes and in-transaction queries come back as a
+	// materialised-result cursor.
+	ecur, root, err := s.eng.OpenQueryStmtMeta(st, tr, meta)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	cur := maybms.NewRowsCursor(ecur)
 	defer cur.Close()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -555,20 +533,12 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("server: reading csv body: %v", err))
 		return
 	}
-	// CSV import is a stream of inserts: a write, admitted like any
-	// other (conflicts with foreign transactions, or registers as a
-	// writer so no transaction can open and capture its rows
-	// mid-import). The engine locks per row; nothing server-wide is
-	// held for the import's duration.
-	release, err := s.claimWrite(sess)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	// Deferred so a panic inside the engine cannot leak the writer
-	// slot (net/http recovers per-connection; a stuck writer count
-	// would wedge every future BEGIN).
-	defer release()
+	// CSV import is a stream of autocommitted inserts — it always
+	// loads into the live database, never into a session's open
+	// transaction (bulk loads inside an optimistic transaction would
+	// buffer the whole file in its write set). The engine locks per
+	// statement; nothing server-wide is held for the import's
+	// duration.
 	n, err := s.db.ImportCSV(table, bytes.NewReader(body))
 	s.writeStmtsTotal.Add(int64(n))
 	if err != nil {
@@ -620,10 +590,7 @@ func (s *Server) runScriptTraced(sess *session, src string, tr *trace.Trace) (*d
 }
 
 // runStatement executes one statement, enforcing the session/
-// transaction policy around the engine's own locking. s.mu is never
-// held across engine execution — it guards only the slot bookkeeping,
-// so session management, health, and metrics stay responsive during
-// long statements.
+// transaction policy around the engine's own locking.
 func (s *Server) runStatement(sess *session, st sqlpkg.Statement) (*dbpkg.Result, error) {
 	res, _, err := s.runStatementMeta(sess, st, nil, dbpkg.QueryMeta{Session: sessionToken(sess)})
 	return res, err
@@ -631,123 +598,89 @@ func (s *Server) runStatement(sess *session, st sqlpkg.Statement) (*dbpkg.Result
 
 // runStatementMeta is runStatement with tr (when non-nil) attached to
 // the statement's executor and meta carried into the live-query
-// registry. Transaction control has no plan and is never traced;
-// everything else routes through the engine's traced entry point,
-// which returns the query's plan root when there is one.
+// registry. Transaction control (BEGIN/COMMIT/ROLLBACK) manages the
+// session's transaction pointer here — it has no plan and is never
+// traced; everything else routes through the engine's traced entry
+// point with the session's open transaction (if any) on the meta, so
+// it executes against that transaction's private view.
 func (s *Server) runStatementMeta(sess *session, st sqlpkg.Statement, tr *trace.Trace, meta dbpkg.QueryMeta) (*dbpkg.Result, planpkg.Node, error) {
 	switch st.(type) {
 	case *sqlpkg.Begin:
 		if sess == nil {
 			return nil, nil, errTxnNeedsSession
 		}
-		s.txnMu.Lock()
-		defer s.txnMu.Unlock()
+		if s.sessionTxn(sess) != nil {
+			return nil, nil, errAlreadyInTxn
+		}
+		txn := s.eng.Begin()
 		s.mu.Lock()
 		// The session was validated at request decode, but may have
-		// been closed since; granting the transaction slot to a dead
-		// token would wedge writes until restart. (If it dies while
-		// we wait below, its closer's rollbackAbandoned is queued on
-		// txnMu and cleans up right after us.)
-		if _, live := s.sessions[sess.token]; !live {
-			s.mu.Unlock()
-			return nil, nil, errNoSession
-		}
-		if s.txnOwner != "" && s.txnOwner != sess.token {
-			s.mu.Unlock()
-			s.txnConflicts.Add(1)
-			return nil, nil, errTxnHeld
-		}
-		// Claim the slot BEFORE draining writers: from here on
-		// claimWrite rejects new foreign one-shot writes, so writers
-		// strictly decreases and the wait terminates even under
-		// sustained write traffic. txnMu serialises transaction
-		// control, so on failure prev is still the truth (a duplicate
-		// BEGIN restores the session's own ownership, not a stale
-		// empty slot).
-		prev := s.txnOwner
-		s.txnOwner = sess.token
-		// In-flight writes checked the slot before the transaction
-		// existed and must not be captured by its undo log.
-		for s.writers > 0 {
-			s.cond.Wait()
+		// been closed since (its closer saw txn == nil and rolled back
+		// nothing); attaching a transaction to a dead token would leak
+		// its snapshot until restart. A concurrent BEGIN on the same
+		// token loses the same way.
+		_, live := s.sessions[sess.token]
+		ok := live && sess.txn == nil
+		if ok {
+			sess.txn = txn
 		}
 		s.mu.Unlock()
-		r, err := s.eng.RunStatement(st)
-		if err != nil {
-			s.mu.Lock()
-			s.txnOwner = prev
-			s.mu.Unlock()
-			return nil, nil, err
+		if !ok {
+			txn.Rollback()
+			if !live {
+				return nil, nil, errNoSession
+			}
+			return nil, nil, errAlreadyInTxn
 		}
-		return r, nil, nil
+		return &dbpkg.Result{Msg: "BEGIN"}, nil, nil
 
-	case *sqlpkg.Commit, *sqlpkg.Rollback:
-		if sess == nil {
-			return nil, nil, errTxnNeedsSession
-		}
-		s.txnMu.Lock()
-		defer s.txnMu.Unlock()
-		s.mu.Lock()
-		if s.txnOwner != "" && s.txnOwner != sess.token {
-			s.mu.Unlock()
-			s.txnConflicts.Add(1)
-			return nil, nil, errTxnHeld
-		}
-		s.mu.Unlock()
-		r, err := s.eng.RunStatement(st)
+	case *sqlpkg.Commit:
+		txn, err := s.detachTxn(sess)
 		if err != nil {
 			return nil, nil, err
 		}
-		s.mu.Lock()
-		s.txnOwner = ""
-		s.mu.Unlock()
-		return r, nil, nil
+		if err := txn.Commit(); err != nil {
+			// A conflict (or any commit failure) rolled the
+			// transaction back; the session is out of it either way.
+			return nil, nil, err
+		}
+		return &dbpkg.Result{Msg: "COMMIT"}, nil, nil
+
+	case *sqlpkg.Rollback:
+		txn, err := s.detachTxn(sess)
+		if err != nil {
+			return nil, nil, err
+		}
+		txn.Rollback()
+		return &dbpkg.Result{Msg: "ROLLBACK"}, nil, nil
 
 	default:
+		meta.Txn = s.sessionTxn(sess)
 		if sqlpkg.ReadOnly(st) {
-			// Read-only statements bypass the server lock entirely:
-			// the engine's RWMutex lets them run in parallel, which is
-			// the whole point of the classifier.
 			s.readStmtsTotal.Add(1)
-			return s.eng.RunStatementMeta(st, tr, meta)
+		} else {
+			s.writeStmtsTotal.Add(1)
 		}
-		s.writeStmtsTotal.Add(1)
-		release, err := s.claimWrite(sess)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer release()
 		return s.eng.RunStatementMeta(st, tr, meta)
 	}
 }
 
-// claimWrite admits a one-shot write (statement or import) on behalf
-// of sess. It conflicts with a foreign session's open transaction;
-// otherwise it either runs inside the session's own transaction or
-// registers as an out-of-transaction writer, blocking BEGIN until it
-// completes. The returned func must be called when the write
-// finishes.
-func (s *Server) claimWrite(sess *session) (func(), error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.txnOwner != "" {
-		if sess == nil || s.txnOwner != sess.token {
-			s.txnConflicts.Add(1)
-			return nil, errTxnHeld
-		}
-		// Inside the session's own transaction: the undo log is
-		// theirs, nothing to register.
-		return func() {}, nil
+// detachTxn removes and returns the session's open transaction for a
+// COMMIT or ROLLBACK. The pointer is cleared before the outcome is
+// known: commit and rollback both finish the transaction, so the
+// session is outside it no matter which way validation goes.
+func (s *Server) detachTxn(sess *session) (*dbpkg.Txn, error) {
+	if sess == nil {
+		return nil, errTxnNeedsSession
 	}
-	s.writers++
-	return func() {
-		s.mu.Lock()
-		s.writers--
-		if s.writers == 0 {
-			s.cond.Broadcast()
-		}
-		s.mu.Unlock()
-	}, nil
+	s.mu.Lock()
+	txn := sess.txn
+	sess.txn = nil
+	s.mu.Unlock()
+	if txn == nil {
+		return nil, errNoTxn
+	}
+	return txn, nil
 }
 
 // handleQueries serves GET /v1/queries: every statement currently
@@ -766,6 +699,7 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 			ElapsedSeconds: q.ElapsedSeconds,
 			Parallelism:    q.Parallelism,
 			Canceled:       q.Canceled,
+			Txn:            q.Txn,
 		}
 		if q.Ops != nil {
 			if b, err := json.Marshal(q.Ops); err == nil {
@@ -824,18 +758,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	nsess := len(s.sessions)
-	txnOpen := 0
-	if s.txnOwner != "" {
-		txnOpen = 1
-	}
 	s.mu.Unlock()
+	ts := s.eng.TxnStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "maybms_uptime_seconds %g\n", time.Since(s.start).Seconds())
 	fmt.Fprintf(w, "maybms_sessions_active %d\n", nsess)
 	fmt.Fprintf(w, "maybms_sessions_created_total %d\n", s.sessionsTotal.Load())
 	fmt.Fprintf(w, "maybms_sessions_expired_total %d\n", s.sessionsExpired.Load())
-	fmt.Fprintf(w, "maybms_txn_open %d\n", txnOpen)
-	fmt.Fprintf(w, "maybms_txn_conflicts_total %d\n", s.txnConflicts.Load())
+	fmt.Fprintf(w, "maybms_txn_open %d\n", ts.Active)
+	fmt.Fprintf(w, "maybms_txn_commits_total %d\n", ts.Commits)
+	fmt.Fprintf(w, "maybms_txn_conflicts_total %d\n", ts.Conflicts)
+	fmt.Fprintf(w, "maybms_txn_rollbacks_total %d\n", ts.Rollbacks)
 	fmt.Fprintf(w, "maybms_requests_total{endpoint=\"query\"} %d\n", s.queriesTotal.Load())
 	fmt.Fprintf(w, "maybms_requests_total{endpoint=\"exec\"} %d\n", s.execsTotal.Load())
 	fmt.Fprintf(w, "maybms_requests_total{endpoint=\"import\"} %d\n", s.importsTotal.Load())

@@ -149,7 +149,7 @@ func TestRowsRoundTripTypes(t *testing.T) {
 }
 
 func TestSessionTransactions(t *testing.T) {
-	base, _, _ := startServer(t, Options{})
+	base, mdb, _ := startServer(t, Options{})
 	a, err := client.Open(base)
 	if err != nil {
 		t.Fatal(err)
@@ -161,36 +161,133 @@ func TestSessionTransactions(t *testing.T) {
 	}
 	defer b.Close()
 
-	a.MustExec(`create table t (x int)`)
-	a.MustExec(`begin; insert into t values (1)`)
+	a.MustExec(`create table t (x int, v int); insert into t values (1, 0), (2, 0)`)
 
-	// Another session's write conflicts while the transaction is open.
-	if _, err := b.Exec(`insert into t values (2)`); err == nil {
-		t.Fatal("write from another session should conflict with open transaction")
+	// Both sessions hold transactions concurrently, each seeing its own
+	// buffered write over its snapshot.
+	a.MustExec(`begin; update t set v = 10 where x = 1`)
+	b.MustExec(`begin; update t set v = 20 where x = 1`)
+	if v, err := a.QueryFloat(`select v from t where x = 1`); err != nil || v != 10 {
+		t.Fatalf("a sees v=%v err=%v, want its own write 10", v, err)
+	}
+	if v, err := b.QueryFloat(`select v from t where x = 1`); err != nil || v != 20 {
+		t.Fatalf("b sees v=%v err=%v, want its own write 20", v, err)
+	}
+	// Nothing is published yet: embedded reads still see the committed
+	// state.
+	if v, err := mdb.QueryFloat(`select v from t where x = 1`); err != nil || v != 0 {
+		t.Fatalf("uncommitted write leaked: v=%v err=%v", v, err)
+	}
+
+	// First committer wins; the loser gets a typed conflict.
+	a.MustExec(`commit`)
+	if _, err := b.Exec(`commit`); err == nil {
+		t.Fatal("second commit over the same row should conflict")
 	} else if ce, ok := err.(*client.Error); !ok || ce.Status != http.StatusConflict {
 		t.Fatalf("want 409 conflict, got %v", err)
-	}
-	// Reads keep flowing.
-	if _, err := b.Query(`select x from t`); err != nil {
-		t.Fatalf("read during foreign transaction: %v", err)
-	}
-	// Another session cannot commit the owner's transaction.
-	if _, err := b.Exec(`commit`); err == nil {
-		t.Fatal("foreign commit should conflict")
+	} else if !client.IsConflict(err) {
+		t.Fatalf("conflict error not typed: code=%q", ce.Code)
 	}
 
+	// The conflict rolled b's transaction back; a retry over fresh
+	// state succeeds and sees a's committed value first.
+	if v, err := b.QueryFloat(`select v from t where x = 1`); err != nil || v != 10 {
+		t.Fatalf("after conflict b sees v=%v err=%v, want committed 10", v, err)
+	}
+	b.MustExec(`begin; update t set v = 20 where x = 1; commit`)
+	if v, err := mdb.QueryFloat(`select v from t where x = 1`); err != nil || v != 20 {
+		t.Fatalf("retried transaction: v=%v err=%v", v, err)
+	}
+
+	// Transaction control is stateful per session.
+	if _, err := a.Exec(`commit`); err == nil {
+		t.Fatal("commit outside a transaction should fail")
+	}
+	if _, err := a.Exec(`rollback`); err == nil {
+		t.Fatal("rollback outside a transaction should fail")
+	}
+	a.MustExec(`begin`)
+	if _, err := a.Exec(`begin`); err == nil {
+		t.Fatal("nested begin should fail")
+	}
 	a.MustExec(`rollback`)
-	n, err := a.QueryFloat(`select count(*) from t`)
-	if err != nil || n != 0 {
-		t.Fatalf("rollback: count=%v err=%v", n, err)
-	}
-
-	// After rollback, b can write again.
-	b.MustExec(`insert into t values (3)`)
 
 	// Transactions require a session: anonymous requests are refused.
 	if _, err := anonExec(base, `begin`); err == nil {
 		t.Fatal("anonymous begin should fail")
+	}
+}
+
+// TestConcurrentDisjointTransactions: transactions writing disjoint
+// rows all commit; snapshot isolation only rejects overlapping write
+// sets.
+func TestConcurrentDisjointTransactions(t *testing.T) {
+	base, mdb, _ := startServer(t, Options{})
+	setup, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	setup.MustExec(`create table t (x int, v int);
+		insert into t values (1, 0), (2, 0), (3, 0)`)
+
+	clients := make([]*client.DB, 3)
+	for i := range clients {
+		c, err := client.Open(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+		c.MustExec(fmt.Sprintf(`begin; update t set v = %d where x = %d`, (i+1)*100, i+1))
+	}
+	for _, c := range clients {
+		c.MustExec(`commit`)
+	}
+	s, err := mdb.QueryFloat(`select sum(v) from t`)
+	if err != nil || s != 600 {
+		t.Fatalf("disjoint commits: sum=%v err=%v", s, err)
+	}
+}
+
+// TestClientRunTxn: the retry helper re-runs a conflicted transaction
+// until it commits.
+func TestClientRunTxn(t *testing.T) {
+	base, mdb, _ := startServer(t, Options{})
+	a, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := client.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.MustExec(`create table t (x int, v int); insert into t values (1, 0)`)
+
+	// Force exactly one conflict: b's first attempt loses to a commit
+	// staged between b's BEGIN and b's COMMIT.
+	attempts := 0
+	err = b.RunTxn(func(d *client.DB) error {
+		attempts++
+		if _, err := d.Exec(`update t set v = v + 1 where x = 1`); err != nil {
+			return err
+		}
+		if attempts == 1 {
+			a.MustExec(`begin; update t set v = v + 10 where x = 1; commit`)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunTxn: %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("want one conflict retry, got %d attempts", attempts)
+	}
+	// The retry read the committed value, so both effects survive.
+	if v, err := mdb.QueryFloat(`select v from t where x = 1`); err != nil || v != 11 {
+		t.Fatalf("v=%v err=%v, want 11", v, err)
 	}
 }
 
@@ -245,10 +342,10 @@ func TestSessionCloseRollsBackTransaction(t *testing.T) {
 
 // TestBeginOnDeadSessionDoesNotWedge covers the race where a session
 // is closed between request validation and the BEGIN statement: the
-// dead token must not be granted the transaction slot, which nothing
-// could ever release.
+// dead token must not be handed a transaction, which nothing could
+// ever roll back (it would pin its snapshot until restart).
 func TestBeginOnDeadSessionDoesNotWedge(t *testing.T) {
-	base, _, srv := startServer(t, Options{})
+	base, mdb, srv := startServer(t, Options{})
 	sess, err := srv.openSession(time.Now())
 	if err != nil {
 		t.Fatal(err)
@@ -260,11 +357,8 @@ func TestBeginOnDeadSessionDoesNotWedge(t *testing.T) {
 	if _, err := srv.runScript(sess, `begin`); err == nil {
 		t.Fatal("begin on a closed session must fail")
 	}
-	srv.mu.Lock()
-	owner := srv.txnOwner
-	srv.mu.Unlock()
-	if owner != "" {
-		t.Fatalf("transaction slot leaked to dead token %q", owner)
+	if n := mdb.Engine().TxnStats().Active; n != 0 {
+		t.Fatalf("transaction leaked to dead session: %d active", n)
 	}
 	// Writes still flow.
 	c, err := client.Open(base)
@@ -307,9 +401,7 @@ func TestSessionIdleExpiry(t *testing.T) {
 	srv.mu.Lock()
 	abandoned := srv.expireLocked(time.Now())
 	srv.mu.Unlock()
-	for _, tok := range abandoned {
-		srv.rollbackAbandoned(tok)
-	}
+	rollbackAbandoned(abandoned)
 	if _, err := c.Query(`select x from t`); err == nil {
 		t.Fatal("expired session token should be rejected")
 	}
@@ -373,64 +465,42 @@ func TestImportCSVOverWire(t *testing.T) {
 }
 
 // TestImportTransactionInterplay pins down the sentinel semantics:
-// imports conflict with foreign transactions, and while an import
-// holds the slot, BEGIN conflicts but one-shot writes interleave.
+// imports are always autocommitted, independent of any open
+// transaction — a foreign session's or even the importer's own.
 func TestImportTransactionInterplay(t *testing.T) {
-	base, _, srv := startServer(t, Options{})
+	base, mdb, _ := startServer(t, Options{})
 	a, err := client.Open(base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
 	a.MustExec(`create table t (x int)`)
-
-	// Import while a foreign transaction is open → 409.
 	a.MustExec(`begin`)
+
+	// Imports from other sessions proceed while a's transaction is
+	// open; optimistic transactions block no one.
 	b, err := client.Open(base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	if _, err := b.ImportCSV("t", strings.NewReader("x\n1\n")); err == nil {
-		t.Fatal("import during foreign transaction should conflict")
+	if n, err := b.ImportCSV("t", strings.NewReader("x\n1\n")); err != nil || n != 1 {
+		t.Fatalf("foreign import during open transaction: %d %v", n, err)
 	}
-	// The owner itself may import inside its transaction; rollback
-	// takes the imported rows with it.
-	if n, err := a.ImportCSV("t", strings.NewReader("x\n1\n2\n")); err != nil || n != 2 {
+	// The owner's own import is autocommitted too — not buffered in
+	// its transaction — so its rollback leaves the imported rows.
+	if n, err := a.ImportCSV("t", strings.NewReader("x\n2\n3\n")); err != nil || n != 2 {
 		t.Fatalf("owner import: %d %v", n, err)
 	}
 	a.MustExec(`rollback`)
-	if n, err := a.QueryFloat(`select count(*) from t`); err != nil || n != 0 {
-		t.Fatalf("rollback should drop imported rows: %v %v", n, err)
+	if n, err := mdb.QueryFloat(`select count(*) from t`); err != nil || n != 3 {
+		t.Fatalf("imports are autocommit, rollback must not undo them: count=%v err=%v", n, err)
 	}
-
-	// While a one-shot write (e.g. a long import) is in flight,
-	// BEGIN waits for it to drain; other one-shot writes interleave
-	// freely.
-	srv.mu.Lock()
-	srv.writers = 1 // simulate an import mid-execution
-	srv.mu.Unlock()
-	if _, err := a.Exec(`insert into t values (3)`); err != nil {
-		t.Fatalf("one-shot write during import should interleave: %v", err)
+	// a's transaction never published: its buffered nothing, and the
+	// rollback dropped only private state.
+	if n, err := a.QueryFloat(`select count(*) from t`); err != nil || n != 3 {
+		t.Fatalf("post-rollback read: count=%v err=%v", n, err)
 	}
-	begun := make(chan error, 1)
-	go func() {
-		_, err := a.Exec(`begin`)
-		begun <- err
-	}()
-	select {
-	case err := <-begun:
-		t.Fatalf("begin completed while a write was in flight (err=%v)", err)
-	case <-time.After(100 * time.Millisecond):
-	}
-	srv.mu.Lock()
-	srv.writers = 0
-	srv.cond.Broadcast()
-	srv.mu.Unlock()
-	if err := <-begun; err != nil {
-		t.Fatalf("begin after writes drained: %v", err)
-	}
-	a.MustExec(`rollback`)
 }
 
 func TestHealthzAndMetrics(t *testing.T) {

@@ -6,8 +6,8 @@ import (
 	"fmt"
 	"time"
 
+	dbpkg "maybms/internal/db"
 	"maybms/internal/events"
-	sqlpkg "maybms/internal/sql"
 )
 
 // tokenPrefix abbreviates a session token for the event log: enough
@@ -19,12 +19,11 @@ func tokenPrefix(tok string) string {
 	return tok
 }
 
-// rollbackStmt is the statement rollbackAbandoned feeds the engine.
-var rollbackStmt = sqlpkg.Rollback{}
-
-// session is one token-identified client context. Transaction
-// ownership is not stored here: the engine has a single transaction
-// slot, and Server.txnOwner records which token holds it.
+// session is one token-identified client context. Each session may
+// hold at most one open transaction; statements from the session run
+// inside it until COMMIT/ROLLBACK, close, or idle expiry (which rolls
+// back). Transactions are the engine's optimistic snapshot-isolation
+// kind, so any number of sessions can hold one concurrently.
 type session struct {
 	token    string
 	created  time.Time
@@ -33,6 +32,10 @@ type session struct {
 	// busy session (expiry mid-request would roll back its
 	// transaction between the statements of a running script).
 	active int
+	// txn is the session's open transaction, nil outside one. Guarded
+	// by Server.mu; the transaction itself is rolled back outside the
+	// lock (Txn methods may briefly take engine locks).
+	txn *dbpkg.Txn
 }
 
 // newToken mints a 128-bit random session token.
@@ -66,9 +69,7 @@ func (s *Server) openSession(now time.Time) (*session, error) {
 	if sess != nil {
 		s.eng.Events().Emit(events.Event{Type: events.SessionCreate, ID: tokenPrefix(sess.token)})
 	}
-	for _, tok := range abandoned {
-		s.rollbackAbandoned(tok)
-	}
+	rollbackAbandoned(abandoned)
 	return sess, err
 }
 
@@ -87,9 +88,7 @@ func (s *Server) touchSession(token string, now time.Time) (*session, error) {
 		sess.active++
 	}
 	s.mu.Unlock()
-	for _, tok := range abandoned {
-		s.rollbackAbandoned(tok)
-	}
+	rollbackAbandoned(abandoned)
 	if !ok {
 		return nil, errNoSession
 	}
@@ -108,8 +107,19 @@ func (s *Server) releaseSession(sess *session) {
 	sess.lastUsed = time.Now()
 }
 
+// sessionTxn returns the session's open transaction, nil when outside
+// one (or for the anonymous context).
+func (s *Server) sessionTxn(sess *session) *dbpkg.Txn {
+	if sess == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sess.txn
+}
+
 // closeSession removes a session, rolling back its transaction if it
-// holds one.
+// holds one open.
 func (s *Server) closeSession(token string) error {
 	s.mu.Lock()
 	sess, ok := s.sessions[token]
@@ -119,24 +129,24 @@ func (s *Server) closeSession(token string) error {
 	}
 	abandoned := s.dropLocked(sess)
 	s.mu.Unlock()
-	if abandoned {
-		s.rollbackAbandoned(token)
+	if abandoned != nil {
+		rollbackAbandoned([]*dbpkg.Txn{abandoned})
 	}
 	return nil
 }
 
-// expireLocked prunes idle sessions, returning the tokens of dropped
-// sessions that held the transaction slot — the caller must pass each
-// to rollbackAbandoned AFTER releasing s.mu (the engine rollback must
-// not run under the control-plane lock). A session with an in-flight
+// expireLocked prunes idle sessions, returning the transactions of
+// dropped sessions that held one — the caller must roll each back
+// AFTER releasing s.mu (a rollback touches engine state and must not
+// run under the control-plane lock). A session with an in-flight
 // request is never expired, no matter how long the request runs.
 // Callers hold s.mu.
-func (s *Server) expireLocked(now time.Time) []string {
-	var abandoned []string
+func (s *Server) expireLocked(now time.Time) []*dbpkg.Txn {
+	var abandoned []*dbpkg.Txn
 	for _, sess := range s.sessions {
 		if sess.active == 0 && now.Sub(sess.lastUsed) > s.opts.SessionIdle {
-			if s.dropLocked(sess) {
-				abandoned = append(abandoned, sess.token)
+			if t := s.dropLocked(sess); t != nil {
+				abandoned = append(abandoned, t)
 			}
 			s.sessionsExpired.Add(1)
 			s.eng.Events().Emit(events.Event{Type: events.SessionExpire, ID: tokenPrefix(sess.token)})
@@ -145,37 +155,26 @@ func (s *Server) expireLocked(now time.Time) []string {
 	return abandoned
 }
 
-// dropLocked removes a session, reporting whether it held the
-// transaction slot (the caller then owes a rollbackAbandoned once
-// s.mu is released). Callers hold s.mu.
-func (s *Server) dropLocked(sess *session) (abandoned bool) {
+// dropLocked removes a session, detaching and returning its open
+// transaction (nil if none) — the caller then owes a rollback once
+// s.mu is released. Callers hold s.mu.
+func (s *Server) dropLocked(sess *session) *dbpkg.Txn {
 	delete(s.sessions, sess.token)
-	return s.txnOwner == sess.token
+	t := sess.txn
+	sess.txn = nil
+	return t
 }
 
-// rollbackAbandoned aborts the open transaction after its owner
-// vanished (session close or expiry). Until the engine rollback
-// completes, the dead token keeps the slot, so no write can slip into
-// the doomed undo log. Must be called WITHOUT s.mu held: the engine
-// rollback waits for the exclusive engine lock, which can take as
-// long as the longest in-flight statement.
-func (s *Server) rollbackAbandoned(token string) {
-	s.txnMu.Lock()
-	defer s.txnMu.Unlock()
-	s.mu.Lock()
-	stillOwner := s.txnOwner == token
-	s.mu.Unlock()
-	if !stillOwner {
-		return
+// rollbackAbandoned aborts transactions whose owning sessions vanished
+// (close or expiry). Rollback of an optimistic transaction only drops
+// its private buffers — it never undoes shared state — so errors here
+// are impossible by construction; the call is still checked so a
+// future engine change cannot silently leak. Must be called WITHOUT
+// s.mu held.
+func rollbackAbandoned(txns []*dbpkg.Txn) {
+	for _, t := range txns {
+		t.Rollback()
 	}
-	// Engine errors here mean the undo log itself failed; nothing
-	// better to do than clear ownership so the engine is usable.
-	s.eng.RunStatement(&rollbackStmt)
-	s.mu.Lock()
-	if s.txnOwner == token {
-		s.txnOwner = ""
-	}
-	s.mu.Unlock()
 }
 
 // janitor periodically expires idle sessions until the server closes.
@@ -190,9 +189,7 @@ func (s *Server) janitor(interval time.Duration) {
 			s.mu.Lock()
 			abandoned := s.expireLocked(now)
 			s.mu.Unlock()
-			for _, tok := range abandoned {
-				s.rollbackAbandoned(tok)
-			}
+			rollbackAbandoned(abandoned)
 		}
 	}
 }

@@ -39,6 +39,58 @@ func StatementTables(s Statement) (names []string, complete bool) {
 	return names, true
 }
 
+// ReadTables returns the lower-cased names of every stored table whose
+// *contents* flow into the effects of statement s — the sources of
+// INSERT ... SELECT and CREATE TABLE ... AS, subqueries nested in
+// UPDATE/DELETE predicates, and every table a write query (repair-key,
+// pick-tuples) draws tuples from. Write targets themselves are
+// excluded: an INSERT's effect depends on what it inserts, not on what
+// the target already holds. Optimistic transactions use this to record
+// read dependencies for commit-time validation; like StatementTables
+// the analysis is conservative, reporting incomplete for any construct
+// it does not recognise.
+func ReadTables(s Statement) (names []string, complete bool) {
+	set := map[string]bool{}
+	switch s := s.(type) {
+	case *QueryStmt:
+		complete = queryTables(s.Query, set)
+	case *ExplainStmt:
+		complete = queryTables(s.Query, set)
+	case *Insert:
+		complete = queryTables(s.Query, set)
+		for _, row := range s.Rows {
+			for _, e := range row {
+				complete = complete && exprTables(e, set)
+			}
+		}
+		delete(set, strings.ToLower(s.Table))
+	case *CreateTable:
+		complete = queryTables(s.AsQuery, set)
+		delete(set, strings.ToLower(s.Name))
+	case *Update:
+		complete = exprTables(s.Where, set)
+		for _, sc := range s.Sets {
+			complete = complete && exprTables(sc.Expr, set)
+		}
+		delete(set, strings.ToLower(s.Table))
+	case *Delete:
+		complete = exprTables(s.Where, set)
+		delete(set, strings.ToLower(s.Table))
+	case *DropTable, *Begin, *Commit, *Rollback:
+		complete = true
+	default:
+		return nil, false
+	}
+	if !complete {
+		return nil, false
+	}
+	names = make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	return names, true
+}
+
 // queryTables collects base-table references from a query tree,
 // reporting whether every construct was understood.
 func queryTables(q Query, set map[string]bool) bool {

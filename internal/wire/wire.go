@@ -49,11 +49,18 @@ type ImportResponse struct {
 // from an engine failure without parsing the message.
 const ErrCodeCanceled = "canceled"
 
+// ErrCodeConflict marks a serialization failure: the transaction's
+// COMMIT lost first-committer-wins validation against a concurrent
+// commit. The transaction is rolled back; the client should retry it
+// from BEGIN.
+const ErrCodeConflict = "conflict"
+
 // ErrorResponse is the body of any non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code classifies the error; empty for ordinary failures,
-	// ErrCodeCanceled when the query was killed or timed out.
+	// ErrCodeCanceled when the query was killed or timed out,
+	// ErrCodeConflict when a commit lost snapshot-isolation validation.
 	Code string `json:"code,omitempty"`
 }
 
@@ -67,6 +74,9 @@ type QueryInfo struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	Parallelism    int     `json:"parallelism"`
 	Canceled       bool    `json:"canceled,omitempty"`
+	// Txn is the id of the transaction the statement runs inside; zero
+	// for autocommit statements.
+	Txn int64 `json:"txn,omitempty"`
 	// Ops is the live per-operator tree (rows, batches, timings so
 	// far) as rendered by the engine; absent until the statement
 	// finishes planning or when live tracing is off. Kept raw so the

@@ -166,6 +166,23 @@ func (s *Store) Freeze() *Store {
 	return &Store{probs: s.probs[:n:n], frozen: true}
 }
 
+// Overlay returns a private, writable extension of the store: a view
+// of exactly the variables that exist now whose NewVar allocates IDs
+// from the current length upward without ever touching the shared
+// probability table — capacity is clipped, so the first append
+// reallocates into private backing. An optimistic transaction gives
+// its repair-key/pick-tuples programs an overlay; the variables it
+// allocates stay invisible to every other session until commit appends
+// them to the live store (remapping IDs by the interleaved commits'
+// offset). The overlay carries no watcher: nothing it does is durable.
+// Typically called on a Freeze view so the prefix is stable; the
+// returned store is mutable and, like the live store, must only be
+// mutated by one goroutine at a time.
+func (s *Store) Overlay() *Store {
+	n := len(s.probs)
+	return &Store{probs: s.probs[:n:n]}
+}
+
 // Clone returns a deep copy of the store.
 func (s *Store) Clone() *Store {
 	out := &Store{probs: make([][]float64, len(s.probs))}
@@ -182,6 +199,25 @@ func (s *Store) Clone() *Store {
 func (s *Store) Domains() [][]float64 {
 	out := make([][]float64, len(s.probs))
 	for i, d := range s.probs {
+		cp := make([]float64, len(d))
+		copy(cp, d)
+		out[i] = cp
+	}
+	return out
+}
+
+// DomainsFrom returns a copy of the probability table for variables
+// with id >= n — the suffix a transaction's Overlay allocated beyond
+// its base prefix, in allocation order. n past the end returns nil.
+func (s *Store) DomainsFrom(n int) [][]float64 {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(s.probs) {
+		return nil
+	}
+	out := make([][]float64, len(s.probs)-n)
+	for i, d := range s.probs[n:] {
 		cp := make([]float64, len(d))
 		copy(cp, d)
 		out[i] = cp
